@@ -1,0 +1,82 @@
+//! Benchmarks the matcher engines (ablation `ablate-nn` / `ablate-grid`):
+//! the paper's linear scans vs the index-accelerated equivalents.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pombm_geom::{seeded_rng, Point, Rect};
+use pombm_hst::{CodeContext, LeafCode};
+use pombm_matching::{EuclideanGreedy, HstGreedy, HstGreedyEngine};
+use rand::Rng;
+use std::hint::black_box;
+
+fn random_leaves(ctx: CodeContext, n: usize, seed: u64) -> Vec<LeafCode> {
+    let mut rng = seeded_rng(seed, 0);
+    (0..n)
+        .map(|_| LeafCode(rng.gen_range(0..ctx.num_leaves())))
+        .collect()
+}
+
+fn random_points(n: usize, side: f64, seed: u64) -> Vec<Point> {
+    let mut rng = seeded_rng(seed, 1);
+    (0..n)
+        .map(|_| Point::new(rng.gen::<f64>() * side, rng.gen::<f64>() * side))
+        .collect()
+}
+
+fn bench_hst_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hst_greedy_full_run");
+    group.sample_size(10);
+    let ctx = CodeContext::new(2, 12);
+    for n in [1000usize, 5000] {
+        let workers = random_leaves(ctx, n, 11);
+        let tasks = random_leaves(ctx, n, 13);
+        for engine in [HstGreedyEngine::Scan, HstGreedyEngine::Indexed] {
+            group.bench_with_input(BenchmarkId::new(format!("{engine:?}"), n), &n, |b, _| {
+                b.iter(|| {
+                    let mut g = HstGreedy::new(ctx, workers.clone(), engine);
+                    for &t in &tasks {
+                        black_box(g.assign(t));
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_euclid_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("euclid_greedy_full_run");
+    group.sample_size(10);
+    let region = Rect::square(200.0);
+    for n in [1000usize, 5000] {
+        let workers = random_points(n, 200.0, 17);
+        let tasks = random_points(n, 200.0, 19);
+        group.bench_with_input(BenchmarkId::new("scan", n), &n, |b, _| {
+            b.iter(|| {
+                let mut g = EuclideanGreedy::new(workers.clone());
+                for t in &tasks {
+                    black_box(g.assign(t));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cell_index", n), &n, |b, _| {
+            b.iter(|| {
+                let mut g = EuclideanGreedy::with_cell_index(workers.clone(), region, 32);
+                for t in &tasks {
+                    black_box(g.assign(t));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("kd_tree", n), &n, |b, _| {
+            b.iter(|| {
+                let mut g = pombm_matching::kdtree::KdTree::build(workers.clone());
+                for t in &tasks {
+                    black_box(g.take_nearest(t));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hst_engines, bench_euclid_engines);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Micro-benchmarks for the privacy mechanisms.
+//!
+//! Covers the paper's complexity claims for obfuscation:
+//! * Alg. 2 (naive enumeration) is `O(c^D)` per sample;
+//! * Alg. 3 (random walk) is `O(D)` per sample — the headline speedup of
+//!   Sec. III-D;
+//! * the planar Laplace baseline for reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pombm_geom::{seeded_rng, Grid, Point, Rect};
+use pombm_hst::Hst;
+use pombm_privacy::{Epsilon, HstMechanism, PlanarLaplace};
+use std::hint::black_box;
+
+fn bench_obfuscation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obfuscation");
+    let eps = Epsilon::new(0.6);
+
+    // Naive Alg. 2 only fits small trees; compare on one.
+    let small_grid = Grid::square(Rect::square(16.0), 4);
+    let mut rng = seeded_rng(1, 0);
+    let small_hst = Hst::build(&small_grid.to_point_set(), &mut rng);
+    let small_mech = HstMechanism::new(&small_hst, eps);
+    let x = small_hst.leaf_of(5);
+
+    group.bench_function("alg2_naive_16pt_tree", |b| {
+        let mut rng = seeded_rng(2, 0);
+        b.iter(|| black_box(small_mech.obfuscate_naive(&small_hst, x, &mut rng)))
+    });
+    group.bench_function("alg3_walk_16pt_tree", |b| {
+        let mut rng = seeded_rng(2, 1);
+        b.iter(|| black_box(small_mech.obfuscate(&small_hst, x, &mut rng)))
+    });
+
+    // The walk on production-size trees: cost grows only with D.
+    for side in [16usize, 32, 64] {
+        let grid = Grid::square(Rect::square(200.0), side);
+        let mut rng = seeded_rng(3, side as u64);
+        let hst = Hst::build(&grid.to_point_set(), &mut rng);
+        let mech = HstMechanism::new(&hst, eps);
+        let x = hst.leaf_of(side); // an arbitrary real leaf
+        group.bench_with_input(
+            BenchmarkId::new("alg3_walk_grid", side * side),
+            &side,
+            |b, _| {
+                let mut rng = seeded_rng(4, side as u64);
+                b.iter(|| black_box(mech.obfuscate(&hst, x, &mut rng)))
+            },
+        );
+    }
+
+    group.bench_function("planar_laplace", |b| {
+        let mech = PlanarLaplace::new(eps);
+        let mut rng = seeded_rng(5, 0);
+        let p = Point::new(100.0, 100.0);
+        b.iter(|| black_box(mech.obfuscate(&p, &mut rng)))
+    });
+
+    group.finish();
+}
+
+/// Batch obfuscation: sequential vs crossbeam-sharded parallel (the worker
+/// registration phase of the scalability experiments).
+fn bench_batch(c: &mut Criterion) {
+    use pombm_privacy::batch;
+    let mut group = c.benchmark_group("batch_obfuscation");
+    group.sample_size(10);
+    let grid = Grid::square(Rect::square(200.0), 32);
+    let mut rng = seeded_rng(6, 0);
+    let hst = Hst::build(&grid.to_point_set(), &mut rng);
+    let mech = HstMechanism::new(&hst, Epsilon::new(0.6));
+    let exact: Vec<_> = (0..50_000)
+        .map(|i| hst.leaf_of(i % hst.num_points()))
+        .collect();
+    group.bench_function("sequential_50k", |b| {
+        b.iter(|| {
+            black_box(batch::obfuscate_leaves_sequential(
+                &mech, &hst, &exact, 1, 1,
+            ))
+        })
+    });
+    let shards = batch::default_shards(exact.len());
+    group.bench_function(format!("parallel_50k_x{shards}"), |b| {
+        b.iter(|| {
+            black_box(batch::obfuscate_leaves_parallel(
+                &mech, &hst, &exact, 1, shards,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_obfuscation, bench_batch);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! End-to-end pipeline benchmarks: one full run (obfuscate + assign) per
+//! algorithm at a fixed synthetic size — the per-algorithm running-time
+//! ordering underlying Figs. 6e–h.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pombm::{run_with_server, Algorithm, PipelineConfig, Server};
+use pombm_geom::seeded_rng;
+use pombm_workload::{synthetic, SyntheticParams};
+use std::hint::black_box;
+
+fn bench_pipelines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_full_run");
+    group.sample_size(10);
+    let params = SyntheticParams {
+        num_tasks: 1000,
+        num_workers: 2000,
+        ..SyntheticParams::default()
+    };
+    let instance = synthetic::generate(&params, &mut seeded_rng(23, 0));
+    let config = PipelineConfig {
+        euclid_cells: 32,
+        engine: pombm_matching::HstGreedyEngine::Indexed,
+        ..PipelineConfig::default()
+    };
+    let server = Server::new(instance.region, config.grid_side, 23);
+
+    for algo in Algorithm::ALL {
+        group.bench_with_input(BenchmarkId::new("algo", algo.label()), &algo, |b, &a| {
+            b.iter(|| black_box(run_with_server(a, &instance, &config, Some(&server), 0)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipelines);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Experiment harness for the POMBM reproduction.
+//!
+//! This crate regenerates every table and figure of the paper's evaluation
+//! (Sec. IV). The `experiments` binary prints the same series the paper
+//! plots and writes CSV files; Criterion benches in `benches/` cover the
+//! micro-level claims (mechanism latency, construction cost, matcher
+//! engines). See EXPERIMENTS.md at the repository root for the recorded
+//! paper-vs-measured comparison.
+
+pub mod alloc;
+pub mod figures;
+pub mod plot;
+pub mod report;
+
+pub use alloc::CountingAllocator;
+pub use plot::render_chart;
+pub use report::{Report, Row};

@@ -1,0 +1,150 @@
+//! ASCII line charts for experiment reports.
+//!
+//! The paper presents its evaluation as line plots (Figs. 6–8). The
+//! experiments binary prints numeric tables by default; with `--plot` it
+//! also renders each figure as a terminal chart so trends (who wins, where
+//! curves cross) are visible without leaving the shell.
+
+use crate::report::Report;
+use std::fmt::Write as _;
+
+/// Glyphs assigned to series in first-seen order.
+const MARKS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+
+/// Renders one `(figure, metric)` slice of a [`Report`] as an ASCII chart.
+///
+/// The x axis spans the figure's swept parameter values (evenly spaced by
+/// rank, matching how the paper's plots space categorical sweeps); the y
+/// axis is linear from 0 to the maximum observed value. Returns `None` if
+/// the slice has no rows.
+pub fn render_chart(report: &Report, figure: &str, metric: &str, width: usize) -> Option<String> {
+    let rows: Vec<_> = report
+        .rows
+        .iter()
+        .filter(|r| r.figure == figure && r.metric == metric)
+        .collect();
+    if rows.is_empty() {
+        return None;
+    }
+
+    // Distinct sorted x values and first-seen series order.
+    let mut xs: Vec<f64> = rows.iter().map(|r| r.x).collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+    xs.dedup();
+    let mut series: Vec<String> = Vec::new();
+    for r in &rows {
+        if !series.contains(&r.series) {
+            series.push(r.series.clone());
+        }
+    }
+
+    let y_max = rows
+        .iter()
+        .map(|r| r.value)
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let height = 12usize;
+    let width = width.max(2 * xs.len()).max(20);
+
+    // Canvas of (height + 1) rows; row 0 is the top.
+    let mut canvas = vec![vec![' '; width]; height + 1];
+    let x_pos = |rank: usize| -> usize {
+        if xs.len() == 1 {
+            width / 2
+        } else {
+            rank * (width - 1) / (xs.len() - 1)
+        }
+    };
+    for (si, name) in series.iter().enumerate() {
+        let mark = MARKS[si % MARKS.len()];
+        for r in rows.iter().filter(|r| &r.series == name) {
+            let rank = xs
+                .iter()
+                .position(|&x| (x - r.x).abs() <= f64::EPSILON * x.abs().max(1.0))
+                .expect("x present");
+            let row = height - ((r.value / y_max) * height as f64).round() as usize;
+            let col = x_pos(rank);
+            // Later series overwrite earlier at collisions; the legend
+            // disambiguates.
+            canvas[row][col] = mark;
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{figure} [{metric}]  (y max = {y_max:.3})");
+    for (i, line) in canvas.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{y_max:>10.1}")
+        } else if i == height {
+            format!("{:>10.1}", 0.0)
+        } else {
+            " ".repeat(10)
+        };
+        let _ = writeln!(out, "{label} |{}", line.iter().collect::<String>());
+    }
+    let _ = writeln!(out, "{} +{}", " ".repeat(10), "-".repeat(width));
+    // X tick labels, left and right ends only (terse but unambiguous).
+    let _ = writeln!(
+        out,
+        "{}  {:<.6} .. {:<.6}",
+        " ".repeat(10),
+        xs[0],
+        xs[xs.len() - 1]
+    );
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(si, name)| format!("{} {name}", MARKS[si % MARKS.len()]))
+        .collect();
+    let _ = writeln!(out, "{}  {}", " ".repeat(10), legend.join("   "));
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Report {
+        let mut r = Report::new();
+        for (i, &x) in [1.0, 2.0, 3.0].iter().enumerate() {
+            r.push("figX", "eps", x, "TBF", "dist", 10.0 * (i + 1) as f64, 1);
+            r.push("figX", "eps", x, "Lap-GR", "dist", 40.0, 1);
+        }
+        r
+    }
+
+    #[test]
+    fn chart_contains_series_marks_and_legend() {
+        let chart = render_chart(&sample_report(), "figX", "dist", 40).unwrap();
+        assert!(chart.contains('*'), "{chart}");
+        assert!(chart.contains('o'), "{chart}");
+        assert!(chart.contains("* TBF"));
+        assert!(chart.contains("o Lap-GR"));
+        assert!(chart.contains("y max = 40.000"));
+    }
+
+    #[test]
+    fn missing_figure_returns_none() {
+        assert!(render_chart(&sample_report(), "nope", "dist", 40).is_none());
+        assert!(render_chart(&sample_report(), "figX", "nope", 40).is_none());
+    }
+
+    #[test]
+    fn single_point_series_renders() {
+        let mut r = Report::new();
+        r.push("f", "x", 5.0, "only", "m", 1.0, 1);
+        let chart = render_chart(&r, "f", "m", 30).unwrap();
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    fn higher_values_plot_higher() {
+        let chart = render_chart(&sample_report(), "figX", "dist", 40).unwrap();
+        // The flat 40-line ('o') must appear above the rising 10..30 line's
+        // first point ('*'): find the first canvas row containing each.
+        let rows: Vec<&str> = chart.lines().collect();
+        let first_o = rows.iter().position(|l| l.contains('o')).unwrap();
+        let first_star = rows.iter().position(|l| l.contains('*')).unwrap();
+        assert!(first_o < first_star, "{chart}");
+    }
+}

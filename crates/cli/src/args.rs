@@ -1,0 +1,158 @@
+//! A tiny dependency-free flag parser for the `pombm` binary.
+//!
+//! Grammar: `pombm <command> [--flag value]... [--switch]...`. A token
+//! starting with `--` is a flag; it consumes the next token as its value
+//! unless that token also starts with `--` (then it is a boolean switch).
+
+use std::collections::HashMap;
+use std::str::FromStr;
+
+/// Parsed command line: one command word plus flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The leading non-flag token, e.g. `run`.
+    pub command: Option<String>,
+    flags: HashMap<String, Option<String>>,
+}
+
+impl Args {
+    /// Parses raw tokens (without the program name).
+    ///
+    /// Returns an error for stray positional arguments after the command.
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Self, String> {
+        let mut args = Args::default();
+        let mut it = tokens.into_iter().peekable();
+        while let Some(tok) = it.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                if name.is_empty() {
+                    return Err("empty flag name `--`".into());
+                }
+                let value = match it.peek() {
+                    Some(next) if !next.starts_with("--") => it.next(),
+                    _ => None,
+                };
+                if args.flags.insert(name.to_string(), value).is_some() {
+                    return Err(format!("flag --{name} given twice"));
+                }
+            } else if args.command.is_none() {
+                args.command = Some(tok);
+            } else {
+                return Err(format!("unexpected positional argument `{tok}`"));
+            }
+        }
+        Ok(args)
+    }
+
+    /// True iff the flag was present (with or without a value).
+    pub fn switch(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+
+    /// The flag's string value, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).and_then(|v| v.as_deref())
+    }
+
+    /// Parses the flag's value into `T`, or returns `default` if absent.
+    pub fn get_or<T: FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(None) => Err(format!("flag --{name} needs a value")),
+            Some(Some(v)) => v
+                .parse()
+                .map_err(|_| format!("flag --{name}: cannot parse `{v}`")),
+        }
+    }
+
+    /// Parses a required flag.
+    pub fn require<T: FromStr>(&self, name: &str) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Err(format!("missing required flag --{name}")),
+            Some(None) => Err(format!("flag --{name} needs a value")),
+            Some(Some(v)) => v
+                .parse()
+                .map_err(|_| format!("flag --{name}: cannot parse `{v}`")),
+        }
+    }
+
+    /// Rejects flags outside `allowed` (catches typos early).
+    pub fn check_known(&self, allowed: &[&str]) -> Result<(), String> {
+        for name in self.flags.keys() {
+            if !allowed.contains(&name.as_str()) {
+                return Err(format!(
+                    "unknown flag --{name}; allowed: {}",
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, String> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn command_and_flags() {
+        let a = parse("run --epsilon 0.6 --quick --input x.json").unwrap();
+        assert_eq!(a.command.as_deref(), Some("run"));
+        assert_eq!(a.get("input"), Some("x.json"));
+        assert!(a.switch("quick"));
+        assert_eq!(a.get_or("epsilon", 1.0).unwrap(), 0.6);
+        assert_eq!(a.get_or("seed", 7u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn flag_followed_by_flag_is_a_switch() {
+        let a = parse("gen --real --out f.json").unwrap();
+        assert!(a.switch("real"));
+        assert_eq!(a.get("real"), None);
+        assert_eq!(a.get("out"), Some("f.json"));
+    }
+
+    #[test]
+    fn duplicate_flag_rejected() {
+        assert!(parse("run --seed 1 --seed 2")
+            .unwrap_err()
+            .contains("twice"));
+    }
+
+    #[test]
+    fn stray_positional_rejected() {
+        assert!(parse("run extra").unwrap_err().contains("unexpected"));
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let a = parse("run").unwrap();
+        assert!(a.require::<f64>("epsilon").unwrap_err().contains("missing"));
+    }
+
+    #[test]
+    fn parse_error_reports_flag_name() {
+        let a = parse("run --seed abc").unwrap();
+        assert!(a.get_or("seed", 0u64).unwrap_err().contains("--seed"));
+    }
+
+    #[test]
+    fn unknown_flags_detected() {
+        let a = parse("run --sed 1").unwrap();
+        assert!(a.check_known(&["seed"]).unwrap_err().contains("--sed"));
+        assert!(a.check_known(&["sed"]).is_ok());
+    }
+
+    #[test]
+    fn no_command_is_none() {
+        let a = parse("").unwrap();
+        assert!(a.command.is_none());
+    }
+}

@@ -1,0 +1,429 @@
+//! The `pombm` subcommands.
+//!
+//! Every command is a pure function from parsed [`Args`] to a printable
+//! string (plus file side effects where documented), so the whole surface
+//! is unit-testable without spawning processes.
+
+use crate::args::Args;
+use pombm::{run, Algorithm, EpochConfig, PipelineConfig};
+use pombm_geom::{seeded_rng, Point};
+use pombm_hst::wire;
+use pombm_workload::{chengdu, synthetic, Instance, SyntheticParams};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+pombm — privacy-preserving online task assignment (ICDE'20 TBF)
+
+USAGE: pombm <command> [flags]
+
+COMMANDS:
+  gen        generate a workload instance as JSON
+             --tasks N --workers N [--mu F] [--sigma F] [--seed N]
+             [--real [--day N]] --out FILE
+  run        run one algorithm on an instance JSON and print metrics
+             --input FILE --algo NAME [--epsilon F] [--grid-side N]
+             [--seed N] [--json]
+             algorithms: lap-gr lap-hg tbf exp-hg tbf-rand tbf-chain random
+  obfuscate  demo the TBF mechanism on one location
+             --x F --y F [--epsilon F] [--grid-side N] [--samples N] [--seed N]
+  publish    build an HST over a grid and write the wire format
+             --grid-side N [--side F] [--seed N] --out FILE
+  inspect    decode a published HST file and print its shape
+             --input FILE
+  epochs     multi-epoch deployment simulation under a lifetime budget
+             --workers N [--epochs N] [--lifetime F] [--epsilon F] [--seed N]
+  help       this text
+";
+
+/// Dispatches a parsed command line.
+pub fn dispatch(args: &Args) -> Result<String, String> {
+    match args.command.as_deref() {
+        Some("gen") => gen(args),
+        Some("run") => run_cmd(args),
+        Some("obfuscate") => obfuscate(args),
+        Some("publish") => publish(args),
+        Some("inspect") => inspect(args),
+        Some("epochs") => epochs(args),
+        Some("help") | None => Ok(USAGE.to_string()),
+        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}
+
+/// `pombm gen`: write a synthetic or Chengdu-like instance to JSON.
+pub fn gen(args: &Args) -> Result<String, String> {
+    args.check_known(&[
+        "tasks", "workers", "mu", "sigma", "seed", "real", "day", "radii", "out",
+    ])?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let num_workers: usize = args.get_or("workers", SyntheticParams::default().num_workers)?;
+    let instance = if args.switch("real") {
+        let day: usize = args.get_or("day", 0)?;
+        let city = chengdu::CityModel::generate(seed);
+        if args.switch("radii") {
+            chengdu::generate_day_with_radii(&city, day, num_workers, seed)
+        } else {
+            chengdu::generate_day(&city, day, num_workers, seed)
+        }
+    } else {
+        let params = SyntheticParams {
+            num_tasks: args.get_or("tasks", SyntheticParams::default().num_tasks)?,
+            num_workers,
+            mu: args.get_or("mu", SyntheticParams::default().mu)?,
+            sigma: args.get_or("sigma", SyntheticParams::default().sigma)?,
+            ..SyntheticParams::default()
+        };
+        let mut rng = seeded_rng(seed, 0xC11);
+        if args.switch("radii") {
+            synthetic::generate_with_radii(&params, &mut rng)
+        } else {
+            synthetic::generate(&params, &mut rng)
+        }
+    };
+    let out: String = args.require("out")?;
+    write_instance(&instance, Path::new(&out))?;
+    Ok(format!(
+        "wrote instance: {} tasks, {} workers -> {out}",
+        instance.num_tasks(),
+        instance.num_workers()
+    ))
+}
+
+/// `pombm run`: execute one pipeline on an instance file.
+pub fn run_cmd(args: &Args) -> Result<String, String> {
+    args.check_known(&[
+        "input",
+        "algo",
+        "epsilon",
+        "grid-side",
+        "seed",
+        "json",
+        "scan",
+    ])?;
+    let input: String = args.require("input")?;
+    let instance = read_instance(Path::new(&input))?;
+    let algo = parse_algorithm(&args.require::<String>("algo")?)?;
+    let config = PipelineConfig {
+        epsilon: args.get_or("epsilon", 0.6)?,
+        grid_side: args.get_or("grid-side", 64)?,
+        engine: if args.switch("scan") {
+            pombm_matching::HstGreedyEngine::Scan
+        } else {
+            pombm_matching::HstGreedyEngine::Indexed
+        },
+        euclid_cells: 32,
+        seed: args.get_or("seed", 0)?,
+    };
+    let result = run(algo, &instance, &config, 0);
+    let m = &result.metrics;
+    if args.switch("json") {
+        serde_json::to_string_pretty(m).map_err(|e| e.to_string())
+    } else {
+        let mut out = String::new();
+        let _ = writeln!(out, "algorithm:       {}", algo.label());
+        let _ = writeln!(out, "matching size:   {}", m.matching_size);
+        let _ = writeln!(out, "total distance:  {:.3}", m.total_distance);
+        let _ = writeln!(out, "assign time:     {:?}", m.assign_time);
+        let _ = writeln!(out, "obfuscation:     {:?}", m.obfuscation_time);
+        let _ = writeln!(out, "setup (HST):     {:?}", m.setup_time);
+        let _ = writeln!(out, "avg latency:     {:?}", m.avg_task_latency());
+        Ok(out)
+    }
+}
+
+/// `pombm obfuscate`: show where the TBF mechanism sends one location.
+pub fn obfuscate(args: &Args) -> Result<String, String> {
+    args.check_known(&["x", "y", "epsilon", "grid-side", "samples", "side", "seed"])?;
+    let x: f64 = args.require("x")?;
+    let y: f64 = args.require("y")?;
+    let side: f64 = args.get_or("side", 200.0)?;
+    let grid_side: usize = args.get_or("grid-side", 32)?;
+    let samples: usize = args.get_or("samples", 5)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let epsilon = pombm_privacy::Epsilon::new(args.get_or("epsilon", 0.6)?);
+
+    let location = Point::new(x, y);
+    let server = pombm::Server::new(pombm_geom::Rect::square(side), grid_side, seed);
+    if !server.region().contains(&location) {
+        return Err(format!(
+            "location ({x}, {y}) outside the {side}x{side} workspace"
+        ));
+    }
+    let mech = pombm_privacy::HstMechanism::new(server.hst(), epsilon);
+    let leaf = server.snap(&location);
+    let snapped = server
+        .leaf_location(leaf)
+        .expect("snapped leaf is always real");
+    let mut rng = seeded_rng(seed, 0x0BF);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "true location ({x}, {y}) snaps to predefined point ({}, {}) [leaf {}]",
+        snapped.x, snapped.y, leaf
+    );
+    for i in 0..samples {
+        let z = mech.obfuscate(server.hst(), leaf, &mut rng);
+        let rep = server.hst().representative_point(z);
+        let _ = writeln!(
+            out,
+            "sample {i}: leaf {z}{} near ({:.1}, {:.1}), tree distance {:.2}",
+            if server.hst().is_real(z) {
+                ""
+            } else {
+                " (fake)"
+            },
+            rep.x,
+            rep.y,
+            server.hst().tree_dist(leaf, z),
+        );
+    }
+    Ok(out)
+}
+
+/// `pombm publish`: build an HST and write the paper's compact wire format.
+pub fn publish(args: &Args) -> Result<String, String> {
+    args.check_known(&["grid-side", "side", "seed", "out"])?;
+    let grid_side: usize = args.get_or("grid-side", 32)?;
+    let side: f64 = args.get_or("side", 200.0)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let out: String = args.require("out")?;
+    let server = pombm::Server::new(pombm_geom::Rect::square(side), grid_side, seed);
+    let bytes = wire::encode(server.hst());
+    let len = bytes.len();
+    std::fs::write(&out, &bytes).map_err(|e| format!("write {out}: {e}"))?;
+    Ok(format!(
+        "published HST over N = {} points (depth {}, branching {}): {len} bytes -> {out}",
+        server.num_predefined(),
+        server.hst().depth(),
+        server.hst().branching(),
+    ))
+}
+
+/// `pombm inspect`: decode a published HST file.
+pub fn inspect(args: &Args) -> Result<String, String> {
+    args.check_known(&["input"])?;
+    let input: String = args.require("input")?;
+    let data = std::fs::read(&input).map_err(|e| format!("read {input}: {e}"))?;
+    let published =
+        wire::decode(bytes::Bytes::from(data)).map_err(|e| format!("decode {input}: {e}"))?;
+    Ok(format!(
+        "valid published HST: N = {} predefined points, depth {}, branching {}, scale {:.6}",
+        published.points.len(),
+        published.ctx.depth,
+        published.ctx.branching,
+        published.scale,
+    ))
+}
+
+/// `pombm epochs`: the multi-epoch budget simulation as a console table.
+pub fn epochs(args: &Args) -> Result<String, String> {
+    args.check_known(&[
+        "workers", "epochs", "lifetime", "epsilon", "drift", "tasks", "seed",
+    ])?;
+    let num_workers: usize = args.get_or("workers", 500)?;
+    let config = EpochConfig {
+        num_epochs: args.get_or("epochs", 10)?,
+        lifetime_epsilon: args.get_or("lifetime", 3.0)?,
+        epoch_epsilon: args.get_or("epsilon", 0.6)?,
+        worker_drift: args.get_or("drift", 10.0)?,
+        tasks_per_epoch: args.get_or("tasks", 200)?,
+        seed: args.get_or("seed", 0)?,
+        ..EpochConfig::default()
+    };
+    let report = pombm::run_epochs(num_workers, &config);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>5} {:>7} {:>7} {:>11} {:>14} {:>6}",
+        "epoch", "fresh", "stale", "staleness", "total_dist", "pairs"
+    );
+    for m in &report.per_epoch {
+        let _ = writeln!(
+            out,
+            "{:>5} {:>7} {:>7} {:>11.2} {:>14.1} {:>6}",
+            m.epoch,
+            m.fresh_reports,
+            m.stale_reports,
+            m.avg_report_staleness,
+            m.total_distance,
+            m.matching_size
+        );
+    }
+    let _ = writeln!(
+        out,
+        "degradation (last/first): {:.2}x; worker budget spent: {:.1}",
+        report.degradation(),
+        report.worker_budget_spent
+    );
+    Ok(out)
+}
+
+fn parse_algorithm(name: &str) -> Result<Algorithm, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "lap-gr" | "lapgr" => Ok(Algorithm::LapGr),
+        "lap-hg" | "laphg" => Ok(Algorithm::LapHg),
+        "tbf" => Ok(Algorithm::Tbf),
+        "exp-hg" | "exphg" => Ok(Algorithm::ExpHg),
+        "tbf-rand" | "tbfrand" => Ok(Algorithm::TbfRand),
+        "tbf-chain" | "tbfchain" => Ok(Algorithm::TbfChain),
+        "random" => Ok(Algorithm::RandomFloor),
+        other => Err(format!(
+            "unknown algorithm `{other}`; expected one of \
+             lap-gr lap-hg tbf exp-hg tbf-rand tbf-chain random"
+        )),
+    }
+}
+
+fn write_instance(instance: &Instance, path: &Path) -> Result<(), String> {
+    let json = serde_json::to_string(instance).map_err(|e| e.to_string())?;
+    std::fs::write(path, json).map_err(|e| format!("write {}: {e}", path.display()))
+}
+
+fn read_instance(path: &Path) -> Result<Instance, String> {
+    let data =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let instance: Instance =
+        serde_json::from_str(&data).map_err(|e| format!("parse {}: {e}", path.display()))?;
+    instance.validate()?;
+    Ok(instance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("pombm-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn help_lists_all_commands() {
+        let text = dispatch(&args("help")).unwrap();
+        for cmd in ["gen", "run", "obfuscate", "publish", "inspect", "epochs"] {
+            assert!(text.contains(cmd), "usage missing {cmd}");
+        }
+        assert_eq!(dispatch(&args("")).unwrap(), USAGE);
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(dispatch(&args("frobnicate"))
+            .unwrap_err()
+            .contains("frobnicate"));
+    }
+
+    #[test]
+    fn gen_then_run_roundtrip() {
+        let path = tmp("roundtrip.json");
+        let msg = gen(&args(&format!(
+            "gen --tasks 40 --workers 70 --seed 3 --out {}",
+            path.display()
+        )))
+        .unwrap();
+        assert!(msg.contains("40 tasks"));
+        for algo in ["tbf", "lap-gr", "lap-hg", "exp-hg", "random"] {
+            let out = run_cmd(&args(&format!(
+                "run --input {} --algo {algo} --grid-side 16",
+                path.display()
+            )))
+            .unwrap();
+            assert!(out.contains("matching size:   40"), "{algo}: {out}");
+        }
+    }
+
+    #[test]
+    fn run_json_output_parses() {
+        let path = tmp("json-out.json");
+        gen(&args(&format!(
+            "gen --tasks 20 --workers 30 --out {}",
+            path.display()
+        )))
+        .unwrap();
+        let out = run_cmd(&args(&format!(
+            "run --input {} --algo tbf --grid-side 16 --json",
+            path.display()
+        )))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["matching_size"], 20);
+    }
+
+    #[test]
+    fn gen_real_writes_chengdu_day() {
+        let path = tmp("real.json");
+        let msg = gen(&args(&format!(
+            "gen --real --day 2 --workers 300 --out {}",
+            path.display()
+        )))
+        .unwrap();
+        assert!(msg.contains("300 workers"));
+        let instance = read_instance(&path).unwrap();
+        assert!(instance.num_tasks() > 1000, "a Chengdu day has 4k+ tasks");
+    }
+
+    #[test]
+    fn obfuscate_prints_samples() {
+        let out = obfuscate(&args(
+            "obfuscate --x 50 --y 50 --grid-side 8 --samples 3 --epsilon 0.5",
+        ))
+        .unwrap();
+        assert_eq!(out.matches("sample ").count(), 3);
+        assert!(out.contains("snaps to predefined point"));
+    }
+
+    #[test]
+    fn obfuscate_rejects_out_of_region() {
+        let err = obfuscate(&args("obfuscate --x 500 --y 0")).unwrap_err();
+        assert!(err.contains("outside"));
+    }
+
+    #[test]
+    fn publish_then_inspect_roundtrip() {
+        let path = tmp("tree.hst");
+        let msg = publish(&args(&format!(
+            "publish --grid-side 8 --seed 5 --out {}",
+            path.display()
+        )))
+        .unwrap();
+        assert!(msg.contains("N = 64"));
+        let info = inspect(&args(&format!("inspect --input {}", path.display()))).unwrap();
+        assert!(info.contains("N = 64"), "{info}");
+    }
+
+    #[test]
+    fn inspect_rejects_corrupt_file() {
+        let path = tmp("corrupt.hst");
+        std::fs::write(&path, b"not a tree").unwrap();
+        assert!(inspect(&args(&format!("inspect --input {}", path.display()))).is_err());
+    }
+
+    #[test]
+    fn epochs_prints_each_epoch() {
+        let out = epochs(&args(
+            "epochs --workers 60 --epochs 4 --lifetime 1.2 --tasks 30",
+        ))
+        .unwrap();
+        assert_eq!(out.lines().count(), 4 + 2, "{out}");
+        assert!(out.contains("degradation"));
+    }
+
+    #[test]
+    fn algorithm_names_parse() {
+        assert_eq!(parse_algorithm("TBF").unwrap(), Algorithm::Tbf);
+        assert_eq!(parse_algorithm("tbf-chain").unwrap(), Algorithm::TbfChain);
+        assert!(parse_algorithm("nope").is_err());
+    }
+
+    #[test]
+    fn typo_flags_are_rejected() {
+        let err = run_cmd(&args("run --inptu x.json --algo tbf")).unwrap_err();
+        assert!(err.contains("--inptu"));
+    }
+}

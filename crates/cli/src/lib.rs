@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! # pombm-cli — command-line interface to the POMBM library
+//!
+//! A user-facing binary covering the full lifecycle of the paper's
+//! workflow:
+//!
+//! ```text
+//! pombm gen --tasks 3000 --workers 5000 --out instance.json
+//! pombm publish --grid-side 32 --out tree.hst
+//! pombm obfuscate --x 50 --y 120 --epsilon 0.6
+//! pombm run --input instance.json --algo tbf --epsilon 0.6
+//! pombm epochs --workers 1000 --lifetime 3.0
+//! ```
+//!
+//! All command logic lives in [`commands`] as pure functions so it is
+//! unit-tested in-process; `main.rs` is a thin shell.
+
+pub mod args;
+pub mod commands;
+
+pub use args::Args;
+pub use commands::{dispatch, USAGE};

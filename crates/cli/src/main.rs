@@ -1,0 +1,24 @@
+//! Thin shell around [`pombm_cli::dispatch`].
+
+fn main() {
+    let args = match pombm_cli::Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    match pombm_cli::dispatch(&args) {
+        Ok(out) => {
+            if out.ends_with('\n') {
+                print!("{out}");
+            } else {
+                println!("{out}");
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Event-driven simulation: task assignment over a shifting worker fleet.
+//!
+//! Extends the paper's static model (all workers registered upfront) to a
+//! timeline where workers start and end shifts while tasks stream in:
+//!
+//! * **shift start** — the worker obfuscates its current location (TBF
+//!   mechanism) and registers; one ε charge per shift;
+//! * **shift end** — an unassigned worker withdraws from the pool;
+//!   a worker already assigned keeps its task (departure is a no-op);
+//! * **task arrival** — the server assigns the tree-nearest available
+//!   worker (Alg. 4 on the dynamic pool), or *drops* the task if the pool
+//!   is momentarily empty — the paper's matching-size objective shows up
+//!   here as the drop rate.
+//!
+//! Events are replayed in time order with a deterministic tie order
+//! (arrivals before departures before tasks at equal timestamps, then by
+//! id) so runs are reproducible.
+
+use crate::server::Server;
+use pombm_geom::seeded_rng;
+use pombm_matching::dynamic::DynamicHstGreedy;
+use pombm_privacy::{Epsilon, HstMechanism};
+use pombm_workload::shifts::ShiftPlan;
+use pombm_workload::Instance;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a dynamic-fleet simulation.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DynamicConfig {
+    /// Privacy budget per report.
+    pub epsilon: f64,
+    /// Predefined-point grid side.
+    pub grid_side: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for DynamicConfig {
+    fn default() -> Self {
+        DynamicConfig {
+            epsilon: 0.6,
+            grid_side: 32,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of a dynamic simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DynamicOutcome {
+    /// Assigned `(task index, worker index)` pairs in assignment order.
+    pub pairs: Vec<(usize, usize)>,
+    /// Tasks that arrived while no worker was available.
+    pub dropped_tasks: usize,
+    /// Total true-location travel distance of the assigned pairs.
+    pub total_distance: f64,
+    /// Largest number of simultaneously available workers observed.
+    pub peak_available: usize,
+}
+
+impl DynamicOutcome {
+    /// Assigned fraction of all arrived tasks.
+    pub fn assignment_rate(&self) -> f64 {
+        let total = self.pairs.len() + self.dropped_tasks;
+        if total == 0 {
+            return 1.0;
+        }
+        self.pairs.len() as f64 / total as f64
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    // Variant order is the tie order at equal timestamps.
+    ShiftStart(usize),
+    ShiftEnd(usize),
+    Task(usize),
+}
+
+/// Replays `plan` against the tasks of `instance` (task `i` arrives at
+/// `task_times[i]`) and returns the assignment outcome.
+///
+/// # Panics
+///
+/// Panics if `task_times` and the instance's task count differ, or the
+/// plan's worker count does not match the instance.
+pub fn run_dynamic(
+    instance: &Instance,
+    task_times: &[f64],
+    plan: &ShiftPlan,
+    config: &DynamicConfig,
+) -> DynamicOutcome {
+    assert_eq!(
+        task_times.len(),
+        instance.num_tasks(),
+        "one arrival time per task"
+    );
+    assert_eq!(
+        plan.shifts.len(),
+        instance.num_workers(),
+        "one shift per worker"
+    );
+
+    let server = Server::new(instance.region, config.grid_side, config.seed ^ 0xD1CE);
+    let epsilon = Epsilon::new(config.epsilon);
+    let mechanism = HstMechanism::new(server.hst(), epsilon);
+    let mut rng = seeded_rng(config.seed, 0xD1CE_0001);
+
+    // Build the unified timeline.
+    let mut events: Vec<(f64, u8, usize, EventKind)> = Vec::new();
+    for s in &plan.shifts {
+        events.push((s.start, 0, s.worker, EventKind::ShiftStart(s.worker)));
+        events.push((s.end, 1, s.worker, EventKind::ShiftEnd(s.worker)));
+    }
+    for (t, &at) in task_times.iter().enumerate() {
+        events.push((at, 2, t, EventKind::Task(t)));
+    }
+    events.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .expect("finite timestamps")
+            .then(a.1.cmp(&b.1))
+            .then(a.2.cmp(&b.2))
+    });
+
+    let mut pool = DynamicHstGreedy::new(server.hst().ctx());
+    let mut pairs = Vec::new();
+    let mut dropped = 0usize;
+    let mut peak = 0usize;
+
+    for &(_, _, _, kind) in &events {
+        match kind {
+            EventKind::ShiftStart(w) => {
+                let leaf =
+                    mechanism.obfuscate(server.hst(), server.snap(&instance.workers[w]), &mut rng);
+                pool.add(w as u64, leaf);
+                peak = peak.max(pool.available());
+            }
+            EventKind::ShiftEnd(w) => {
+                // No-op if the worker was already assigned.
+                let _ = pool.withdraw(w as u64);
+            }
+            EventKind::Task(t) => {
+                let reported =
+                    mechanism.obfuscate(server.hst(), server.snap(&instance.tasks[t]), &mut rng);
+                match pool.assign(reported) {
+                    Some(w) => pairs.push((t, w as usize)),
+                    None => dropped += 1,
+                }
+            }
+        }
+    }
+
+    let total_distance = pairs
+        .iter()
+        .map(|&(t, w)| instance.tasks[t].dist(&instance.workers[w]))
+        .sum();
+    DynamicOutcome {
+        pairs,
+        dropped_tasks: dropped,
+        total_distance,
+        peak_available: peak,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::ArrivalProcess;
+    use pombm_workload::{synthetic, SyntheticParams};
+
+    fn instance(tasks: usize, workers: usize, seed: u64) -> Instance {
+        let params = SyntheticParams {
+            num_tasks: tasks,
+            num_workers: workers,
+            ..SyntheticParams::default()
+        };
+        synthetic::generate(&params, &mut seeded_rng(seed, 0))
+    }
+
+    fn uniform_times(n: usize, horizon: f64, seed: u64) -> Vec<f64> {
+        let mut rng = seeded_rng(seed, 99);
+        ArrivalProcess::Uniform {
+            window_secs: horizon,
+        }
+        .timestamps(n, &mut rng)
+    }
+
+    #[test]
+    fn always_on_fleet_drops_nothing() {
+        let inst = instance(60, 120, 1);
+        // Shifts end (exclusively) at the horizon and departures process
+        // before equal-timestamp tasks, so arrivals must stay strictly
+        // inside the window.
+        let times = uniform_times(60, 100.0, 1);
+        let plan = ShiftPlan::always_on(120, 101.0);
+        let out = run_dynamic(&inst, &times, &plan, &DynamicConfig::default());
+        assert_eq!(out.dropped_tasks, 0);
+        assert_eq!(out.pairs.len(), 60);
+        assert_eq!(out.assignment_rate(), 1.0);
+        assert!(out.total_distance > 0.0);
+        assert_eq!(out.peak_available, 120, "all workers registered at t=0");
+    }
+
+    #[test]
+    fn sparse_shifts_drop_tasks() {
+        // Short shifts with low coverage: some tasks must find an empty
+        // pool.
+        let inst = instance(100, 40, 2);
+        let times = uniform_times(100, 1000.0, 2);
+        let plan = ShiftPlan::uniform(40, 1000.0, 5.0, 15.0, &mut seeded_rng(3, 0));
+        let out = run_dynamic(&inst, &times, &plan, &DynamicConfig::default());
+        assert!(
+            out.dropped_tasks > 0,
+            "expected drops under sparse coverage"
+        );
+        assert!(out.assignment_rate() < 1.0);
+        assert_eq!(out.pairs.len() + out.dropped_tasks, 100);
+    }
+
+    #[test]
+    fn no_worker_serves_twice_and_only_on_shift_workers_serve() {
+        let inst = instance(80, 60, 3);
+        let times = uniform_times(80, 200.0, 3);
+        let plan = ShiftPlan::uniform(60, 200.0, 50.0, 100.0, &mut seeded_rng(4, 0));
+        let out = run_dynamic(&inst, &times, &plan, &DynamicConfig::default());
+        let mut seen = std::collections::HashSet::new();
+        for &(_, w) in &out.pairs {
+            assert!(seen.insert(w), "worker {w} assigned twice");
+        }
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let inst = instance(50, 50, 5);
+        let times = uniform_times(50, 100.0, 5);
+        let plan = ShiftPlan::uniform(50, 100.0, 20.0, 60.0, &mut seeded_rng(6, 0));
+        let a = run_dynamic(&inst, &times, &plan, &DynamicConfig::default());
+        let b = run_dynamic(&inst, &times, &plan, &DynamicConfig::default());
+        assert_eq!(a.pairs, b.pairs);
+        assert_eq!(a.total_distance, b.total_distance);
+    }
+
+    #[test]
+    fn higher_coverage_assigns_more() {
+        let inst = instance(120, 50, 7);
+        let times = uniform_times(120, 500.0, 7);
+        let short = ShiftPlan::uniform(50, 500.0, 10.0, 20.0, &mut seeded_rng(8, 0));
+        let long = ShiftPlan::uniform(50, 500.0, 200.0, 400.0, &mut seeded_rng(8, 0));
+        let cfg = DynamicConfig::default();
+        let a = run_dynamic(&inst, &times, &short, &cfg);
+        let b = run_dynamic(&inst, &times, &long, &cfg);
+        assert!(
+            b.pairs.len() > a.pairs.len(),
+            "longer shifts ({}) should assign more than shorter ({})",
+            b.pairs.len(),
+            a.pairs.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one arrival time per task")]
+    fn mismatched_times_rejected() {
+        let inst = instance(10, 10, 9);
+        let plan = ShiftPlan::always_on(10, 10.0);
+        let _ = run_dynamic(&inst, &[1.0], &plan, &DynamicConfig::default());
+    }
+}

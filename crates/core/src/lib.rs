@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+
+//! # pombm — Privacy-preserving Online Minimum Bipartite Matching
+//!
+//! A full reproduction of *"Differentially Private Online Task Assignment in
+//! Spatial Crowdsourcing: A Tree-based Approach"* (Tao, Tong, Zhou, Shi,
+//! Chen, Xu — ICDE 2020).
+//!
+//! The paper's setting: workers and tasks in the plane must report their
+//! locations to an **untrusted** crowdsourcing server for task assignment.
+//! A privacy mechanism obfuscates every location before it is reported; the
+//! server then runs online minimum bipartite matching on the obfuscated
+//! data. The paper's contribution (**TBF**) obfuscates over a
+//! Hierarchically Well-Separated Tree, which is ε-Geo-Indistinguishable
+//! *and* admits a matching algorithm with a provable competitive ratio.
+//!
+//! This crate wires the substrates ([`pombm_hst`], [`pombm_privacy`],
+//! [`pombm_matching`], [`pombm_workload`]) into the paper's four-step
+//! workflow (Fig. 1):
+//!
+//! 1. the server builds and publishes an HST over predefined points
+//!    ([`Server`]);
+//! 2. workers obfuscate their mapped tree nodes and register;
+//! 3. each arriving task obfuscates its node and submits;
+//! 4. the server assigns a worker by greedy matching on the tree.
+//!
+//! # Quick start
+//!
+//! ```
+//! use pombm::{run, Algorithm, PipelineConfig};
+//! use pombm_workload::{synthetic, SyntheticParams};
+//! use pombm_geom::seeded_rng;
+//!
+//! let params = SyntheticParams { num_tasks: 50, num_workers: 80, ..Default::default() };
+//! let instance = synthetic::generate(&params, &mut seeded_rng(1, 0));
+//! let config = PipelineConfig { epsilon: 0.6, ..Default::default() };
+//!
+//! let result = run(Algorithm::Tbf, &instance, &config, 1);
+//! assert_eq!(result.matching.size(), 50);
+//! println!("total travel distance: {:.1}", result.metrics.total_distance);
+//! ```
+
+pub mod arrivals;
+pub mod case_study;
+pub mod dynamic;
+pub mod epochs;
+pub mod pipeline;
+pub mod ratio;
+pub mod server;
+
+pub use arrivals::{simulate_stream, ArrivalProcess, StreamReport};
+pub use case_study::{run_case_study, CaseStudyAlgorithm, CaseStudyResult};
+pub use dynamic::{run_dynamic, DynamicConfig, DynamicOutcome};
+pub use epochs::{run_epochs, EpochConfig, EpochMetrics, EpochReport};
+pub use pipeline::{run, run_with_server, Algorithm, PipelineConfig, RunMetrics, RunResult};
+pub use ratio::empirical_competitive_ratio;
+pub use server::{Server, TreeConstruction};

@@ -1,0 +1,604 @@
+//! End-to-end pipelines: the compared algorithms of Sec. IV.
+
+use crate::server::Server;
+use pombm_geom::{seeded_rng, Point};
+use pombm_hst::LeafCode;
+use pombm_matching::{
+    ChainMatcher, EuclideanGreedy, HstGreedy, HstGreedyEngine, Matching, RandomAssign,
+    RandomizedGreedy,
+};
+use pombm_privacy::{Epsilon, ExponentialMechanism, HstMechanism, PlanarLaplace};
+use pombm_workload::Instance;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// The compared algorithms of the main evaluation (Sec. IV-A), plus the
+/// extension/ablation variants this repository adds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Lap-GR: planar Laplace mechanism + Euclidean greedy.
+    LapGr,
+    /// Lap-HG: planar Laplace mechanism + HST-greedy (locations snapped to
+    /// the tree after noising).
+    LapHg,
+    /// TBF: the paper's tree-based framework (Alg. 3 mechanism + Alg. 4
+    /// matching).
+    Tbf,
+    /// Exp-HG: exponential mechanism over the predefined points + HST-greedy.
+    /// Same output domain and matcher as TBF but no tree in the *mechanism*
+    /// — the ablation separating "discretize" from "use the tree".
+    ExpHg,
+    /// TBF-Rand: the TBF mechanism + randomized greedy (uniform choice
+    /// among tree-nearest workers, Meyerson et al. style).
+    TbfRand,
+    /// TBF-Chain: the TBF mechanism + the chain-reassignment matcher of
+    /// Bansal et al.
+    TbfChain,
+    /// Random: location-blind uniform assignment on true arrivals; the
+    /// sanity floor (no mechanism — nothing location-dependent is reported).
+    RandomFloor,
+}
+
+impl Algorithm {
+    /// The paper's three algorithms, in its plotting order.
+    pub const ALL: [Algorithm; 3] = [Algorithm::LapGr, Algorithm::LapHg, Algorithm::Tbf];
+
+    /// The extension/ablation variants added by this repository.
+    pub const EXTENDED: [Algorithm; 4] = [
+        Algorithm::ExpHg,
+        Algorithm::TbfRand,
+        Algorithm::TbfChain,
+        Algorithm::RandomFloor,
+    ];
+
+    /// The label used in the paper's figures (or our extension labels).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Algorithm::LapGr => "Lap-GR",
+            Algorithm::LapHg => "Lap-HG",
+            Algorithm::Tbf => "TBF",
+            Algorithm::ExpHg => "Exp-HG",
+            Algorithm::TbfRand => "TBF-Rand",
+            Algorithm::TbfChain => "TBF-Chain",
+            Algorithm::RandomFloor => "Random",
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Pipeline configuration shared by all algorithms of one experiment.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Privacy budget ε (per workspace unit).
+    pub epsilon: f64,
+    /// Predefined-point grid side; `N = grid_side²`.
+    pub grid_side: usize,
+    /// Nearest-worker engine for the HST matchers.
+    pub engine: HstGreedyEngine,
+    /// Bucket-grid resolution for the Euclidean matcher (cells per axis);
+    /// 0 disables the index (paper-faithful linear scan).
+    pub euclid_cells: usize,
+    /// Base seed; mechanisms, tree construction and arrival shuffling derive
+    /// independent streams from it.
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            epsilon: 0.6,
+            grid_side: 32,
+            engine: HstGreedyEngine::Scan,
+            euclid_cells: 0,
+            seed: 0,
+        }
+    }
+}
+
+/// Effectiveness and efficiency metrics of one run, mirroring the paper's
+/// reported quantities.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Total travel distance over *true* locations (Figs. 6a-d, 7a-d).
+    pub total_distance: f64,
+    /// Number of assigned pairs.
+    pub matching_size: usize,
+    /// Wall-clock time spent assigning tasks — "from receiving a task to the
+    /// completion of the assignment" (Figs. 6e-h, 7e-h).
+    pub assign_time: Duration,
+    /// Wall-clock time spent in the privacy mechanism (not part of the
+    /// paper's running-time metric; reported separately).
+    pub obfuscation_time: Duration,
+    /// Wall-clock time spent building server artifacts (HST construction);
+    /// zero when a prebuilt server is supplied.
+    pub setup_time: Duration,
+}
+
+impl RunMetrics {
+    /// Mean assignment latency per task.
+    pub fn avg_task_latency(&self) -> Duration {
+        if self.matching_size == 0 {
+            Duration::ZERO
+        } else {
+            self.assign_time / self.matching_size as u32
+        }
+    }
+}
+
+/// A completed pipeline run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The produced assignment (task index, worker index).
+    pub matching: Matching,
+    /// Collected metrics.
+    pub metrics: RunMetrics,
+}
+
+/// Runs `algorithm` on `instance`, building the server artifacts internally.
+///
+/// `repetition` decorrelates the randomness of repeated runs: the paper
+/// repeats every experiment 10 times and reports averages.
+pub fn run(
+    algorithm: Algorithm,
+    instance: &Instance,
+    config: &PipelineConfig,
+    repetition: u64,
+) -> RunResult {
+    let needs_tree = matches!(
+        algorithm,
+        Algorithm::LapHg
+            | Algorithm::Tbf
+            | Algorithm::ExpHg
+            | Algorithm::TbfRand
+            | Algorithm::TbfChain
+    );
+    let setup_start = Instant::now();
+    let server = needs_tree.then(|| {
+        Server::new(
+            instance.region,
+            config.grid_side,
+            config.seed ^ (repetition.wrapping_mul(0x9E37_79B9)),
+        )
+    });
+    let setup_time = setup_start.elapsed();
+    let mut result = run_with_server(algorithm, instance, config, server.as_ref(), repetition);
+    result.metrics.setup_time = setup_time;
+    result
+}
+
+/// Runs `algorithm` against a prebuilt [`Server`] (required for
+/// [`Algorithm::LapHg`] and [`Algorithm::Tbf`], ignored for
+/// [`Algorithm::LapGr`]).
+pub fn run_with_server(
+    algorithm: Algorithm,
+    instance: &Instance,
+    config: &PipelineConfig,
+    server: Option<&Server>,
+    repetition: u64,
+) -> RunResult {
+    let epsilon = Epsilon::new(config.epsilon);
+    let mut mech_rng = seeded_rng(config.seed.wrapping_add(repetition), 0x0BF5);
+
+    match algorithm {
+        Algorithm::LapGr => {
+            let laplace = PlanarLaplace::new(epsilon);
+            let obf_start = Instant::now();
+            let reported_workers: Vec<Point> = instance
+                .workers
+                .iter()
+                .map(|w| laplace.obfuscate(w, &mut mech_rng))
+                .collect();
+            let reported_tasks: Vec<Point> = instance
+                .tasks
+                .iter()
+                .map(|t| laplace.obfuscate(t, &mut mech_rng))
+                .collect();
+            let obfuscation_time = obf_start.elapsed();
+
+            let mut matcher = if config.euclid_cells > 0 {
+                EuclideanGreedy::with_cell_index(
+                    reported_workers,
+                    instance.region,
+                    config.euclid_cells,
+                )
+            } else {
+                EuclideanGreedy::new(reported_workers)
+            };
+            let assign_start = Instant::now();
+            let mut matching = Matching::new();
+            for (t_idx, t) in reported_tasks.iter().enumerate() {
+                if let Some(w_idx) = matcher.assign(t) {
+                    matching.pairs.push((t_idx, w_idx));
+                }
+            }
+            let assign_time = assign_start.elapsed();
+            finish(matching, instance, assign_time, obfuscation_time)
+        }
+        Algorithm::LapHg => {
+            let server = server.expect("Lap-HG needs a server (HST)");
+            let laplace = PlanarLaplace::new(epsilon);
+            let obf_start = Instant::now();
+            // Noise in the plane, then snap onto the published tree.
+            let reported_workers: Vec<LeafCode> = instance
+                .workers
+                .iter()
+                .map(|w| server.snap(&laplace.obfuscate(w, &mut mech_rng)))
+                .collect();
+            let reported_tasks: Vec<LeafCode> = instance
+                .tasks
+                .iter()
+                .map(|t| server.snap(&laplace.obfuscate(t, &mut mech_rng)))
+                .collect();
+            let obfuscation_time = obf_start.elapsed();
+            run_hst_greedy(
+                instance,
+                server,
+                config,
+                reported_workers,
+                reported_tasks,
+                obfuscation_time,
+            )
+        }
+        Algorithm::Tbf => {
+            let server = server.expect("TBF needs a server (HST)");
+            let mechanism = HstMechanism::new(server.hst(), epsilon);
+            let obf_start = Instant::now();
+            let reported_workers: Vec<LeafCode> = instance
+                .workers
+                .iter()
+                .map(|w| mechanism.obfuscate(server.hst(), server.snap(w), &mut mech_rng))
+                .collect();
+            let reported_tasks: Vec<LeafCode> = instance
+                .tasks
+                .iter()
+                .map(|t| mechanism.obfuscate(server.hst(), server.snap(t), &mut mech_rng))
+                .collect();
+            let obfuscation_time = obf_start.elapsed();
+            run_hst_greedy(
+                instance,
+                server,
+                config,
+                reported_workers,
+                reported_tasks,
+                obfuscation_time,
+            )
+        }
+        Algorithm::ExpHg => {
+            let server = server.expect("Exp-HG needs a server (HST + grid)");
+            let mut mechanism = ExponentialMechanism::new(server.hst().points().clone(), epsilon);
+            let obf_start = Instant::now();
+            // Snap to the nearest predefined point, obfuscate among the
+            // predefined points, then take that point's leaf on the tree.
+            let grid = server.grid();
+            let hst = server.hst();
+            let reported_workers: Vec<LeafCode> = instance
+                .workers
+                .iter()
+                .map(|w| hst.leaf_of(mechanism.obfuscate(grid.nearest(w), &mut mech_rng)))
+                .collect();
+            let reported_tasks: Vec<LeafCode> = instance
+                .tasks
+                .iter()
+                .map(|t| hst.leaf_of(mechanism.obfuscate(grid.nearest(t), &mut mech_rng)))
+                .collect();
+            let obfuscation_time = obf_start.elapsed();
+            run_hst_greedy(
+                instance,
+                server,
+                config,
+                reported_workers,
+                reported_tasks,
+                obfuscation_time,
+            )
+        }
+        Algorithm::TbfRand | Algorithm::TbfChain => {
+            let server = server.expect("TBF variants need a server (HST)");
+            let mechanism = HstMechanism::new(server.hst(), epsilon);
+            let obf_start = Instant::now();
+            let reported_workers: Vec<LeafCode> = instance
+                .workers
+                .iter()
+                .map(|w| mechanism.obfuscate(server.hst(), server.snap(w), &mut mech_rng))
+                .collect();
+            let reported_tasks: Vec<LeafCode> = instance
+                .tasks
+                .iter()
+                .map(|t| mechanism.obfuscate(server.hst(), server.snap(t), &mut mech_rng))
+                .collect();
+            let obfuscation_time = obf_start.elapsed();
+
+            let ctx = server.hst().ctx();
+            let assign_start = Instant::now();
+            let mut matching = Matching::new();
+            match algorithm {
+                Algorithm::TbfRand => {
+                    let mut matcher = RandomizedGreedy::new(ctx, reported_workers);
+                    let mut tie_rng = seeded_rng(config.seed.wrapping_add(repetition), 0x7A9D);
+                    for (t_idx, &t) in reported_tasks.iter().enumerate() {
+                        if let Some(w_idx) = matcher.assign(t, &mut tie_rng) {
+                            matching.pairs.push((t_idx, w_idx));
+                        }
+                    }
+                }
+                Algorithm::TbfChain => {
+                    let mut matcher = ChainMatcher::new(ctx, reported_workers);
+                    for (t_idx, &t) in reported_tasks.iter().enumerate() {
+                        if let Some(out) = matcher.assign(t) {
+                            matching.pairs.push((t_idx, out.worker));
+                        }
+                    }
+                }
+                _ => unreachable!(),
+            }
+            let assign_time = assign_start.elapsed();
+            finish(matching, instance, assign_time, obfuscation_time)
+        }
+        Algorithm::RandomFloor => {
+            // Nothing location-dependent is reported, so there is nothing
+            // to obfuscate; the floor is what assignment quality looks like
+            // with zero location signal.
+            let mut matcher = RandomAssign::new(instance.num_workers());
+            let assign_start = Instant::now();
+            let mut matching = Matching::new();
+            for t_idx in 0..instance.num_tasks() {
+                if let Some(w_idx) = matcher.assign(&mut mech_rng) {
+                    matching.pairs.push((t_idx, w_idx));
+                }
+            }
+            let assign_time = assign_start.elapsed();
+            finish(matching, instance, assign_time, Duration::ZERO)
+        }
+    }
+}
+
+fn run_hst_greedy(
+    instance: &Instance,
+    server: &Server,
+    config: &PipelineConfig,
+    reported_workers: Vec<LeafCode>,
+    reported_tasks: Vec<LeafCode>,
+    obfuscation_time: Duration,
+) -> RunResult {
+    let mut matcher = HstGreedy::new(server.hst().ctx(), reported_workers, config.engine);
+    let assign_start = Instant::now();
+    let mut matching = Matching::new();
+    for (t_idx, &t) in reported_tasks.iter().enumerate() {
+        if let Some(w_idx) = matcher.assign(t) {
+            matching.pairs.push((t_idx, w_idx));
+        }
+    }
+    let assign_time = assign_start.elapsed();
+    finish(matching, instance, assign_time, obfuscation_time)
+}
+
+fn finish(
+    matching: Matching,
+    instance: &Instance,
+    assign_time: Duration,
+    obfuscation_time: Duration,
+) -> RunResult {
+    debug_assert!(matching.is_valid());
+    let total_distance = matching.total_distance(&instance.tasks, &instance.workers);
+    let matching_size = matching.size();
+    RunResult {
+        matching,
+        metrics: RunMetrics {
+            total_distance,
+            matching_size,
+            assign_time,
+            obfuscation_time,
+            setup_time: Duration::ZERO,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pombm_workload::{synthetic, SyntheticParams};
+
+    fn small_instance(seed: u64) -> Instance {
+        let params = SyntheticParams {
+            num_tasks: 60,
+            num_workers: 100,
+            ..SyntheticParams::default()
+        };
+        synthetic::generate(&params, &mut seeded_rng(seed, 0))
+    }
+
+    #[test]
+    fn all_algorithms_match_every_task() {
+        let instance = small_instance(1);
+        let config = PipelineConfig::default();
+        for algo in Algorithm::ALL {
+            let r = run(algo, &instance, &config, 0);
+            assert_eq!(r.matching.size(), 60, "{algo} must match all tasks");
+            assert!(r.matching.is_valid());
+            assert!(r.metrics.total_distance > 0.0);
+        }
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let instance = small_instance(2);
+        let config = PipelineConfig::default();
+        for algo in Algorithm::ALL {
+            let a = run(algo, &instance, &config, 3);
+            let b = run(algo, &instance, &config, 3);
+            assert_eq!(a.matching.pairs, b.matching.pairs, "{algo}");
+            assert_eq!(a.metrics.total_distance, b.metrics.total_distance, "{algo}");
+        }
+    }
+
+    #[test]
+    fn repetitions_decorrelate() {
+        let instance = small_instance(3);
+        let config = PipelineConfig::default();
+        let a = run(Algorithm::Tbf, &instance, &config, 0);
+        let b = run(Algorithm::Tbf, &instance, &config, 1);
+        assert_ne!(
+            a.matching.pairs, b.matching.pairs,
+            "different repetitions should use different randomness"
+        );
+    }
+
+    #[test]
+    fn indexed_and_scan_engines_agree() {
+        let instance = small_instance(4);
+        let scan = PipelineConfig {
+            engine: HstGreedyEngine::Scan,
+            ..PipelineConfig::default()
+        };
+        let indexed = PipelineConfig {
+            engine: HstGreedyEngine::Indexed,
+            ..PipelineConfig::default()
+        };
+        for algo in [Algorithm::LapHg, Algorithm::Tbf] {
+            let a = run(algo, &instance, &scan, 5);
+            let b = run(algo, &instance, &indexed, 5);
+            assert_eq!(a.matching.pairs, b.matching.pairs, "{algo}");
+        }
+    }
+
+    #[test]
+    fn cell_index_matches_plain_scan_for_lapgr() {
+        let instance = small_instance(5);
+        let plain = PipelineConfig::default();
+        let indexed = PipelineConfig {
+            euclid_cells: 8,
+            ..PipelineConfig::default()
+        };
+        let a = run(Algorithm::LapGr, &instance, &plain, 6);
+        let b = run(Algorithm::LapGr, &instance, &indexed, 6);
+        assert_eq!(a.matching.pairs, b.matching.pairs);
+    }
+
+    #[test]
+    fn more_tasks_than_workers_matches_all_workers() {
+        let params = SyntheticParams {
+            num_tasks: 50,
+            num_workers: 20,
+            ..SyntheticParams::default()
+        };
+        let instance = synthetic::generate(&params, &mut seeded_rng(7, 0));
+        for algo in Algorithm::ALL {
+            let r = run(algo, &instance, &PipelineConfig::default(), 0);
+            assert_eq!(r.matching.size(), 20, "{algo}: k = min(n, m)");
+        }
+    }
+
+    #[test]
+    fn tighter_privacy_budget_worsens_distance_on_average() {
+        // ε = 0.05 vs ε = 5.0 over several repetitions: the loose budget
+        // must win by a wide margin for every algorithm.
+        let instance = small_instance(8);
+        for algo in Algorithm::ALL {
+            let total = |eps: f64| -> f64 {
+                (0..5)
+                    .map(|rep| {
+                        let config = PipelineConfig {
+                            epsilon: eps,
+                            ..PipelineConfig::default()
+                        };
+                        run(algo, &instance, &config, rep).metrics.total_distance
+                    })
+                    .sum::<f64>()
+                    / 5.0
+            };
+            let strict = total(0.05);
+            let loose = total(5.0);
+            assert!(
+                loose < strict,
+                "{algo}: ε=5 distance {loose} should beat ε=0.05 {strict}"
+            );
+        }
+    }
+
+    #[test]
+    fn extended_algorithms_match_every_task() {
+        let instance = small_instance(10);
+        let config = PipelineConfig::default();
+        for algo in Algorithm::EXTENDED {
+            let r = run(algo, &instance, &config, 0);
+            assert_eq!(r.matching.size(), 60, "{algo} must match all tasks");
+            assert!(r.matching.is_valid(), "{algo}");
+            assert!(r.metrics.total_distance > 0.0, "{algo}");
+        }
+    }
+
+    #[test]
+    fn extended_runs_are_reproducible() {
+        let instance = small_instance(11);
+        let config = PipelineConfig::default();
+        for algo in Algorithm::EXTENDED {
+            let a = run(algo, &instance, &config, 2);
+            let b = run(algo, &instance, &config, 2);
+            assert_eq!(a.matching.pairs, b.matching.pairs, "{algo}");
+        }
+    }
+
+    #[test]
+    fn random_floor_loses_to_every_location_aware_algorithm() {
+        let instance = small_instance(12);
+        let config = PipelineConfig::default();
+        let avg = |algo: Algorithm| -> f64 {
+            (0..5)
+                .map(|rep| run(algo, &instance, &config, rep).metrics.total_distance)
+                .sum::<f64>()
+                / 5.0
+        };
+        let floor = avg(Algorithm::RandomFloor);
+        for algo in [
+            Algorithm::LapGr,
+            Algorithm::LapHg,
+            Algorithm::Tbf,
+            Algorithm::ExpHg,
+            Algorithm::TbfRand,
+            Algorithm::TbfChain,
+        ] {
+            let d = avg(algo);
+            assert!(
+                d < floor,
+                "{algo} ({d}) should beat the random floor ({floor})"
+            );
+        }
+    }
+
+    #[test]
+    fn tbf_variants_stay_close_to_plain_tbf() {
+        // Randomized tie-breaking and chain hops change individual pairs
+        // but the total distance must stay in the same ballpark (within 2×
+        // on average) — they optimize the same tree-distance objective.
+        let instance = small_instance(13);
+        let config = PipelineConfig::default();
+        let avg = |algo: Algorithm| -> f64 {
+            (0..5)
+                .map(|rep| run(algo, &instance, &config, rep).metrics.total_distance)
+                .sum::<f64>()
+                / 5.0
+        };
+        let tbf = avg(Algorithm::Tbf);
+        for algo in [Algorithm::TbfRand, Algorithm::TbfChain] {
+            let d = avg(algo);
+            assert!(
+                d < 2.0 * tbf && d > 0.3 * tbf,
+                "{algo} ({d}) drifted far from TBF ({tbf})"
+            );
+        }
+    }
+
+    #[test]
+    fn avg_task_latency_is_consistent() {
+        let instance = small_instance(9);
+        let r = run(Algorithm::Tbf, &instance, &PipelineConfig::default(), 0);
+        let avg = r.metrics.avg_task_latency();
+        assert!(avg <= r.metrics.assign_time);
+        // Duration division truncates, so allow up to 60 lost nanoseconds.
+        assert!(avg.as_nanos() * 60 + 60 >= r.metrics.assign_time.as_nanos());
+    }
+}

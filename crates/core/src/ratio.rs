@@ -1,0 +1,102 @@
+//! Empirical competitive ratios against the offline optimum.
+//!
+//! Theorem 3 bounds Alg. 4's competitive ratio by `O(ε⁻⁴ log N log² k)`.
+//! The paper does not plot the ratio directly (its figures compare
+//! mechanisms' total distances), but measuring it grounds the theory: this
+//! module runs a pipeline repeatedly in the random order model and divides
+//! the average total distance by `d(M_OPT)` computed by the exact offline
+//! matcher on the true locations.
+
+use crate::pipeline::{run, Algorithm, PipelineConfig};
+use pombm_geom::seeded_rng;
+use pombm_matching::offline::OfflineOptimal;
+use pombm_workload::Instance;
+
+/// Measures `E[d(M_A)] / d(M_OPT)` over `repetitions` runs with shuffled
+/// arrival orders (Definition 8's expectation over mechanisms and orders).
+///
+/// Returns `(ratio, avg_algorithm_distance, opt_distance)`.
+///
+/// # Panics
+///
+/// Panics if the instance is empty or OPT is degenerate (zero distance).
+pub fn empirical_competitive_ratio(
+    algorithm: Algorithm,
+    instance: &Instance,
+    config: &PipelineConfig,
+    repetitions: u64,
+) -> (f64, f64, f64) {
+    assert!(repetitions > 0, "need at least one repetition");
+    assert!(
+        instance.k() > 0,
+        "competitive ratio needs a non-empty instance"
+    );
+    let opt = OfflineOptimal::solve_euclidean(&instance.tasks, &instance.workers)
+        .total_distance(&instance.tasks, &instance.workers);
+    assert!(opt > 0.0, "degenerate instance: OPT distance is zero");
+
+    let mut total = 0.0;
+    for rep in 0..repetitions {
+        let mut shuffled = instance.clone();
+        shuffled.shuffle_tasks(&mut seeded_rng(config.seed.wrapping_add(rep), 0x5EED));
+        total += run(algorithm, &shuffled, config, rep)
+            .metrics
+            .total_distance;
+    }
+    let avg = total / repetitions as f64;
+    (avg / opt, avg, opt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pombm_workload::{synthetic, SyntheticParams};
+
+    fn instance(seed: u64) -> Instance {
+        let params = SyntheticParams {
+            num_tasks: 40,
+            num_workers: 60,
+            ..SyntheticParams::default()
+        };
+        synthetic::generate(&params, &mut seeded_rng(seed, 0))
+    }
+
+    #[test]
+    fn ratio_is_at_least_one() {
+        let inst = instance(1);
+        let config = PipelineConfig::default();
+        for algo in Algorithm::ALL {
+            let (ratio, avg, opt) = empirical_competitive_ratio(algo, &inst, &config, 3);
+            assert!(
+                ratio >= 1.0 - 1e-9,
+                "{algo}: ratio {ratio} (avg {avg}, opt {opt}) below 1"
+            );
+        }
+    }
+
+    #[test]
+    fn loose_budget_shrinks_the_ratio() {
+        let inst = instance(2);
+        let strict = PipelineConfig {
+            epsilon: 0.05,
+            ..PipelineConfig::default()
+        };
+        let loose = PipelineConfig {
+            epsilon: 5.0,
+            ..PipelineConfig::default()
+        };
+        let (r_strict, _, _) = empirical_competitive_ratio(Algorithm::Tbf, &inst, &strict, 4);
+        let (r_loose, _, _) = empirical_competitive_ratio(Algorithm::Tbf, &inst, &loose, 4);
+        assert!(
+            r_loose < r_strict,
+            "ε=5 ratio {r_loose} should beat ε=0.05 ratio {r_strict}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repetition")]
+    fn zero_repetitions_rejected() {
+        let inst = instance(3);
+        let _ = empirical_competitive_ratio(Algorithm::Tbf, &inst, &PipelineConfig::default(), 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! The untrusted crowdsourcing server's published artifacts.
+
+use pombm_geom::{seeded_rng, Grid, Point, Rect};
+use pombm_hst::{Hst, LeafCode};
+
+/// Step 1 of the paper's workflow: the server constructs an HST upon a
+/// predefined set of points and publishes both.
+///
+/// The predefined set is a uniform grid over the workspace (the paper leaves
+/// the choice open; a grid gives even coverage and O(1) location-to-point
+/// snapping — see `pombm_geom::Grid`). Workers and tasks use
+/// [`Server::snap`] to map a true location to its HST leaf, then obfuscate
+/// that leaf with their mechanism of choice before reporting.
+#[derive(Debug, Clone)]
+pub struct Server {
+    region: Rect,
+    grid: Grid,
+    hst: Hst,
+}
+
+/// Which HST construction the server publishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TreeConstruction {
+    /// The paper's randomized FRT construction (Alg. 1).
+    #[default]
+    Frt,
+    /// Deterministic dyadic quadtree (the `ablatetree` ablation); ignores
+    /// the seed.
+    Quadtree,
+}
+
+impl Server {
+    /// Builds the server's artifacts: a `grid_side × grid_side` grid of
+    /// predefined points over `region` and a random HST over it, seeded for
+    /// reproducibility.
+    pub fn new(region: Rect, grid_side: usize, seed: u64) -> Self {
+        Self::with_construction(region, grid_side, seed, TreeConstruction::Frt)
+    }
+
+    /// Builds the server with an explicit HST construction.
+    pub fn with_construction(
+        region: Rect,
+        grid_side: usize,
+        seed: u64,
+        construction: TreeConstruction,
+    ) -> Self {
+        let grid = Grid::square(region, grid_side);
+        let hst = match construction {
+            TreeConstruction::Frt => {
+                let mut rng = seeded_rng(seed, 0x45F7);
+                Hst::build(&grid.to_point_set(), &mut rng)
+            }
+            TreeConstruction::Quadtree => Hst::from_quadtree(&grid.to_point_set()),
+        };
+        Server { region, grid, hst }
+    }
+
+    /// The workspace region.
+    pub fn region(&self) -> Rect {
+        self.region
+    }
+
+    /// The predefined point grid.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// The published HST.
+    pub fn hst(&self) -> &Hst {
+        &self.hst
+    }
+
+    /// Number of predefined points `N` (the paper's competitive ratio is
+    /// `O(ε⁻⁴ log N log² k)`).
+    pub fn num_predefined(&self) -> usize {
+        self.grid.len()
+    }
+
+    /// Maps a location to the HST leaf of its nearest predefined point.
+    /// O(1) via grid arithmetic.
+    pub fn snap(&self, location: &Point) -> LeafCode {
+        self.hst.leaf_of(self.grid.nearest(location))
+    }
+
+    /// The Euclidean coordinates of a *real* leaf's predefined point;
+    /// `None` for fake leaves.
+    pub fn leaf_location(&self, code: LeafCode) -> Option<Point> {
+        self.hst.point_of(code).map(|p| self.grid.point(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snap_is_consistent_with_grid() {
+        let server = Server::new(Rect::square(200.0), 8, 42);
+        let p = Point::new(13.0, 187.0);
+        let id = server.grid().nearest(&p);
+        assert_eq!(server.snap(&p), server.hst().leaf_of(id));
+    }
+
+    #[test]
+    fn leaf_location_roundtrips_real_leaves() {
+        let server = Server::new(Rect::square(200.0), 4, 7);
+        for id in 0..server.grid().len() {
+            let code = server.hst().leaf_of(id);
+            assert_eq!(server.leaf_location(code), Some(server.grid().point(id)));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_tree() {
+        let a = Server::new(Rect::square(100.0), 8, 5);
+        let b = Server::new(Rect::square(100.0), 8, 5);
+        for id in 0..a.grid().len() {
+            assert_eq!(a.hst().leaf_of(id), b.hst().leaf_of(id));
+        }
+    }
+
+    #[test]
+    fn different_seeds_usually_differ() {
+        let a = Server::new(Rect::square(100.0), 8, 5);
+        let b = Server::new(Rect::square(100.0), 8, 6);
+        let same = (0..a.grid().len())
+            .filter(|&id| a.hst().leaf_of(id) == b.hst().leaf_of(id))
+            .count();
+        assert!(same < a.grid().len(), "trees should differ between seeds");
+    }
+
+    #[test]
+    fn num_predefined_is_grid_size() {
+        let server = Server::new(Rect::square(50.0), 6, 0);
+        assert_eq!(server.num_predefined(), 36);
+    }
+}

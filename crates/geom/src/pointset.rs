@@ -1,0 +1,196 @@
+//! Indexed finite metric spaces.
+
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// Index of a point inside a [`PointSet`].
+pub type PointId = usize;
+
+/// A finite set of points treated as a metric space `(V, d)` under the
+/// Euclidean metric.
+///
+/// This is the input to HST construction (Alg. 1 takes "a metric space
+/// `(V, d)`"): the server publishes a predefined point set and builds the
+/// tree over it. Points are addressed by dense [`PointId`]s so that tree
+/// nodes, leaf codes and mechanism tables can use plain arrays.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointSet {
+    points: Vec<Point>,
+}
+
+impl PointSet {
+    /// Wraps a vector of points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or contains a non-finite coordinate.
+    pub fn new(points: Vec<Point>) -> Self {
+        assert!(!points.is_empty(), "point set must be non-empty");
+        assert!(
+            points.iter().all(Point::is_finite),
+            "point set must contain only finite coordinates"
+        );
+        PointSet { points }
+    }
+
+    /// Number of points (the paper's `N`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the set is empty. Always `false` for constructed sets, but
+    /// kept for API completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The point with the given id.
+    #[inline]
+    pub fn point(&self, id: PointId) -> Point {
+        self.points[id]
+    }
+
+    /// All points in id order.
+    #[inline]
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Euclidean distance between two points in the set.
+    #[inline]
+    pub fn dist(&self, a: PointId, b: PointId) -> f64 {
+        self.points[a].dist(&self.points[b])
+    }
+
+    /// Largest pairwise distance (the metric diameter), computed by brute
+    /// force in `O(N²)`. Used once at HST construction to size the tree.
+    pub fn diameter(&self) -> f64 {
+        let mut best = 0.0f64;
+        for i in 0..self.points.len() {
+            for j in (i + 1)..self.points.len() {
+                best = best.max(self.dist(i, j));
+            }
+        }
+        best
+    }
+
+    /// Smallest nonzero pairwise distance, `O(N²)`.
+    ///
+    /// Returns `None` if the set has fewer than two distinct points. HST
+    /// construction scales the metric by this value so the level-0 radius
+    /// separates points into singleton clusters.
+    pub fn min_distance(&self) -> Option<f64> {
+        let mut best = f64::INFINITY;
+        for i in 0..self.points.len() {
+            for j in (i + 1)..self.points.len() {
+                let d = self.dist(i, j);
+                if d > 0.0 {
+                    best = best.min(d);
+                }
+            }
+        }
+        (best != f64::INFINITY).then_some(best)
+    }
+
+    /// Id of the point nearest to `p` by linear scan, with ties broken by the
+    /// lower id. `O(N)`; [`crate::grid::Grid`] provides an O(1) alternative
+    /// for grid-shaped sets.
+    pub fn nearest(&self, p: &Point) -> PointId {
+        let mut best = 0;
+        let mut best_d = self.points[0].dist_sq(p);
+        for (i, q) in self.points.iter().enumerate().skip(1) {
+            let d = q.dist_sq(p);
+            if d < best_d {
+                best = i;
+                best_d = d;
+            }
+        }
+        best
+    }
+
+    /// Returns `true` if all points are pairwise distinct.
+    pub fn all_distinct(&self) -> bool {
+        for i in 0..self.points.len() {
+            for j in (i + 1)..self.points.len() {
+                if self.points[i] == self.points[j] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example_set() -> PointSet {
+        // The running example of the paper (Example 1):
+        // o1(1,1), o2(2,3), o3(5,3), o4(4,4).
+        PointSet::new(vec![
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 3.0),
+            Point::new(5.0, 3.0),
+            Point::new(4.0, 4.0),
+        ])
+    }
+
+    #[test]
+    fn diameter_matches_example1() {
+        // The paper computes D = ceil(log2(2 * d(o1, o3))) = 4, i.e. the
+        // diameter is d(o1, o3) = sqrt(16 + 4) = sqrt(20).
+        let s = example_set();
+        assert!((s.diameter() - 20f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_distance_is_smallest_nonzero() {
+        let s = example_set();
+        // Closest pair is o3(5,3)-o4(4,4): sqrt(2).
+        assert!((s.min_distance().unwrap() - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_distance_none_for_singleton() {
+        let s = PointSet::new(vec![Point::new(0.0, 0.0)]);
+        assert_eq!(s.min_distance(), None);
+    }
+
+    #[test]
+    fn min_distance_skips_duplicates() {
+        let s = PointSet::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 0.0),
+        ]);
+        assert_eq!(s.min_distance(), Some(3.0));
+        assert!(!s.all_distinct());
+    }
+
+    #[test]
+    fn nearest_breaks_ties_by_lower_id() {
+        let s = PointSet::new(vec![Point::new(0.0, 0.0), Point::new(2.0, 0.0)]);
+        // (1, 0) is equidistant; the lower id wins.
+        assert_eq!(s.nearest(&Point::new(1.0, 0.0)), 0);
+        assert_eq!(s.nearest(&Point::new(1.5, 0.0)), 1);
+    }
+
+    #[test]
+    fn dist_is_symmetric() {
+        let s = example_set();
+        for i in 0..s.len() {
+            for j in 0..s.len() {
+                assert_eq!(s.dist(i, j), s.dist(j, i));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_set_panics() {
+        let _ = PointSet::new(vec![]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Axis-aligned rectangles describing a workspace region.
+
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned rectangle `[min_x, max_x] × [min_y, max_y]`.
+///
+/// The experiments operate in bounded regions: the paper's synthetic space is
+/// `200 × 200` and the real-data region is `10 km × 10 km`. The rectangle is
+/// used to generate predefined points, clamp obfuscated locations that fall
+/// outside the region, and sample workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Smallest x coordinate contained in the region.
+    pub min_x: f64,
+    /// Smallest y coordinate contained in the region.
+    pub min_y: f64,
+    /// Largest x coordinate contained in the region.
+    pub max_x: f64,
+    /// Largest y coordinate contained in the region.
+    pub max_y: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle from corner coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_x > max_x` or `min_y > max_y`, or any bound is not
+    /// finite.
+    pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        assert!(
+            min_x.is_finite() && min_y.is_finite() && max_x.is_finite() && max_y.is_finite(),
+            "rect bounds must be finite"
+        );
+        assert!(
+            min_x <= max_x && min_y <= max_y,
+            "degenerate rect: ({min_x},{min_y})-({max_x},{max_y})"
+        );
+        Rect {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+        }
+    }
+
+    /// A square `[0, side] × [0, side]`, the shape used by all the paper's
+    /// experiment regions.
+    pub fn square(side: f64) -> Self {
+        Rect::new(0.0, 0.0, side, side)
+    }
+
+    /// Width of the region.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max_x - self.min_x
+    }
+
+    /// Height of the region.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max_y - self.min_y
+    }
+
+    /// Length of the diagonal, an upper bound on any pairwise distance in the
+    /// region (used to size the HST level count).
+    #[inline]
+    pub fn diameter(&self) -> f64 {
+        (self.width().powi(2) + self.height().powi(2)).sqrt()
+    }
+
+    /// Geometric center of the region.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min_x + self.max_x) / 2.0,
+            (self.min_y + self.max_y) / 2.0,
+        )
+    }
+
+    /// Returns `true` if the point lies inside the closed rectangle.
+    #[inline]
+    pub fn contains(&self, p: &Point) -> bool {
+        p.x >= self.min_x && p.x <= self.max_x && p.y >= self.min_y && p.y <= self.max_y
+    }
+
+    /// Clamps a point into the rectangle.
+    ///
+    /// Obfuscated locations drawn from an unbounded noise distribution (the
+    /// planar Laplace baseline) can escape the region; the server clamps them
+    /// back so downstream indexes stay well-defined.
+    #[inline]
+    pub fn clamp(&self, p: &Point) -> Point {
+        Point::new(
+            p.x.clamp(self.min_x, self.max_x),
+            p.y.clamp(self.min_y, self.max_y),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_has_expected_bounds() {
+        let r = Rect::square(200.0);
+        assert_eq!(r.width(), 200.0);
+        assert_eq!(r.height(), 200.0);
+        assert_eq!(r.center(), Point::new(100.0, 100.0));
+        assert!((r.diameter() - 200.0 * std::f64::consts::SQRT_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contains_is_closed() {
+        let r = Rect::square(10.0);
+        assert!(r.contains(&Point::new(0.0, 0.0)));
+        assert!(r.contains(&Point::new(10.0, 10.0)));
+        assert!(r.contains(&Point::new(5.0, 5.0)));
+        assert!(!r.contains(&Point::new(-0.001, 5.0)));
+        assert!(!r.contains(&Point::new(5.0, 10.001)));
+    }
+
+    #[test]
+    fn clamp_projects_outside_points() {
+        let r = Rect::square(10.0);
+        assert_eq!(r.clamp(&Point::new(-5.0, 20.0)), Point::new(0.0, 10.0));
+        assert_eq!(r.clamp(&Point::new(3.0, 4.0)), Point::new(3.0, 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate rect")]
+    fn degenerate_rect_panics() {
+        let _ = Rect::new(1.0, 0.0, 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_rect_panics() {
+        let _ = Rect::new(0.0, 0.0, f64::NAN, 1.0);
+    }
+
+    #[test]
+    fn zero_area_rect_is_allowed() {
+        let r = Rect::new(1.0, 1.0, 1.0, 1.0);
+        assert_eq!(r.diameter(), 0.0);
+        assert!(r.contains(&Point::new(1.0, 1.0)));
+    }
+}

@@ -1,0 +1,424 @@
+//! Randomized HST construction (Alg. 1 of the paper, FRT-style).
+//!
+//! Given a finite metric space `(V, d)`, the construction draws a random
+//! permutation `π` of `V` and a radius factor `β`, then partitions each
+//! level-`i+1` cluster by sweeping balls of radius `β·2^i` around the points
+//! in permutation order. Each non-empty intersection becomes a child cluster
+//! at level `i`. Level-0 clusters are singletons (guaranteed because the
+//! metric is pre-scaled so the minimum pairwise distance is at least 1 and
+//! `β < 1`), so each point ends at its own leaf.
+
+use pombm_geom::{PointId, PointSet};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// One node of the *real* (pre-completion) HST.
+#[derive(Debug, Clone)]
+pub struct RawNode {
+    /// Level of this node; the root is at `depth`, leaves at 0.
+    pub level: u32,
+    /// Parent index in [`RawTree::nodes`]; `usize::MAX` for the root.
+    pub parent: usize,
+    /// Position of this node among its parent's children (the base-`c` digit
+    /// assigned during completion).
+    pub child_index: u32,
+    /// Children node indices, in creation (permutation-sweep) order.
+    pub children: Vec<usize>,
+    /// The single point id for level-0 leaves, `None` for internal nodes.
+    pub point: Option<PointId>,
+}
+
+/// The real HST produced by Alg. 1 before fake-node completion.
+#[derive(Debug, Clone)]
+pub struct RawTree {
+    /// All nodes; index 0 is the root.
+    pub nodes: Vec<RawNode>,
+    /// `leaf_of[p]` is the node index of point `p`'s leaf.
+    pub leaf_of: Vec<usize>,
+    /// Number of levels `D` (root level).
+    pub depth: u32,
+    /// The radius factor β drawn for this tree.
+    pub beta: f64,
+    /// The permutation π of point ids drawn for this tree.
+    pub permutation: Vec<PointId>,
+    /// Factor by which original distances were divided before construction
+    /// (1.0 when the input metric already has minimum distance ≥ 1).
+    pub scale: f64,
+}
+
+impl RawTree {
+    /// Maximum number of children over all internal nodes (the completion
+    /// branching factor before clamping to ≥ 2).
+    pub fn max_branching(&self) -> u32 {
+        self.nodes
+            .iter()
+            .map(|n| n.children.len() as u32)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total number of real nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff the tree has no nodes; never true for constructed trees.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Checks structural invariants; used by tests and debug assertions.
+    ///
+    /// Verified properties: the root is node 0 at level `depth`; every child
+    /// is exactly one level below its parent with a consistent back-pointer
+    /// and `child_index`; every point owns exactly one level-0 leaf.
+    pub fn validate(&self, num_points: usize) -> Result<(), String> {
+        if self.nodes.is_empty() {
+            return Err("empty tree".into());
+        }
+        if self.nodes[0].level != self.depth || self.nodes[0].parent != usize::MAX {
+            return Err("node 0 is not a root at level D".into());
+        }
+        let mut seen_points = vec![false; num_points];
+        for (i, n) in self.nodes.iter().enumerate() {
+            for (ci, &ch) in n.children.iter().enumerate() {
+                let child = &self.nodes[ch];
+                if child.parent != i {
+                    return Err(format!("child {ch} of {i} has wrong parent"));
+                }
+                if child.child_index as usize != ci {
+                    return Err(format!("child {ch} of {i} has wrong child_index"));
+                }
+                if child.level + 1 != n.level {
+                    return Err(format!("child {ch} of {i} skips a level"));
+                }
+            }
+            match (n.level, n.point) {
+                (0, Some(p)) => {
+                    if seen_points[p] {
+                        return Err(format!("point {p} has two leaves"));
+                    }
+                    seen_points[p] = true;
+                    if !n.children.is_empty() {
+                        return Err(format!("leaf {i} has children"));
+                    }
+                }
+                (0, None) => return Err(format!("level-0 node {i} has no point")),
+                (_, Some(_)) => return Err(format!("internal node {i} has a point")),
+                (_, None) => {
+                    if n.children.is_empty() {
+                        return Err(format!("internal node {i} has no children"));
+                    }
+                }
+            }
+        }
+        if !seen_points.iter().all(|&b| b) {
+            return Err("some point has no leaf".into());
+        }
+        Ok(())
+    }
+}
+
+/// Fixed construction parameters, exposed so tests and worked examples (the
+/// paper's Example 1) can pin the randomness.
+#[derive(Debug, Clone)]
+pub struct FixedDraw {
+    /// Radius factor β ∈ [1/2, 1).
+    pub beta: f64,
+    /// Permutation π of all point ids.
+    pub permutation: Vec<PointId>,
+}
+
+/// Runs Alg. 1 with randomness drawn from `rng`.
+///
+/// `O(N²·D)` time, `O(N·D)` transient memory.
+pub fn build_raw<R: Rng + ?Sized>(points: &PointSet, rng: &mut R) -> RawTree {
+    let mut permutation: Vec<PointId> = (0..points.len()).collect();
+    permutation.shuffle(rng);
+    // β ∈ [1/2, 1): the half-open upper end guarantees the level-0 radius is
+    // strictly below the (scaled) minimum pairwise distance, so level-0
+    // clusters are singletons. The paper samples from [1/2, 1]; the endpoint
+    // has probability zero, so the distributions coincide.
+    let beta = rng.gen_range(0.5..1.0);
+    build_raw_fixed(points, FixedDraw { beta, permutation })
+}
+
+/// Runs Alg. 1 with pinned randomness. Panics if `beta ∉ [1/2, 1)` or the
+/// permutation is not a permutation of `0..N`.
+pub fn build_raw_fixed(points: &PointSet, draw: FixedDraw) -> RawTree {
+    let n = points.len();
+    assert!(
+        (0.5..1.0).contains(&draw.beta),
+        "beta must lie in [1/2, 1), got {}",
+        draw.beta
+    );
+    assert_eq!(draw.permutation.len(), n, "permutation length mismatch");
+    {
+        let mut seen = vec![false; n];
+        for &p in &draw.permutation {
+            assert!(p < n && !seen[p], "invalid permutation");
+            seen[p] = true;
+        }
+    }
+    assert!(
+        points.all_distinct(),
+        "predefined points must be pairwise distinct so each gets its own leaf"
+    );
+
+    // Scale the metric so the minimum pairwise distance is >= 1 (required for
+    // singleton separation at level 0). Sets that already satisfy this are
+    // left untouched, matching the paper's worked example exactly.
+    let scale = match points.min_distance() {
+        Some(d) if d < 1.0 => d,
+        _ => 1.0,
+    };
+    let dist = |a: PointId, b: PointId| points.dist(a, b) / scale;
+
+    // D = ceil(log2(2 * diameter)), at least 1.
+    let diameter = points.diameter() / scale;
+    let depth = if diameter <= 0.0 {
+        1
+    } else {
+        (2.0 * diameter).log2().ceil().max(1.0) as u32
+    };
+
+    let root = RawNode {
+        level: depth,
+        parent: usize::MAX,
+        child_index: 0,
+        children: Vec::new(),
+        point: None,
+    };
+    let mut nodes = vec![root];
+    // Clusters at the current level, as (node index, member point ids).
+    let mut frontier: Vec<(usize, Vec<PointId>)> = vec![(0, (0..n).collect())];
+
+    for i in (0..depth).rev() {
+        let radius = draw.beta * (1u64 << i) as f64;
+        let mut next = Vec::with_capacity(frontier.len());
+        for (node_idx, members) in frontier {
+            if members.len() == 1 {
+                // Singleton clusters pass straight down one level; the ball
+                // around the point itself would reproduce this split.
+                let child_index = nodes[node_idx].children.len() as u32;
+                let child = RawNode {
+                    level: i,
+                    parent: node_idx,
+                    child_index,
+                    children: Vec::new(),
+                    point: (i == 0).then(|| members[0]),
+                };
+                let ci = nodes.len();
+                nodes.push(child);
+                nodes[node_idx].children.push(ci);
+                next.push((ci, members));
+                continue;
+            }
+            let mut remaining = members;
+            // Sweep centers in permutation order; each ball claims the still
+            // unassigned members within `radius` (lines 8-13 of Alg. 1).
+            for &center in &draw.permutation {
+                if remaining.is_empty() {
+                    break;
+                }
+                let (claimed, rest): (Vec<_>, Vec<_>) = remaining
+                    .into_iter()
+                    .partition(|&u| dist(u, center) <= radius);
+                remaining = rest;
+                if claimed.is_empty() {
+                    continue;
+                }
+                let child_index = nodes[node_idx].children.len() as u32;
+                let child = RawNode {
+                    level: i,
+                    parent: node_idx,
+                    child_index,
+                    children: Vec::new(),
+                    point: (i == 0 && claimed.len() == 1).then(|| claimed[0]),
+                };
+                let ci = nodes.len();
+                nodes.push(child);
+                nodes[node_idx].children.push(ci);
+                next.push((ci, claimed));
+            }
+            debug_assert!(remaining.is_empty(), "ball sweep must cover the cluster");
+        }
+        frontier = next;
+    }
+
+    let mut leaf_of = vec![usize::MAX; n];
+    for (node_idx, members) in &frontier {
+        assert_eq!(
+            members.len(),
+            1,
+            "level-0 cluster not a singleton; metric scaling is broken"
+        );
+        leaf_of[members[0]] = *node_idx;
+        debug_assert_eq!(nodes[*node_idx].point, Some(members[0]));
+    }
+
+    let tree = RawTree {
+        nodes,
+        leaf_of,
+        depth,
+        beta: draw.beta,
+        permutation: draw.permutation,
+        scale,
+    };
+    debug_assert_eq!(tree.validate(n), Ok(()));
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pombm_geom::{seeded_rng, Point};
+
+    /// The paper's Example 1 point set.
+    fn example1() -> PointSet {
+        PointSet::new(vec![
+            Point::new(1.0, 1.0), // o1
+            Point::new(2.0, 3.0), // o2
+            Point::new(5.0, 3.0), // o3
+            Point::new(4.0, 4.0), // o4
+        ])
+    }
+
+    fn example1_tree() -> RawTree {
+        build_raw_fixed(
+            &example1(),
+            FixedDraw {
+                beta: 0.5,
+                permutation: vec![0, 1, 2, 3],
+            },
+        )
+    }
+
+    #[test]
+    fn example1_has_depth_4() {
+        // D = ceil(log2(2 * d(o1,o3))) = ceil(log2(2*sqrt(20))) = 4.
+        let t = example1_tree();
+        assert_eq!(t.depth, 4);
+        assert_eq!(t.scale, 1.0, "example metric needs no rescaling");
+    }
+
+    #[test]
+    fn example1_splits_match_figure_2() {
+        let t = example1_tree();
+        t.validate(4).unwrap();
+        // The first split happens at level 3 (radius r_3 = 4): V splits into
+        // {o1,o2} (ball around o1) and {o3,o4} (ball around o2), exactly the
+        // red circles of the paper's Fig. 2a.
+        let root = &t.nodes[0];
+        assert_eq!(root.level, 4);
+        assert_eq!(root.children.len(), 2, "split into {{o1,o2}} and {{o3,o4}}");
+        // First child claims o1's group (permutation starts at o1).
+        let g1 = &t.nodes[root.children[0]];
+        let g2 = &t.nodes[root.children[1]];
+        assert_eq!(g1.level, 3);
+        // {o1,o2} splits at level 2 (radius 2): two children.
+        assert_eq!(g1.children.len(), 2);
+        // {o3,o4} stays together at level 2 (ball around o3 radius 2 covers
+        // o4 at distance sqrt(2)), then splits at level 1 (radius 1).
+        assert_eq!(g2.children.len(), 1);
+        let g2l2 = &t.nodes[g2.children[0]];
+        assert_eq!(g2l2.children.len(), 2);
+        assert_eq!(t.max_branching(), 2, "Example 1 yields a binary tree");
+    }
+
+    #[test]
+    fn example1_leaves_are_all_points() {
+        let t = example1_tree();
+        for p in 0..4 {
+            let leaf = &t.nodes[t.leaf_of[p]];
+            assert_eq!(leaf.level, 0);
+            assert_eq!(leaf.point, Some(p));
+        }
+    }
+
+    #[test]
+    fn random_construction_is_valid_for_many_seeds() {
+        let ps = PointSet::new(
+            (0..40)
+                .map(|i| Point::new((i % 8) as f64 * 3.0, (i / 8) as f64 * 5.0))
+                .collect(),
+        );
+        for seed in 0..10 {
+            let mut rng = seeded_rng(seed, 0);
+            let t = build_raw(&ps, &mut rng);
+            t.validate(40).unwrap();
+            assert!(t.depth >= 1);
+            assert!(t.max_branching() >= 1);
+        }
+    }
+
+    #[test]
+    fn sub_unit_metric_is_rescaled() {
+        let ps = PointSet::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.25, 0.0),
+            Point::new(0.6, 0.0),
+        ]);
+        let mut rng = seeded_rng(7, 0);
+        let t = build_raw(&ps, &mut rng);
+        assert!((t.scale - 0.25).abs() < 1e-12);
+        t.validate(3).unwrap();
+    }
+
+    #[test]
+    fn two_identical_coordinates_rejected() {
+        let ps = PointSet::new(vec![Point::new(1.0, 1.0), Point::new(1.0, 1.0)]);
+        let mut rng = seeded_rng(0, 0);
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| build_raw(&ps, &mut rng)));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn singleton_set_builds_trivial_tree() {
+        let ps = PointSet::new(vec![Point::new(3.0, 3.0)]);
+        let mut rng = seeded_rng(0, 0);
+        let t = build_raw(&ps, &mut rng);
+        assert_eq!(t.depth, 1);
+        t.validate(1).unwrap();
+        assert_eq!(t.nodes[t.leaf_of[0]].level, 0);
+    }
+
+    #[test]
+    fn cluster_diameters_respect_level_radius() {
+        // Every level-i cluster is contained in a ball of radius β·2^i, so
+        // its (scaled) diameter is at most 2·β·2^i < 2^{i+1}.
+        let ps = PointSet::new(
+            (0..30)
+                .map(|i| Point::new((i * 17 % 41) as f64, (i * 29 % 37) as f64))
+                .collect(),
+        );
+        let mut rng = seeded_rng(3, 1);
+        let t = build_raw(&ps, &mut rng);
+        // Recover members of every node by walking up from the leaves.
+        let mut members: Vec<Vec<PointId>> = vec![Vec::new(); t.nodes.len()];
+        for p in 0..ps.len() {
+            let mut v = t.leaf_of[p];
+            loop {
+                members[v].push(p);
+                if v == 0 {
+                    break;
+                }
+                v = t.nodes[v].parent;
+            }
+        }
+        for (idx, node) in t.nodes.iter().enumerate() {
+            let m = &members[idx];
+            for i in 0..m.len() {
+                for j in (i + 1)..m.len() {
+                    let d = ps.dist(m[i], m[j]) / t.scale;
+                    assert!(
+                        d <= 2.0 * t.beta * (1u64 << node.level) as f64 + 1e-9,
+                        "cluster at level {} has diameter {d}",
+                        node.level
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Capacitated HST-greedy: workers that can serve more than one task.
+//!
+//! The paper matches each worker at most once (OMBM is a bipartite
+//! *matching*). Real platforms let a driver take several orders per shift;
+//! this module generalizes Alg. 4 to per-worker capacities — an extension
+//! the paper leaves open. A worker with capacity `q` behaves exactly like
+//! `q` co-located copies of a unit worker, so the ultrametric nearest-free
+//! walk and its guarantees carry over unchanged: the matcher simply keeps a
+//! worker in the pool until its residual capacity reaches zero.
+
+use pombm_hst::{CodeContext, LeafCode, SubtreeCounter};
+use std::collections::HashMap;
+
+/// Online greedy matcher where worker `i` may serve up to `capacity[i]`
+/// tasks. Each arriving task goes to the tree-nearest worker with residual
+/// capacity.
+#[derive(Debug, Clone)]
+pub struct CapacitatedGreedy {
+    counter: SubtreeCounter,
+    /// Workers resident at each occupied leaf, lowest index popped first.
+    residents: HashMap<LeafCode, Vec<usize>>,
+    workers: Vec<LeafCode>,
+    residual: Vec<u32>,
+    remaining_slots: usize,
+}
+
+impl CapacitatedGreedy {
+    /// Creates a matcher from worker leaves and per-worker capacities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two slices differ in length.
+    pub fn new(ctx: CodeContext, workers: Vec<LeafCode>, capacity: Vec<u32>) -> Self {
+        assert_eq!(
+            workers.len(),
+            capacity.len(),
+            "one capacity per worker required"
+        );
+        let mut counter = SubtreeCounter::new(ctx);
+        let mut residents: HashMap<LeafCode, Vec<usize>> = HashMap::new();
+        let mut remaining_slots = 0usize;
+        for (i, (&w, &q)) in workers.iter().zip(&capacity).enumerate() {
+            if q > 0 {
+                counter.insert(w);
+                residents.entry(w).or_default().push(i);
+                remaining_slots += q as usize;
+            }
+        }
+        // Lower ids pop first (stacks are LIFO).
+        for stack in residents.values_mut() {
+            stack.sort_unstable_by(|a, b| b.cmp(a));
+        }
+        CapacitatedGreedy {
+            counter,
+            residents,
+            workers,
+            residual: capacity,
+            remaining_slots,
+        }
+    }
+
+    /// Uniform capacity `q` for every worker.
+    pub fn uniform(ctx: CodeContext, workers: Vec<LeafCode>, q: u32) -> Self {
+        let n = workers.len();
+        Self::new(ctx, workers, vec![q; n])
+    }
+
+    /// Total unassigned task slots across all workers.
+    #[inline]
+    pub fn remaining_slots(&self) -> usize {
+        self.remaining_slots
+    }
+
+    /// Residual capacity of worker `i`.
+    #[inline]
+    pub fn residual(&self, i: usize) -> u32 {
+        self.residual[i]
+    }
+
+    /// Assigns the tree-nearest worker with residual capacity to the task
+    /// leaf `t`. Returns `None` when every worker is saturated.
+    pub fn assign(&mut self, t: LeafCode) -> Option<usize> {
+        if self.remaining_slots == 0 {
+            return None;
+        }
+        let leaf = self.counter.nearest(t)?;
+        // Peek the lowest-id resident; only drop it from the pool when its
+        // capacity is exhausted.
+        let stack = self
+            .residents
+            .get_mut(&leaf)
+            .expect("counter and residents agree");
+        let w = *stack.last().expect("non-empty stack for counted leaf");
+        debug_assert!(self.residual[w] > 0);
+        self.residual[w] -= 1;
+        self.remaining_slots -= 1;
+        if self.residual[w] == 0 {
+            stack.pop();
+            let removed = self.counter.remove(self.workers[w]);
+            debug_assert!(removed);
+        }
+        Some(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pombm_geom::seeded_rng;
+    use rand::Rng;
+
+    fn ctx() -> CodeContext {
+        CodeContext::new(2, 4)
+    }
+
+    #[test]
+    fn capacity_one_equals_plain_greedy() {
+        let c = CodeContext::new(3, 4);
+        let mut rng = seeded_rng(0, 0);
+        let workers: Vec<LeafCode> = (0..40)
+            .map(|_| LeafCode(rng.gen_range(0..c.num_leaves())))
+            .collect();
+        let tasks: Vec<LeafCode> = (0..40)
+            .map(|_| LeafCode(rng.gen_range(0..c.num_leaves())))
+            .collect();
+        let mut cap = CapacitatedGreedy::uniform(c, workers.clone(), 1);
+        let mut plain = crate::HstGreedy::new(c, workers, crate::HstGreedyEngine::Indexed);
+        for &t in &tasks {
+            assert_eq!(cap.assign(t), plain.assign(t), "task {t}");
+        }
+    }
+
+    #[test]
+    fn worker_serves_until_saturation() {
+        let mut m = CapacitatedGreedy::new(ctx(), vec![LeafCode(0), LeafCode(15)], vec![3, 1]);
+        assert_eq!(m.remaining_slots(), 4);
+        // Three tasks at leaf 0 all go to worker 0.
+        for _ in 0..3 {
+            assert_eq!(m.assign(LeafCode(0)), Some(0));
+        }
+        assert_eq!(m.residual(0), 0);
+        // Worker 0 is saturated; the next nearby task crosses the tree.
+        assert_eq!(m.assign(LeafCode(0)), Some(1));
+        assert_eq!(m.assign(LeafCode(0)), None);
+    }
+
+    #[test]
+    fn zero_capacity_workers_never_assigned() {
+        let mut m = CapacitatedGreedy::new(ctx(), vec![LeafCode(0), LeafCode(1)], vec![0, 2]);
+        assert_eq!(m.assign(LeafCode(0)), Some(1));
+        assert_eq!(m.assign(LeafCode(0)), Some(1));
+        assert_eq!(m.assign(LeafCode(0)), None);
+    }
+
+    #[test]
+    fn per_worker_loads_respect_capacities() {
+        let c = CodeContext::new(2, 5);
+        let mut rng = seeded_rng(1, 0);
+        let workers: Vec<LeafCode> = (0..10)
+            .map(|_| LeafCode(rng.gen_range(0..c.num_leaves())))
+            .collect();
+        let caps: Vec<u32> = (0..10).map(|_| rng.gen_range(0..4)).collect();
+        let slots: usize = caps.iter().sum::<u32>() as usize;
+        let mut m = CapacitatedGreedy::new(c, workers, caps.clone());
+        let mut load = [0u32; 10];
+        let mut assigned = 0;
+        loop {
+            let t = LeafCode(rng.gen_range(0..c.num_leaves()));
+            match m.assign(t) {
+                Some(w) => {
+                    load[w] += 1;
+                    assigned += 1;
+                }
+                None => break,
+            }
+        }
+        assert_eq!(assigned, slots, "all slots must be fillable");
+        for (w, (&l, &q)) in load.iter().zip(&caps).enumerate() {
+            assert!(l <= q, "worker {w} over capacity: {l} > {q}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one capacity per worker")]
+    fn mismatched_lengths_panic() {
+        let _ = CapacitatedGreedy::new(ctx(), vec![LeafCode(0)], vec![1, 2]);
+    }
+}

@@ -1,0 +1,208 @@
+//! Dynamic-pool HST-greedy: workers that come and go.
+//!
+//! The paper's interaction model registers the full worker set upfront; a
+//! deployed platform sees drivers start and end shifts continuously. This
+//! matcher maintains the same `O(c·D)` nearest-free-worker index as
+//! [`crate::HstGreedy`]'s indexed engine but over a *mutable* pool:
+//! workers can be added (shift start, with their obfuscated leaf) and
+//! withdrawn (shift end, if not yet assigned) at any point between task
+//! arrivals. The ultrametric walk is oblivious to how the pool got its
+//! contents, so per-assignment behaviour — nearest available worker on the
+//! tree, canonical tie-break — is unchanged.
+
+use pombm_hst::{CodeContext, LeafCode, SubtreeCounter};
+use std::collections::HashMap;
+
+/// Online greedy matcher over a mutable worker pool (see module docs).
+///
+/// Workers are identified by caller-chosen `u64` ids (unique among
+/// *present* workers).
+#[derive(Debug, Clone)]
+pub struct DynamicHstGreedy {
+    counter: SubtreeCounter,
+    /// Present, unassigned workers resident at each occupied leaf.
+    residents: HashMap<LeafCode, Vec<u64>>,
+    /// Leaf of each present, unassigned worker.
+    leaf_of: HashMap<u64, LeafCode>,
+}
+
+impl DynamicHstGreedy {
+    /// Creates an empty pool for trees with context `ctx`.
+    pub fn new(ctx: CodeContext) -> Self {
+        DynamicHstGreedy {
+            counter: SubtreeCounter::new(ctx),
+            residents: HashMap::new(),
+            leaf_of: HashMap::new(),
+        }
+    }
+
+    /// Number of present, unassigned workers.
+    #[inline]
+    pub fn available(&self) -> usize {
+        self.leaf_of.len()
+    }
+
+    /// True iff worker `id` is present and unassigned.
+    #[inline]
+    pub fn contains(&self, id: u64) -> bool {
+        self.leaf_of.contains_key(&id)
+    }
+
+    /// Adds a worker with its reported (obfuscated) leaf.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is already present — ids must be unique among live
+    /// workers (a departed or assigned id may be reused).
+    pub fn add(&mut self, id: u64, leaf: LeafCode) {
+        let prev = self.leaf_of.insert(id, leaf);
+        assert!(prev.is_none(), "worker id {id} already present");
+        self.counter.insert(leaf);
+        let stack = self.residents.entry(leaf).or_default();
+        // Keep each leaf's residents sorted descending so the lowest id
+        // pops first — the same canonical tie-break as the static matcher.
+        let pos = stack.partition_point(|&other| other > id);
+        stack.insert(pos, id);
+    }
+
+    /// Withdraws an unassigned worker (shift end). Returns `false` if the
+    /// worker is not present (already assigned or never added).
+    pub fn withdraw(&mut self, id: u64) -> bool {
+        let Some(leaf) = self.leaf_of.remove(&id) else {
+            return false;
+        };
+        self.detach(id, leaf);
+        true
+    }
+
+    /// Assigns the tree-nearest available worker to the task leaf `t` and
+    /// removes it from the pool. Returns `None` when the pool is empty.
+    pub fn assign(&mut self, t: LeafCode) -> Option<u64> {
+        let leaf = self.counter.nearest(t)?;
+        let id = *self
+            .residents
+            .get(&leaf)
+            .and_then(|stack| stack.last())
+            .expect("counter and residents agree");
+        self.leaf_of.remove(&id);
+        self.detach(id, leaf);
+        Some(id)
+    }
+
+    fn detach(&mut self, id: u64, leaf: LeafCode) {
+        let removed = self.counter.remove(leaf);
+        debug_assert!(removed);
+        let stack = self.residents.get_mut(&leaf).expect("resident stack");
+        let pos = stack
+            .iter()
+            .position(|&other| other == id)
+            .expect("worker listed at its leaf");
+        stack.remove(pos);
+        if stack.is_empty() {
+            self.residents.remove(&leaf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pombm_geom::seeded_rng;
+    use rand::Rng;
+
+    fn ctx() -> CodeContext {
+        CodeContext::new(2, 4)
+    }
+
+    #[test]
+    fn add_assign_roundtrip() {
+        let mut m = DynamicHstGreedy::new(ctx());
+        m.add(7, LeafCode(3));
+        m.add(9, LeafCode(12));
+        assert_eq!(m.available(), 2);
+        assert_eq!(m.assign(LeafCode(2)), Some(7), "leaf 3 is nearer to 2");
+        assert_eq!(m.assign(LeafCode(2)), Some(9));
+        assert_eq!(m.assign(LeafCode(2)), None);
+    }
+
+    #[test]
+    fn withdraw_removes_from_consideration() {
+        let mut m = DynamicHstGreedy::new(ctx());
+        m.add(1, LeafCode(0));
+        m.add(2, LeafCode(15));
+        assert!(m.withdraw(1));
+        assert!(!m.withdraw(1), "second withdraw is a no-op");
+        assert_eq!(m.assign(LeafCode(0)), Some(2), "withdrawn worker skipped");
+    }
+
+    #[test]
+    fn assigned_worker_cannot_be_withdrawn() {
+        let mut m = DynamicHstGreedy::new(ctx());
+        m.add(4, LeafCode(5));
+        assert_eq!(m.assign(LeafCode(5)), Some(4));
+        assert!(!m.withdraw(4));
+    }
+
+    #[test]
+    fn id_reuse_after_departure_is_allowed() {
+        let mut m = DynamicHstGreedy::new(ctx());
+        m.add(1, LeafCode(0));
+        assert!(m.withdraw(1));
+        m.add(1, LeafCode(8));
+        assert_eq!(m.assign(LeafCode(8)), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "already present")]
+    fn duplicate_live_id_panics() {
+        let mut m = DynamicHstGreedy::new(ctx());
+        m.add(1, LeafCode(0));
+        m.add(1, LeafCode(1));
+    }
+
+    #[test]
+    fn matches_static_indexed_engine_when_pool_is_static() {
+        // With all workers added upfront and none withdrawn, assignment
+        // must be identical to the static indexed matcher.
+        let c = CodeContext::new(3, 4);
+        let mut rng = seeded_rng(2, 0);
+        let workers: Vec<LeafCode> = (0..30)
+            .map(|_| LeafCode(rng.gen_range(0..c.num_leaves())))
+            .collect();
+        let mut dynamic = DynamicHstGreedy::new(c);
+        for (i, &w) in workers.iter().enumerate() {
+            dynamic.add(i as u64, w);
+        }
+        let mut fixed = crate::HstGreedy::new(c, workers, crate::HstGreedyEngine::Indexed);
+        for _ in 0..30 {
+            let t = LeafCode(rng.gen_range(0..c.num_leaves()));
+            assert_eq!(dynamic.assign(t), fixed.assign(t).map(|w| w as u64));
+        }
+    }
+
+    #[test]
+    fn interleaved_adds_and_tasks() {
+        let mut m = DynamicHstGreedy::new(ctx());
+        assert_eq!(m.assign(LeafCode(0)), None, "empty pool drops the task");
+        m.add(10, LeafCode(14));
+        assert_eq!(m.assign(LeafCode(1)), Some(10), "only present worker");
+        m.add(11, LeafCode(1));
+        m.add(12, LeafCode(2));
+        assert_eq!(m.assign(LeafCode(0)), Some(11), "nearest of the two");
+        assert_eq!(m.available(), 1);
+    }
+
+    #[test]
+    fn canonical_tie_break_matches_static_matcher() {
+        // Two workers at equidistant leaves: lowest leaf code wins; equal
+        // leaves: lowest id wins — regardless of insertion order.
+        let mut m = DynamicHstGreedy::new(ctx());
+        m.add(5, LeafCode(3));
+        m.add(4, LeafCode(2));
+        assert_eq!(m.assign(LeafCode(0)), Some(4));
+        let mut m = DynamicHstGreedy::new(ctx());
+        m.add(9, LeafCode(6));
+        m.add(3, LeafCode(6));
+        assert_eq!(m.assign(LeafCode(6)), Some(3));
+    }
+}

@@ -1,0 +1,223 @@
+//! HST-greedy online matching (Alg. 4 of the paper).
+
+use pombm_hst::{CodeContext, LeafCode, SubtreeCounter};
+use serde::{Deserialize, Serialize};
+
+/// Which nearest-leaf engine an [`HstGreedy`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum HstGreedyEngine {
+    /// The paper's linear scan over all available workers: `O(n·D)` per
+    /// task (Alg. 4 as written; total `O(D·n·m)`).
+    #[default]
+    Scan,
+    /// Subtree-count index: `O(c·D)` per task. Produces a matching with the
+    /// same per-task tree distances (tie-breaking may select a different
+    /// equidistant worker).
+    Indexed,
+}
+
+/// Online greedy matching on the HST: each arriving task is assigned to the
+/// available worker whose obfuscated leaf is nearest in the tree metric.
+///
+/// Used by both Lap-HG (Laplace noise, then snap to the tree) and the
+/// paper's TBF (HST mechanism output directly). Workers and tasks are
+/// identified by leaf codes of the same complete tree; note obfuscated
+/// leaves may be *fake* leaves, which is fine — the tree metric is defined
+/// on all codes.
+#[derive(Debug, Clone)]
+pub struct HstGreedy {
+    ctx: CodeContext,
+    engine: HstGreedyEngine,
+    workers: Vec<LeafCode>,
+    available: Vec<bool>,
+    remaining: usize,
+    /// Indexed engine state: occupancy counter plus per-leaf stacks of
+    /// worker ids so a found leaf resolves to a concrete worker.
+    counter: Option<SubtreeCounter>,
+    residents: std::collections::HashMap<LeafCode, Vec<usize>>,
+}
+
+impl HstGreedy {
+    /// Creates a matcher over the reported (obfuscated) worker leaves.
+    pub fn new(ctx: CodeContext, workers: Vec<LeafCode>, engine: HstGreedyEngine) -> Self {
+        let n = workers.len();
+        let (counter, residents) = match engine {
+            HstGreedyEngine::Scan => (None, std::collections::HashMap::new()),
+            HstGreedyEngine::Indexed => {
+                let mut counter = SubtreeCounter::new(ctx);
+                let mut residents: std::collections::HashMap<LeafCode, Vec<usize>> =
+                    std::collections::HashMap::new();
+                for (i, &w) in workers.iter().enumerate() {
+                    counter.insert(w);
+                    residents.entry(w).or_default().push(i);
+                }
+                // Lower ids pop first to mirror scan tie-breaking within a
+                // leaf.
+                for stack in residents.values_mut() {
+                    stack.reverse();
+                }
+                (Some(counter), residents)
+            }
+        };
+        HstGreedy {
+            ctx,
+            engine,
+            workers,
+            available: vec![true; n],
+            remaining: n,
+            counter,
+            residents,
+        }
+    }
+
+    /// The engine in use.
+    pub fn engine(&self) -> HstGreedyEngine {
+        self.engine
+    }
+
+    /// Number of still-unassigned workers.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Assigns the available worker nearest on the tree to the task leaf
+    /// `t`, removing it from the pool. Returns `None` when all workers are
+    /// taken.
+    pub fn assign(&mut self, t: LeafCode) -> Option<usize> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let chosen = match self.engine {
+            HstGreedyEngine::Scan => self.scan(t)?,
+            HstGreedyEngine::Indexed => {
+                let counter = self.counter.as_mut().expect("indexed engine has counter");
+                let leaf = counter.take_nearest(t)?;
+                let stack = self
+                    .residents
+                    .get_mut(&leaf)
+                    .expect("counter and residents agree");
+                stack.pop().expect("non-empty stack for counted leaf")
+            }
+        };
+        debug_assert!(self.available[chosen]);
+        self.available[chosen] = false;
+        self.remaining -= 1;
+        Some(chosen)
+    }
+
+    fn scan(&self, t: LeafCode) -> Option<usize> {
+        // Tie-break by (distance, leaf code, worker index); the indexed
+        // engine's downward walk picks the minimal occupied leaf code at the
+        // minimal distance, so this makes both engines produce identical
+        // matchings.
+        let mut best: Option<(usize, u64, u64)> = None;
+        for (i, &w) in self.workers.iter().enumerate() {
+            if !self.available[i] {
+                continue;
+            }
+            let d = self.ctx.tree_dist_units(t, w);
+            if best.is_none_or(|(_, bd, bc)| (d, w.0) < (bd, bc)) {
+                best = Some((i, d, w.0));
+            }
+        }
+        best.map(|(i, _, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pombm_geom::seeded_rng;
+    use rand::Rng;
+
+    fn ctx() -> CodeContext {
+        CodeContext::new(2, 4)
+    }
+
+    #[test]
+    fn assigns_nearest_on_tree() {
+        // Workers at leaves 0, 2, 8 of a depth-4 binary tree. A task at
+        // leaf 1 is closest to worker at 0 (LCA level 1).
+        let mut g = HstGreedy::new(
+            ctx(),
+            vec![LeafCode(0), LeafCode(2), LeafCode(8)],
+            HstGreedyEngine::Scan,
+        );
+        assert_eq!(g.assign(LeafCode(1)), Some(0));
+        // Next task at leaf 1: nearest remaining is leaf 2 (LCA level 2 = 12
+        // units) vs leaf 8 (level 4 = 60 units).
+        assert_eq!(g.assign(LeafCode(1)), Some(1));
+        assert_eq!(g.assign(LeafCode(1)), Some(2));
+        assert_eq!(g.assign(LeafCode(1)), None);
+    }
+
+    #[test]
+    fn scan_ties_break_to_lower_leaf_code() {
+        // Workers at leaves 2 and 3 are equidistant from a task at leaf 0
+        // (both LCA level 2); the canonical tie-break picks the lower code.
+        let mut g = HstGreedy::new(ctx(), vec![LeafCode(3), LeafCode(2)], HstGreedyEngine::Scan);
+        assert_eq!(g.assign(LeafCode(0)), Some(1));
+    }
+
+    #[test]
+    fn scan_equal_codes_break_to_lower_index() {
+        let mut g = HstGreedy::new(ctx(), vec![LeafCode(2), LeafCode(2)], HstGreedyEngine::Scan);
+        assert_eq!(g.assign(LeafCode(0)), Some(0));
+    }
+
+    #[test]
+    fn engines_produce_identical_matchings() {
+        // With the canonical (distance, leaf code, worker index) tie-break,
+        // the scan and indexed engines agree worker-for-worker on any
+        // arrival sequence.
+        let c = CodeContext::new(3, 5);
+        let mut rng = seeded_rng(17, 0);
+        let workers: Vec<LeafCode> = (0..120)
+            .map(|_| LeafCode(rng.gen_range(0..c.num_leaves())))
+            .collect();
+        let tasks: Vec<LeafCode> = (0..120)
+            .map(|_| LeafCode(rng.gen_range(0..c.num_leaves())))
+            .collect();
+        let mut scan = HstGreedy::new(c, workers.clone(), HstGreedyEngine::Scan);
+        let mut indexed = HstGreedy::new(c, workers.clone(), HstGreedyEngine::Indexed);
+        for &t in &tasks {
+            let a = scan.assign(t).unwrap();
+            let b = indexed.assign(t).unwrap();
+            assert_eq!(a, b, "engines disagree for task {t}");
+        }
+        assert_eq!(scan.remaining(), 0);
+        assert_eq!(indexed.remaining(), 0);
+    }
+
+    #[test]
+    fn indexed_engine_handles_duplicate_leaves() {
+        let c = ctx();
+        let mut g = HstGreedy::new(
+            c,
+            vec![LeafCode(5), LeafCode(5), LeafCode(5)],
+            HstGreedyEngine::Indexed,
+        );
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..3 {
+            let w = g.assign(LeafCode(5)).unwrap();
+            assert!(seen.insert(w), "worker {w} assigned twice");
+        }
+        assert_eq!(g.assign(LeafCode(5)), None);
+    }
+
+    #[test]
+    fn fake_leaf_tasks_and_workers_are_fine() {
+        // Codes needn't correspond to real predefined points; any code in
+        // the complete tree works.
+        let c = ctx();
+        let mut g = HstGreedy::new(c, vec![LeafCode(15)], HstGreedyEngine::Scan);
+        assert_eq!(g.assign(LeafCode(14)), Some(0));
+    }
+
+    #[test]
+    fn empty_worker_pool() {
+        let mut g = HstGreedy::new(ctx(), vec![], HstGreedyEngine::Indexed);
+        assert_eq!(g.assign(LeafCode(0)), None);
+        assert_eq!(g.remaining(), 0);
+    }
+}

@@ -1,0 +1,155 @@
+#![warn(missing_docs)]
+
+//! Bipartite matching algorithms for online task assignment.
+//!
+//! The paper evaluates three online matchers plus one case-study pair:
+//!
+//! * [`EuclideanGreedy`] — the greedy of Tong et al. (PVLDB'16): assign each
+//!   arriving task to the nearest *available* worker in the Euclidean plane
+//!   (the matcher of the Lap-GR baseline).
+//! * [`HstGreedy`] — Alg. 4: assign each arriving task to the available
+//!   worker nearest *on the HST* (used by both Lap-HG and the paper's TBF).
+//!   Two interchangeable engines: the paper's `O(n·D)` linear scan and an
+//!   `O(c·D)` subtree-count index.
+//! * [`offline::OfflineOptimal`] — an exact min-cost offline matcher
+//!   (successive shortest augmenting paths with potentials), used to measure
+//!   empirical competitive ratios against `OPT`.
+//! * [`reachable::ProbMatcher`] / [`reachable::TbfReachMatcher`] — the case
+//!   study (Sec. IV-C): maximize matching size when workers have bounded
+//!   reachable radii.
+//!
+//! Beyond the paper's evaluation, the crate ships alternative online rules
+//! for ablations and extensions:
+//!
+//! * [`RandomizedGreedy`] — Alg. 4 with the uniform tie-break randomization
+//!   of Meyerson et al. (the paper's ref \[15\]).
+//! * [`ChainMatcher`] — the chain-reassignment rule of Bansal et al. (the
+//!   paper's ref \[19\]).
+//! * [`CapacitatedGreedy`] — workers serving up to `q` tasks each (a
+//!   future-work generalization).
+//! * [`RandomAssign`] — location-blind uniform assignment, the sanity
+//!   floor every mechanism/matcher pair must clear.
+//!
+//! The paper-evaluated matchers are deterministic given their inputs;
+//! randomness otherwise lives in the privacy mechanisms, the workload
+//! generators, and the explicitly randomized matchers above (which take an
+//! `Rng` per call).
+//!
+//! # Example
+//!
+//! ```
+//! use pombm_hst::{CodeContext, LeafCode};
+//! use pombm_matching::{HstGreedy, HstGreedyEngine};
+//!
+//! // A complete binary tree of depth 4; workers report (obfuscated) leaves.
+//! let ctx = CodeContext::new(2, 4);
+//! let workers = vec![LeafCode(0), LeafCode(6), LeafCode(15)];
+//! let mut matcher = HstGreedy::new(ctx, workers, HstGreedyEngine::Indexed);
+//!
+//! // Each arriving task takes the tree-nearest available worker (Alg. 4).
+//! assert_eq!(matcher.assign(LeafCode(1)), Some(0));
+//! assert_eq!(matcher.assign(LeafCode(1)), Some(1));
+//! assert_eq!(matcher.remaining(), 1);
+//! ```
+
+pub mod capacity;
+pub mod chain;
+pub mod dynamic;
+pub mod euclidean;
+pub mod hst_greedy;
+pub mod kdtree;
+pub mod offline;
+pub mod random_assign;
+pub mod randomized;
+pub mod reachable;
+
+pub use capacity::CapacitatedGreedy;
+pub use chain::{ChainMatcher, ChainOutcome};
+pub use dynamic::DynamicHstGreedy;
+pub use euclidean::EuclideanGreedy;
+pub use hst_greedy::{HstGreedy, HstGreedyEngine};
+pub use random_assign::RandomAssign;
+pub use randomized::RandomizedGreedy;
+
+/// A (task, worker) assignment produced by an online or offline matcher.
+///
+/// Indices refer to the caller's task/worker arrays. The paper's
+/// effectiveness metric — total travel distance — is always evaluated on
+/// *true* locations even when the matching was computed on obfuscated data;
+/// see [`Matching::total_distance`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Matching {
+    /// Assigned pairs in assignment order: `(task index, worker index)`.
+    pub pairs: Vec<(usize, usize)>,
+}
+
+impl Matching {
+    /// Creates an empty matching.
+    pub fn new() -> Self {
+        Matching { pairs: Vec::new() }
+    }
+
+    /// Number of assigned pairs (the case study's "matching size").
+    pub fn size(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Sums `d(tasks[t], workers[w])` over assigned pairs — the paper's
+    /// total (travel) distance, computed on whatever coordinates the caller
+    /// passes (true locations for evaluation).
+    pub fn total_distance(
+        &self,
+        tasks: &[pombm_geom::Point],
+        workers: &[pombm_geom::Point],
+    ) -> f64 {
+        self.pairs
+            .iter()
+            .map(|&(t, w)| tasks[t].dist(&workers[w]))
+            .sum()
+    }
+
+    /// Checks that no worker and no task appears twice.
+    pub fn is_valid(&self) -> bool {
+        let mut tasks = std::collections::HashSet::new();
+        let mut workers = std::collections::HashSet::new();
+        self.pairs
+            .iter()
+            .all(|&(t, w)| tasks.insert(t) && workers.insert(w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pombm_geom::Point;
+
+    #[test]
+    fn matching_metrics() {
+        let tasks = vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)];
+        let workers = vec![Point::new(3.0, 4.0), Point::new(10.0, 1.0)];
+        let m = Matching {
+            pairs: vec![(0, 0), (1, 1)],
+        };
+        assert_eq!(m.size(), 2);
+        assert!((m.total_distance(&tasks, &workers) - 6.0).abs() < 1e-12);
+        assert!(m.is_valid());
+    }
+
+    #[test]
+    fn duplicate_worker_is_invalid() {
+        let m = Matching {
+            pairs: vec![(0, 0), (1, 0)],
+        };
+        assert!(!m.is_valid());
+        let m2 = Matching {
+            pairs: vec![(0, 0), (0, 1)],
+        };
+        assert!(!m2.is_valid());
+    }
+
+    #[test]
+    fn empty_matching_is_valid() {
+        assert!(Matching::new().is_valid());
+        assert_eq!(Matching::new().size(), 0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Uniform random assignment: the sanity floor for every comparison.
+//!
+//! Assigning each arriving task to a worker drawn uniformly from the
+//! available pool ignores locations entirely. Any privacy mechanism +
+//! matcher combination must beat this floor by a wide margin for its
+//! distance numbers to mean anything — the experiments harness uses it to
+//! calibrate how much headroom the sweeps actually have.
+
+use rand::Rng;
+
+/// Online matcher assigning a uniformly random available worker, blind to
+/// all location information.
+#[derive(Debug, Clone)]
+pub struct RandomAssign {
+    /// Still-available worker indices; order is irrelevant.
+    pool: Vec<usize>,
+}
+
+impl RandomAssign {
+    /// Creates a matcher over `num_workers` workers.
+    pub fn new(num_workers: usize) -> Self {
+        RandomAssign {
+            pool: (0..num_workers).collect(),
+        }
+    }
+
+    /// Number of still-unassigned workers.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Assigns a uniformly random available worker; `None` when exhausted.
+    pub fn assign<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<usize> {
+        if self.pool.is_empty() {
+            return None;
+        }
+        let i = rng.gen_range(0..self.pool.len());
+        Some(self.pool.swap_remove(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pombm_geom::seeded_rng;
+
+    #[test]
+    fn assigns_each_worker_exactly_once() {
+        let mut m = RandomAssign::new(25);
+        let mut rng = seeded_rng(0, 0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..25 {
+            let w = m.assign(&mut rng).unwrap();
+            assert!(seen.insert(w));
+            assert!(w < 25);
+        }
+        assert_eq!(m.assign(&mut rng), None);
+        assert_eq!(m.remaining(), 0);
+    }
+
+    #[test]
+    fn first_pick_is_roughly_uniform() {
+        let trials = 6000;
+        let mut counts = [0usize; 4];
+        for seed in 0..trials {
+            let mut m = RandomAssign::new(4);
+            let mut rng = seeded_rng(seed, 1);
+            counts[m.assign(&mut rng).unwrap()] += 1;
+        }
+        for (w, &c) in counts.iter().enumerate() {
+            let frac = c as f64 / trials as f64;
+            assert!(
+                (frac - 0.25).abs() < 0.03,
+                "worker {w} picked {frac}, expected ~0.25"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_pool_returns_none() {
+        let mut m = RandomAssign::new(0);
+        let mut rng = seeded_rng(1, 0);
+        assert_eq!(m.assign(&mut rng), None);
+    }
+}

@@ -1,0 +1,251 @@
+//! Randomized HST greedy: uniform choice among tree-nearest workers.
+//!
+//! The paper's Alg. 4 breaks ties "arbitrarily"; the analysis it leans on
+//! (Meyerson et al., SODA'06 — the paper's ref \[15\]) actually randomizes
+//! that choice: the arriving task is assigned to a worker drawn *uniformly
+//! at random among all available workers at minimum tree distance*. On an
+//! ultrametric every free worker in the minimal occupied subtree outside
+//! the already-searched child is exactly equidistant, so the randomization
+//! never pays extra tree distance — it only spreads the choice, which is
+//! what the competitive analysis needs and what reduces the variance of the
+//! *Euclidean* cost of the produced matching.
+//!
+//! Implementation: the upward walk of [`SubtreeCounter::nearest`] finds the
+//! LCA level of the nearest free worker; the downward walk then picks each
+//! child with probability proportional to its occupancy count, which makes
+//! the final leaf choice uniform over resident workers. `O(c·D)` per task.
+
+use pombm_hst::{CodeContext, LeafCode, SubtreeCounter};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Online randomized-greedy matcher on the complete HST (see module docs).
+#[derive(Debug, Clone)]
+pub struct RandomizedGreedy {
+    counter: SubtreeCounter,
+    residents: HashMap<LeafCode, Vec<usize>>,
+    remaining: usize,
+}
+
+impl RandomizedGreedy {
+    /// Creates a matcher over the reported (obfuscated) worker leaves.
+    pub fn new(ctx: CodeContext, workers: Vec<LeafCode>) -> Self {
+        let mut counter = SubtreeCounter::new(ctx);
+        let mut residents: HashMap<LeafCode, Vec<usize>> = HashMap::new();
+        for (i, &w) in workers.iter().enumerate() {
+            counter.insert(w);
+            residents.entry(w).or_default().push(i);
+        }
+        let remaining = workers.len();
+        RandomizedGreedy {
+            counter,
+            residents,
+            remaining,
+        }
+    }
+
+    /// Number of still-unassigned workers.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Assigns a uniformly random tree-nearest available worker to the task
+    /// leaf `t`. Returns `None` when all workers are taken.
+    pub fn assign<R: Rng + ?Sized>(&mut self, t: LeafCode, rng: &mut R) -> Option<usize> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let ctx = self.counter.ctx();
+        let leaf = if self.counter.node_count_at(0, t.0) > 0 {
+            // Workers at the task's own leaf have distance 0; all of them
+            // are interchangeable.
+            t
+        } else {
+            // Upward walk: first level whose subtree holds a worker outside
+            // the already-searched child subtree.
+            let mut found = None;
+            for level in 1..=ctx.depth {
+                let anc = ctx.ancestor(t, level);
+                let searched = ctx.ancestor(t, level - 1);
+                if self.counter.node_count_at(level, anc)
+                    > self.counter.node_count_at(level - 1, searched)
+                {
+                    found = Some(self.descend_random(level, anc, Some(searched), rng));
+                    break;
+                }
+            }
+            found.expect("non-empty pool must yield a leaf")
+        };
+        let removed = self.counter.remove(leaf);
+        debug_assert!(removed);
+        let stack = self
+            .residents
+            .get_mut(&leaf)
+            .expect("counter and residents agree");
+        let w = stack.pop().expect("non-empty stack for counted leaf");
+        self.remaining -= 1;
+        Some(w)
+    }
+
+    /// Walks down from `(level, prefix)`, choosing each child with
+    /// probability proportional to its occupancy; `skip` excludes the
+    /// already-searched child at the first step. The returned leaf is
+    /// uniform over the resident workers of the eligible subtrees.
+    fn descend_random<R: Rng + ?Sized>(
+        &self,
+        mut level: u32,
+        mut prefix: u64,
+        mut skip: Option<u64>,
+        rng: &mut R,
+    ) -> LeafCode {
+        let ctx = self.counter.ctx();
+        let c = ctx.branching as u64;
+        while level > 0 {
+            let counts: Vec<(u64, u32)> = (0..c)
+                .map(|j| prefix * c + j)
+                .filter(|&child| Some(child) != skip)
+                .map(|child| (child, self.counter.node_count_at(level - 1, child)))
+                .filter(|&(_, n)| n > 0)
+                .collect();
+            let total: u32 = counts.iter().map(|&(_, n)| n).sum();
+            debug_assert!(total > 0, "count invariant violated during descent");
+            let mut pick = rng.gen_range(0..total);
+            let mut chosen = counts[counts.len() - 1].0;
+            for &(child, n) in &counts {
+                if pick < n {
+                    chosen = child;
+                    break;
+                }
+                pick -= n;
+            }
+            prefix = chosen;
+            level -= 1;
+            skip = None;
+        }
+        LeafCode(prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pombm_geom::seeded_rng;
+
+    fn ctx() -> CodeContext {
+        CodeContext::new(2, 4)
+    }
+
+    #[test]
+    fn exact_leaf_hit_is_taken_first() {
+        let mut m = RandomizedGreedy::new(ctx(), vec![LeafCode(9), LeafCode(5)]);
+        let mut rng = seeded_rng(0, 0);
+        assert_eq!(m.assign(LeafCode(5), &mut rng), Some(1));
+        assert_eq!(m.assign(LeafCode(5), &mut rng), Some(0));
+        assert_eq!(m.assign(LeafCode(5), &mut rng), None);
+        assert_eq!(m.remaining(), 0);
+    }
+
+    #[test]
+    fn every_assignment_is_nearest_in_own_pool() {
+        // Whatever the coin flips, each task must be assigned a worker at
+        // minimum tree distance among the matcher's *remaining* pool (the
+        // greedy invariant; pools diverge across runs once a tie is broken
+        // differently, so cross-run distance comparison would be wrong).
+        let c = CodeContext::new(3, 4);
+        let mut rng = seeded_rng(1, 0);
+        use rand::Rng as _;
+        for trial in 0..20 {
+            let workers: Vec<LeafCode> = (0..40)
+                .map(|_| LeafCode(rng.gen_range(0..c.num_leaves())))
+                .collect();
+            let tasks: Vec<LeafCode> = (0..40)
+                .map(|_| LeafCode(rng.gen_range(0..c.num_leaves())))
+                .collect();
+            let mut ran = RandomizedGreedy::new(c, workers.clone());
+            let mut available = vec![true; workers.len()];
+            let mut coin = seeded_rng(trial, 7);
+            for &t in &tasks {
+                let b = ran.assign(t, &mut coin).unwrap();
+                assert!(available[b], "trial {trial}: worker {b} reused");
+                let best = workers
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| available[i])
+                    .map(|(_, &w)| c.tree_dist_units(t, w))
+                    .min()
+                    .unwrap();
+                assert_eq!(
+                    c.tree_dist_units(t, workers[b]),
+                    best,
+                    "trial {trial}: task {t} not assigned a nearest worker"
+                );
+                available[b] = false;
+            }
+        }
+    }
+
+    #[test]
+    fn equidistant_workers_are_chosen_uniformly() {
+        // Workers at leaves 2 and 3 are both at LCA level 2 from a task at
+        // leaf 0; each must win about half the time.
+        let trials = 4000;
+        let mut wins_2 = 0;
+        for seed in 0..trials {
+            let mut m = RandomizedGreedy::new(ctx(), vec![LeafCode(2), LeafCode(3)]);
+            let mut rng = seeded_rng(seed, 11);
+            if m.assign(LeafCode(0), &mut rng) == Some(0) {
+                wins_2 += 1;
+            }
+        }
+        let frac = wins_2 as f64 / trials as f64;
+        assert!(
+            (frac - 0.5).abs() < 0.04,
+            "leaf 2 won {frac} of the time, expected ~0.5"
+        );
+    }
+
+    #[test]
+    fn choice_is_uniform_over_workers_not_leaves() {
+        // Two workers at leaf 2, one at leaf 3: leaf 2 must win ~2/3.
+        let trials = 4000;
+        let mut wins_leaf2 = 0;
+        for seed in 0..trials {
+            let mut m = RandomizedGreedy::new(ctx(), vec![LeafCode(2), LeafCode(2), LeafCode(3)]);
+            let mut rng = seeded_rng(seed, 13);
+            let w = m.assign(LeafCode(0), &mut rng).unwrap();
+            if w < 2 {
+                wins_leaf2 += 1;
+            }
+        }
+        let frac = wins_leaf2 as f64 / trials as f64;
+        assert!(
+            (frac - 2.0 / 3.0).abs() < 0.04,
+            "leaf 2 won {frac} of the time, expected ~0.667"
+        );
+    }
+
+    #[test]
+    fn matches_all_tasks_and_is_a_permutation() {
+        let c = CodeContext::new(2, 6);
+        let mut rng = seeded_rng(3, 0);
+        use rand::Rng as _;
+        let workers: Vec<LeafCode> = (0..64)
+            .map(|_| LeafCode(rng.gen_range(0..c.num_leaves())))
+            .collect();
+        let mut m = RandomizedGreedy::new(c, workers);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64u64 {
+            let w = m.assign(LeafCode(i % c.num_leaves()), &mut rng).unwrap();
+            assert!(seen.insert(w), "worker {w} assigned twice");
+        }
+        assert_eq!(m.assign(LeafCode(0), &mut rng), None);
+    }
+
+    #[test]
+    fn empty_pool_returns_none() {
+        let mut m = RandomizedGreedy::new(ctx(), vec![]);
+        let mut rng = seeded_rng(4, 0);
+        assert_eq!(m.assign(LeafCode(0), &mut rng), None);
+    }
+}

@@ -1,0 +1,208 @@
+//! Walker/Vose alias tables for O(1) discrete sampling.
+//!
+//! The naive HST mechanism (Alg. 2) and the exponential mechanism both
+//! sample from a fixed categorical distribution over up to `N` outcomes.
+//! Inverse-CDF sampling costs `O(N)` per draw; an alias table costs `O(N)`
+//! once and `O(1)` per draw, which matters when the same source location is
+//! obfuscated repeatedly (workers re-reporting across epochs, repeated
+//! experiment repetitions).
+
+use rand::Rng;
+
+/// A Walker alias table over `n` outcomes built with Vose's O(n) algorithm.
+///
+/// Sampling draws one uniform index and one uniform real, so each draw is
+/// O(1) regardless of the support size.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// `prob[i]` is the probability of keeping column `i` (vs. its alias).
+    prob: Vec<f64>,
+    /// `alias[i]` is the outcome used when column `i` rejects.
+    alias: Vec<u32>,
+    /// Normalized outcome probabilities, kept for exact inspection/tests.
+    pmf: Vec<f64>,
+}
+
+impl AliasTable {
+    /// Builds an alias table from non-negative `weights`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// entry, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(
+            !weights.is_empty(),
+            "alias table needs at least one outcome"
+        );
+        assert!(
+            weights.len() <= u32::MAX as usize,
+            "alias table supports at most 2^32 - 1 outcomes"
+        );
+        let mut total = 0.0f64;
+        for (i, &w) in weights.iter().enumerate() {
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "weight {i} must be finite and non-negative, got {w}"
+            );
+            total += w;
+        }
+        assert!(total > 0.0, "weights must not all be zero");
+
+        let n = weights.len();
+        let pmf: Vec<f64> = weights.iter().map(|w| w / total).collect();
+        // Scaled probabilities: mean 1. Classify into small (< 1) and large.
+        let mut scaled: Vec<f64> = pmf.iter().map(|p| p * n as f64).collect();
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+
+        let mut prob = vec![1.0f64; n];
+        let mut alias = vec![0u32; n];
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            prob[s as usize] = scaled[s as usize];
+            alias[s as usize] = l;
+            // The large column donates the mass the small column lacks.
+            scaled[l as usize] = (scaled[l as usize] + scaled[s as usize]) - 1.0;
+            if scaled[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Whatever remains (numerical leftovers) keeps probability 1.
+        for i in large {
+            prob[i as usize] = 1.0;
+        }
+        for i in small {
+            prob[i as usize] = 1.0;
+        }
+
+        AliasTable { prob, alias, pmf }
+    }
+
+    /// Number of outcomes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// The exact normalized probability of outcome `i`.
+    #[inline]
+    pub fn probability(&self, i: usize) -> f64 {
+        self.pmf[i]
+    }
+
+    /// Draws one outcome in O(1).
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pombm_geom::seeded_rng;
+
+    #[test]
+    fn single_outcome_always_sampled() {
+        let t = AliasTable::new(&[3.5]);
+        let mut rng = seeded_rng(0, 0);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+        assert_eq!(t.probability(0), 1.0);
+    }
+
+    #[test]
+    fn zero_weight_outcomes_never_sampled() {
+        let t = AliasTable::new(&[0.0, 1.0, 0.0, 2.0]);
+        let mut rng = seeded_rng(1, 0);
+        for _ in 0..10_000 {
+            let s = t.sample(&mut rng);
+            assert!(s == 1 || s == 3, "sampled zero-weight outcome {s}");
+        }
+        assert_eq!(t.probability(0), 0.0);
+        assert_eq!(t.probability(2), 0.0);
+    }
+
+    #[test]
+    fn pmf_is_normalized() {
+        let t = AliasTable::new(&[1.0, 2.0, 3.0, 4.0]);
+        let sum: f64 = (0..4).map(|i| t.probability(i)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((t.probability(3) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_frequencies_match_pmf() {
+        let weights = [5.0, 1.0, 0.5, 2.5, 1.0];
+        let t = AliasTable::new(&weights);
+        let mut rng = seeded_rng(2, 0);
+        let draws = 200_000usize;
+        let mut counts = [0usize; 5];
+        for _ in 0..draws {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        for (i, &count) in counts.iter().enumerate() {
+            let emp = count as f64 / draws as f64;
+            let exact = t.probability(i);
+            assert!(
+                (emp - exact).abs() < 0.01,
+                "outcome {i}: empirical {emp} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_weight_ratios_build() {
+        // Ratios like exp(-eps * 2^{D+2}) underflow to ~0; construction must
+        // stay finite and the dominant outcome must dominate.
+        let t = AliasTable::new(&[1.0, 1e-300, 0.0, 1e-12]);
+        let mut rng = seeded_rng(3, 0);
+        let hits = (0..1000).filter(|_| t.sample(&mut rng) == 0).count();
+        assert!(hits > 990);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one outcome")]
+    fn empty_weights_panic() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not all be zero")]
+    fn all_zero_weights_panic() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_weight_panics() {
+        let _ = AliasTable::new(&[1.0, -0.1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn nan_weight_panics() {
+        let _ = AliasTable::new(&[1.0, f64::NAN]);
+    }
+}

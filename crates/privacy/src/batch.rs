@@ -1,0 +1,215 @@
+//! Parallel batch obfuscation.
+//!
+//! The paper's workflow obfuscates every *registered worker* before any task
+//! arrives (step 2 of Fig. 1) — an embarrassingly parallel batch that
+//! dominates setup latency at the 10⁵ scale of the scalability experiments.
+//! This module shards a batch over `crossbeam` scoped threads, giving each
+//! shard an independent RNG stream (so results are deterministic in
+//! `(seed, num_shards)` and never depend on thread scheduling), and collects
+//! results through a `parking_lot`-protected output vector.
+//!
+//! Obfuscating one leaf is `O(D)` (Alg. 3), so the batch is compute-bound
+//! and scales nearly linearly with cores until memory bandwidth interferes;
+//! `benches/mechanism.rs` measures the crossover.
+
+use crate::hst_mechanism::HstMechanism;
+use crate::laplace::PlanarLaplace;
+use parking_lot::Mutex;
+use pombm_geom::{seeded_rng, Point};
+use pombm_hst::{Hst, LeafCode};
+
+/// Number of worker threads to use for a batch of `n` items: one shard per
+/// ~4096 items, capped by available parallelism.
+pub fn default_shards(n: usize) -> usize {
+    let by_size = n.div_ceil(4096).max(1);
+    let by_cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    by_size.min(by_cores)
+}
+
+/// Obfuscates a batch of HST leaves in parallel with Alg. 3.
+///
+/// Deterministic in `(seed, shards)`: shard `s` handles the contiguous range
+/// `[s·ceil(n/shards), …)` with RNG stream `s`, so the output is a pure
+/// function of the inputs regardless of scheduling.
+pub fn obfuscate_leaves_parallel(
+    mechanism: &HstMechanism,
+    hst: &Hst,
+    exact: &[LeafCode],
+    seed: u64,
+    shards: usize,
+) -> Vec<LeafCode> {
+    assert!(shards > 0, "need at least one shard");
+    let n = exact.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunk = n.div_ceil(shards);
+    let out = Mutex::new(vec![LeafCode(0); n]);
+    crossbeam::thread::scope(|scope| {
+        for (s, slice) in exact.chunks(chunk).enumerate() {
+            let out = &out;
+            scope.spawn(move |_| {
+                let mut rng = seeded_rng(seed, 0xBA7C_0000 + s as u64);
+                // Compute into a local buffer; take the lock once per shard.
+                let local: Vec<LeafCode> = slice
+                    .iter()
+                    .map(|&x| mechanism.obfuscate(hst, x, &mut rng))
+                    .collect();
+                let mut guard = out.lock();
+                guard[s * chunk..s * chunk + local.len()].copy_from_slice(&local);
+            });
+        }
+    })
+    .expect("obfuscation shards never panic");
+    out.into_inner()
+}
+
+/// Sequential reference with the identical sharded RNG schedule; used by
+/// tests and as the fallback for tiny batches.
+pub fn obfuscate_leaves_sequential(
+    mechanism: &HstMechanism,
+    hst: &Hst,
+    exact: &[LeafCode],
+    seed: u64,
+    shards: usize,
+) -> Vec<LeafCode> {
+    assert!(shards > 0, "need at least one shard");
+    let n = exact.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunk = n.div_ceil(shards);
+    let mut out = Vec::with_capacity(n);
+    for (s, slice) in exact.chunks(chunk).enumerate() {
+        let mut rng = seeded_rng(seed, 0xBA7C_0000 + s as u64);
+        out.extend(slice.iter().map(|&x| mechanism.obfuscate(hst, x, &mut rng)));
+    }
+    out
+}
+
+/// Obfuscates a batch of Euclidean locations in parallel with the planar
+/// Laplace mechanism; same determinism contract as
+/// [`obfuscate_leaves_parallel`].
+pub fn obfuscate_points_parallel(
+    mechanism: &PlanarLaplace,
+    locations: &[Point],
+    seed: u64,
+    shards: usize,
+) -> Vec<Point> {
+    assert!(shards > 0, "need at least one shard");
+    let n = locations.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunk = n.div_ceil(shards);
+    let out = Mutex::new(vec![Point::ORIGIN; n]);
+    crossbeam::thread::scope(|scope| {
+        for (s, slice) in locations.chunks(chunk).enumerate() {
+            let out = &out;
+            scope.spawn(move |_| {
+                let mut rng = seeded_rng(seed, 0xBA7C_8000 + s as u64);
+                let local: Vec<Point> = slice
+                    .iter()
+                    .map(|p| mechanism.obfuscate(p, &mut rng))
+                    .collect();
+                let mut guard = out.lock();
+                guard[s * chunk..s * chunk + local.len()].copy_from_slice(&local);
+            });
+        }
+    })
+    .expect("obfuscation shards never panic");
+    out.into_inner()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Epsilon;
+    use pombm_geom::{Grid, Rect};
+
+    fn setup() -> (Hst, HstMechanism) {
+        let grid = Grid::square(Rect::square(200.0), 16);
+        let mut rng = seeded_rng(1, 0);
+        let hst = Hst::build(&grid.to_point_set(), &mut rng);
+        let mech = HstMechanism::new(&hst, Epsilon::new(0.4));
+        (hst, mech)
+    }
+
+    #[test]
+    fn parallel_equals_sequential_reference() {
+        let (hst, mech) = setup();
+        let exact: Vec<LeafCode> = (0..1000).map(|i| hst.leaf_of(i % 256)).collect();
+        for shards in [1, 2, 3, 7] {
+            let par = obfuscate_leaves_parallel(&mech, &hst, &exact, 9, shards);
+            let seq = obfuscate_leaves_sequential(&mech, &hst, &exact, 9, shards);
+            assert_eq!(par, seq, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let (hst, mech) = setup();
+        let exact: Vec<LeafCode> = (0..500).map(|i| hst.leaf_of(i % 200)).collect();
+        let a = obfuscate_leaves_parallel(&mech, &hst, &exact, 3, 4);
+        let b = obfuscate_leaves_parallel(&mech, &hst, &exact, 3, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (hst, mech) = setup();
+        let exact: Vec<LeafCode> = (0..500).map(|i| hst.leaf_of(i % 200)).collect();
+        let a = obfuscate_leaves_parallel(&mech, &hst, &exact, 3, 4);
+        let b = obfuscate_leaves_parallel(&mech, &hst, &exact, 4, 4);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn outputs_belong_to_tree() {
+        let (hst, mech) = setup();
+        let exact: Vec<LeafCode> = (0..300).map(|i| hst.leaf_of(i % 100)).collect();
+        for z in obfuscate_leaves_parallel(&mech, &hst, &exact, 5, 3) {
+            assert!(hst.ctx().contains(z));
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (hst, mech) = setup();
+        assert!(obfuscate_leaves_parallel(&mech, &hst, &[], 0, 4).is_empty());
+        let lap = PlanarLaplace::new(Epsilon::new(1.0));
+        assert!(obfuscate_points_parallel(&lap, &[], 0, 2).is_empty());
+    }
+
+    #[test]
+    fn point_batch_matches_distribution() {
+        // Mean displacement of the parallel Laplace batch ≈ 2/ε.
+        let eps = 0.5;
+        let lap = PlanarLaplace::new(Epsilon::new(eps));
+        let origin = vec![Point::new(50.0, 50.0); 40_000];
+        let noisy = obfuscate_points_parallel(&lap, &origin, 7, 8);
+        let mean: f64 = noisy
+            .iter()
+            .zip(&origin)
+            .map(|(a, b)| a.dist(b))
+            .sum::<f64>()
+            / noisy.len() as f64;
+        assert!((mean - 2.0 / eps).abs() < 0.1, "mean displacement {mean}");
+    }
+
+    #[test]
+    fn default_shards_is_sane() {
+        assert_eq!(default_shards(0), 1);
+        assert!(default_shards(1) >= 1);
+        assert!(default_shards(1 << 20) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let (hst, mech) = setup();
+        let _ = obfuscate_leaves_parallel(&mech, &hst, &[hst.leaf_of(0)], 0, 0);
+    }
+}

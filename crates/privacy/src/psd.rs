@@ -1,0 +1,290 @@
+//! Private Spatial Decomposition (PSD) — the aggregate-DP alternative.
+//!
+//! The paper's related-work section contrasts its per-location Geo-I
+//! mechanisms with the *aggregate* approach of To et al. (PVLDB 2014): the
+//! worker set is summarized as a spatial decomposition whose per-cell
+//! **counts** are protected with Laplace noise (classic ε-differential
+//! privacy on counts, not on individual coordinates), and tasks are geocast
+//! to a region rather than matched to an individual. The paper argues such
+//! schemes "are unfit for queries on individual locations"; implementing
+//! PSD makes that contrast executable.
+//!
+//! This module provides a two-level adaptive grid (the AG structure of To et
+//! al.): a coarse level-1 grid whose cells are subdivided proportionally to
+//! their noisy counts, with the ε budget split between the levels. The
+//! [`PsdIndex::geocast`] query returns the nearest region whose noisy count
+//! is positive — the building block of PSD task assignment.
+
+use crate::Epsilon;
+use pombm_geom::{Point, Rect};
+use rand::Rng;
+
+/// One leaf cell of the decomposition with its noise-protected count.
+#[derive(Debug, Clone)]
+pub struct PsdCell {
+    /// The cell's region.
+    pub rect: Rect,
+    /// Laplace-noised worker count (can be negative; consumers typically
+    /// clamp at zero).
+    pub noisy_count: f64,
+    /// True count — kept for evaluation only, never exposed by queries.
+    true_count: usize,
+}
+
+impl PsdCell {
+    /// The true count, for *evaluation harnesses only* (a real server never
+    /// sees it).
+    pub fn true_count_for_evaluation(&self) -> usize {
+        self.true_count
+    }
+}
+
+/// A two-level adaptive grid with ε-differentially-private counts.
+#[derive(Debug, Clone)]
+pub struct PsdIndex {
+    cells: Vec<PsdCell>,
+    epsilon: Epsilon,
+}
+
+impl PsdIndex {
+    /// Fraction of the budget spent on the first level (To et al. use an
+    /// even split; we follow).
+    const LEVEL1_BUDGET: f64 = 0.5;
+
+    /// Builds the index over worker locations.
+    ///
+    /// * `level1` — first-level grid side (m₁ × m₁ cells).
+    /// * The second level subdivides each cell into `m₂ × m₂` with
+    ///   `m₂ = ceil(sqrt(noisy_count·ε₂ / c))` for the constant `c = 10`
+    ///   recommended by To et al., capped to `[1, 8]`.
+    pub fn build<R: Rng + ?Sized>(
+        region: Rect,
+        workers: &[Point],
+        epsilon: Epsilon,
+        level1: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(level1 > 0, "need at least one level-1 cell");
+        let eps1 = epsilon.value() * Self::LEVEL1_BUDGET;
+        let eps2 = epsilon.value() - eps1;
+
+        // Level 1: uniform grid with noisy counts at budget ε₁.
+        let mut cells = Vec::new();
+        let (w, h) = (
+            region.width() / level1 as f64,
+            region.height() / level1 as f64,
+        );
+        for row in 0..level1 {
+            for col in 0..level1 {
+                let rect = Rect::new(
+                    region.min_x + col as f64 * w,
+                    region.min_y + row as f64 * h,
+                    region.min_x + (col + 1) as f64 * w,
+                    region.min_y + (row + 1) as f64 * h,
+                );
+                let members: Vec<&Point> = workers
+                    .iter()
+                    .filter(|p| cell_contains(&rect, region, p))
+                    .collect();
+                let noisy = members.len() as f64 + laplace_noise(1.0 / eps1, rng);
+
+                // Level 2: subdivide adaptively by the noisy level-1 count.
+                let m2 = ((noisy.max(0.0) * eps2 / 10.0).sqrt().ceil() as usize).clamp(1, 8);
+                let (w2, h2) = (rect.width() / m2 as f64, rect.height() / m2 as f64);
+                for r2 in 0..m2 {
+                    for c2 in 0..m2 {
+                        let sub = Rect::new(
+                            rect.min_x + c2 as f64 * w2,
+                            rect.min_y + r2 as f64 * h2,
+                            rect.min_x + (c2 + 1) as f64 * w2,
+                            rect.min_y + (r2 + 1) as f64 * h2,
+                        );
+                        let true_count = members
+                            .iter()
+                            .filter(|p| cell_contains(&sub, rect, p))
+                            .count();
+                        let noisy_count = true_count as f64 + laplace_noise(1.0 / eps2, rng);
+                        cells.push(PsdCell {
+                            rect: sub,
+                            noisy_count,
+                            true_count,
+                        });
+                    }
+                }
+            }
+        }
+        PsdIndex { cells, epsilon }
+    }
+
+    /// The protected cells.
+    pub fn cells(&self) -> &[PsdCell] {
+        &self.cells
+    }
+
+    /// The total budget the index consumed (sequential composition over the
+    /// two levels; each worker is counted once per level).
+    pub fn epsilon(&self) -> Epsilon {
+        self.epsilon
+    }
+
+    /// Total noisy population (clamped per cell at zero).
+    pub fn noisy_total(&self) -> f64 {
+        self.cells.iter().map(|c| c.noisy_count.max(0.0)).sum()
+    }
+
+    /// Geocast: the cell nearest to `task` (by center distance) whose noisy
+    /// count is at least `min_count`. Returns `None` if no cell qualifies.
+    pub fn geocast(&self, task: &Point, min_count: f64) -> Option<&PsdCell> {
+        self.cells
+            .iter()
+            .filter(|c| c.noisy_count >= min_count)
+            .min_by(|a, b| {
+                a.rect
+                    .center()
+                    .dist_sq(task)
+                    .partial_cmp(&b.rect.center().dist_sq(task))
+                    .expect("finite distances")
+            })
+    }
+}
+
+/// Half-open cell membership: a point on a shared edge belongs to the cell
+/// on its upper side, except at the outer region boundary.
+fn cell_contains(cell: &Rect, outer: Rect, p: &Point) -> bool {
+    let in_x = p.x >= cell.min_x && (p.x < cell.max_x || cell.max_x >= outer.max_x);
+    let in_y = p.y >= cell.min_y && (p.y < cell.max_y || cell.max_y >= outer.max_y);
+    in_x && in_y
+}
+
+/// One-dimensional Laplace noise with scale `b` (sensitivity/ε).
+pub fn laplace_noise<R: Rng + ?Sized>(b: f64, rng: &mut R) -> f64 {
+    let u: f64 = rng.gen::<f64>() - 0.5;
+    -b * u.signum() * (1.0 - 2.0 * u.abs()).max(f64::MIN_POSITIVE).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pombm_geom::seeded_rng;
+
+    fn uniform_workers(n: usize, side: f64, seed: u64) -> Vec<Point> {
+        let mut rng = seeded_rng(seed, 0);
+        (0..n)
+            .map(|_| Point::new(rng.gen::<f64>() * side, rng.gen::<f64>() * side))
+            .collect()
+    }
+
+    #[test]
+    fn cells_partition_the_population() {
+        let region = Rect::square(100.0);
+        let workers = uniform_workers(500, 100.0, 1);
+        let mut rng = seeded_rng(2, 0);
+        let idx = PsdIndex::build(region, &workers, Epsilon::new(1.0), 4, &mut rng);
+        let total: usize = idx
+            .cells()
+            .iter()
+            .map(|c| c.true_count_for_evaluation())
+            .sum();
+        assert_eq!(total, 500, "every worker in exactly one leaf cell");
+    }
+
+    #[test]
+    fn noisy_total_tracks_true_total() {
+        let region = Rect::square(100.0);
+        let workers = uniform_workers(2000, 100.0, 3);
+        let mut rng = seeded_rng(4, 0);
+        let idx = PsdIndex::build(region, &workers, Epsilon::new(2.0), 4, &mut rng);
+        let noisy = idx.noisy_total();
+        // Noise scale per cell is 1/ε₂ = 1; with ≤ 4·4·64 cells the total
+        // deviation stays small relative to 2000.
+        assert!((noisy - 2000.0).abs() < 300.0, "noisy total {noisy}");
+    }
+
+    #[test]
+    fn geocast_prefers_nearby_populated_cells() {
+        let region = Rect::square(100.0);
+        // All workers in the lower-left corner.
+        let workers: Vec<Point> = uniform_workers(300, 20.0, 5);
+        let mut rng = seeded_rng(6, 0);
+        let idx = PsdIndex::build(region, &workers, Epsilon::new(2.0), 4, &mut rng);
+        let cell = idx
+            .geocast(&Point::new(5.0, 5.0), 3.0)
+            .expect("populated corner");
+        // The chosen cell's center is in the populated corner.
+        let center = cell.rect.center();
+        assert!(
+            center.x < 40.0 && center.y < 40.0,
+            "geocast went to {center} instead of the populated corner"
+        );
+        assert!(cell.true_count_for_evaluation() > 0 || cell.noisy_count >= 3.0);
+    }
+
+    #[test]
+    fn geocast_none_when_threshold_unreachable() {
+        let region = Rect::square(100.0);
+        let mut rng = seeded_rng(7, 0);
+        let idx = PsdIndex::build(region, &[], Epsilon::new(1.0), 2, &mut rng);
+        assert!(idx.geocast(&Point::new(50.0, 50.0), 1e9).is_none());
+    }
+
+    #[test]
+    fn denser_cells_subdivide_more() {
+        let region = Rect::square(100.0);
+        // Dense corner vs empty elsewhere: the dense level-1 cell should
+        // produce more leaf cells than the empty ones.
+        let workers = uniform_workers(3000, 25.0, 8); // all in one L1 cell of a 4x4 grid
+        let mut rng = seeded_rng(9, 0);
+        let idx = PsdIndex::build(region, &workers, Epsilon::new(2.0), 4, &mut rng);
+        let dense_leaves = idx
+            .cells()
+            .iter()
+            .filter(|c| c.rect.min_x < 25.0 && c.rect.min_y < 25.0)
+            .count();
+        let sparse_leaves = idx
+            .cells()
+            .iter()
+            .filter(|c| c.rect.min_x >= 75.0 && c.rect.min_y >= 75.0)
+            .count();
+        assert!(
+            dense_leaves > sparse_leaves,
+            "dense {dense_leaves} vs sparse {sparse_leaves}"
+        );
+    }
+
+    #[test]
+    fn laplace_noise_is_centered_with_right_scale() {
+        let mut rng = seeded_rng(10, 0);
+        let b = 2.0;
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| laplace_noise(b, &mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let mad = samples.iter().map(|x| x.abs()).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        // E|X| = b for Laplace(b).
+        assert!((mad - b).abs() < 0.05, "mean abs deviation {mad}");
+    }
+
+    #[test]
+    fn counting_is_deterministic_given_seed() {
+        let region = Rect::square(50.0);
+        let workers = uniform_workers(100, 50.0, 11);
+        let a = PsdIndex::build(
+            region,
+            &workers,
+            Epsilon::new(1.0),
+            3,
+            &mut seeded_rng(12, 0),
+        );
+        let b = PsdIndex::build(
+            region,
+            &workers,
+            Epsilon::new(1.0),
+            3,
+            &mut seeded_rng(12, 0),
+        );
+        assert_eq!(a.cells().len(), b.cells().len());
+        for (x, y) in a.cells().iter().zip(b.cells()) {
+            assert_eq!(x.noisy_count, y.noisy_count);
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Alternative spatial distributions for robustness sweeps.
+//!
+//! The paper's synthetic evaluation uses a single Normal distribution
+//! (Table II). Mechanism behaviour depends heavily on spatial *shape* —
+//! tree-based obfuscation interacts differently with uniform sprawl, skewed
+//! corridors and multi-modal demand — so this module adds the standard
+//! shapes used across the spatial-crowdsourcing literature (e.g. Tong et
+//! al., PVLDB'16 compare uniform/Normal/skewed workloads). They power
+//! robustness tests and the `distortion` extension experiment.
+
+use crate::instance::Instance;
+use pombm_geom::{Point, Rect};
+use rand::Rng;
+use rand_distr::{Distribution, Exp, Normal};
+use serde::{Deserialize, Serialize};
+
+/// A spatial distribution over a rectangular region.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Spatial {
+    /// Uniform over the region.
+    Uniform,
+    /// Axis-independent Normal with the given mean and deviation,
+    /// rejection-sampled into the region.
+    Normal {
+        /// Per-axis mean.
+        mu: f64,
+        /// Per-axis standard deviation.
+        sigma: f64,
+    },
+    /// Exponentially skewed toward the region's minimum corner: each axis is
+    /// `min + Exp(rate)`, rejection-sampled into the region. Models demand
+    /// decaying away from a corner hub (port, airport).
+    Skewed {
+        /// Decay rate per unit distance; larger = more concentrated.
+        rate: f64,
+    },
+    /// A balanced mixture of Normal components (multi-modal demand).
+    Mixture(Vec<MixtureComponent>),
+}
+
+/// One component of [`Spatial::Mixture`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MixtureComponent {
+    /// Component center.
+    pub center: (f64, f64),
+    /// Isotropic standard deviation.
+    pub sigma: f64,
+    /// Relative weight (unnormalized).
+    pub weight: f64,
+}
+
+impl Spatial {
+    /// Samples one point inside `region`.
+    pub fn sample<R: Rng + ?Sized>(&self, region: &Rect, rng: &mut R) -> Point {
+        match self {
+            Spatial::Uniform => Point::new(
+                region.min_x + rng.gen::<f64>() * region.width(),
+                region.min_y + rng.gen::<f64>() * region.height(),
+            ),
+            Spatial::Normal { mu, sigma } => {
+                let dist = Normal::new(*mu, *sigma).expect("valid Normal");
+                loop {
+                    let p = Point::new(dist.sample(rng), dist.sample(rng));
+                    if region.contains(&p) {
+                        return p;
+                    }
+                }
+            }
+            Spatial::Skewed { rate } => {
+                let exp = Exp::new(*rate).expect("positive rate");
+                loop {
+                    let p = Point::new(
+                        region.min_x + exp.sample(rng),
+                        region.min_y + exp.sample(rng),
+                    );
+                    if region.contains(&p) {
+                        return p;
+                    }
+                }
+            }
+            Spatial::Mixture(components) => {
+                assert!(!components.is_empty(), "mixture needs components");
+                let total: f64 = components.iter().map(|c| c.weight).sum();
+                let mut u = rng.gen::<f64>() * total;
+                let mut chosen = &components[components.len() - 1];
+                for c in components {
+                    if u < c.weight {
+                        chosen = c;
+                        break;
+                    }
+                    u -= c.weight;
+                }
+                let nx = Normal::new(chosen.center.0, chosen.sigma).expect("valid Normal");
+                let ny = Normal::new(chosen.center.1, chosen.sigma).expect("valid Normal");
+                loop {
+                    let p = Point::new(nx.sample(rng), ny.sample(rng));
+                    if region.contains(&p) {
+                        return p;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Samples `count` points.
+    pub fn sample_many<R: Rng + ?Sized>(
+        &self,
+        region: &Rect,
+        count: usize,
+        rng: &mut R,
+    ) -> Vec<Point> {
+        (0..count).map(|_| self.sample(region, rng)).collect()
+    }
+}
+
+/// Builds an instance with independent task and worker distributions.
+pub fn generate<R: Rng + ?Sized>(
+    region: Rect,
+    tasks: (&Spatial, usize),
+    workers: (&Spatial, usize),
+    rng: &mut R,
+) -> Instance {
+    Instance::new(
+        region,
+        tasks.0.sample_many(&region, tasks.1, rng),
+        workers.0.sample_many(&region, workers.1, rng),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pombm_geom::seeded_rng;
+
+    const REGION: Rect = Rect {
+        min_x: 0.0,
+        min_y: 0.0,
+        max_x: 100.0,
+        max_y: 100.0,
+    };
+
+    #[test]
+    fn uniform_covers_the_region() {
+        let mut rng = seeded_rng(1, 0);
+        let pts = Spatial::Uniform.sample_many(&REGION, 4000, &mut rng);
+        let mean_x: f64 = pts.iter().map(|p| p.x).sum::<f64>() / pts.len() as f64;
+        assert!((mean_x - 50.0).abs() < 2.0);
+        // All four quadrants hit.
+        for (qx, qy) in [(false, false), (false, true), (true, false), (true, true)] {
+            assert!(
+                pts.iter().any(|p| (p.x > 50.0) == qx && (p.y > 50.0) == qy),
+                "quadrant {qx}/{qy} empty"
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_concentrates_at_the_corner() {
+        let mut rng = seeded_rng(2, 0);
+        let pts = Spatial::Skewed { rate: 0.1 }.sample_many(&REGION, 4000, &mut rng);
+        let mean_x: f64 = pts.iter().map(|p| p.x).sum::<f64>() / pts.len() as f64;
+        // Exp(0.1) has mean 10 (before truncation): far below the center.
+        assert!(mean_x < 20.0, "mean_x {mean_x}");
+        assert!(pts.iter().all(|p| REGION.contains(p)));
+    }
+
+    #[test]
+    fn mixture_hits_all_modes() {
+        let spatial = Spatial::Mixture(vec![
+            MixtureComponent {
+                center: (20.0, 20.0),
+                sigma: 3.0,
+                weight: 1.0,
+            },
+            MixtureComponent {
+                center: (80.0, 80.0),
+                sigma: 3.0,
+                weight: 1.0,
+            },
+        ]);
+        let mut rng = seeded_rng(3, 0);
+        let pts = spatial.sample_many(&REGION, 2000, &mut rng);
+        let near_a = pts
+            .iter()
+            .filter(|p| p.dist(&Point::new(20.0, 20.0)) < 15.0)
+            .count();
+        let near_b = pts
+            .iter()
+            .filter(|p| p.dist(&Point::new(80.0, 80.0)) < 15.0)
+            .count();
+        assert!(near_a > 700 && near_b > 700, "modes {near_a}/{near_b}");
+        assert!(near_a + near_b > 1900, "almost everything near a mode");
+    }
+
+    #[test]
+    fn mixture_weights_bias_mode_choice() {
+        let spatial = Spatial::Mixture(vec![
+            MixtureComponent {
+                center: (20.0, 20.0),
+                sigma: 2.0,
+                weight: 9.0,
+            },
+            MixtureComponent {
+                center: (80.0, 80.0),
+                sigma: 2.0,
+                weight: 1.0,
+            },
+        ]);
+        let mut rng = seeded_rng(4, 0);
+        let pts = spatial.sample_many(&REGION, 3000, &mut rng);
+        let near_a = pts.iter().filter(|p| p.x < 50.0).count();
+        let frac = near_a as f64 / pts.len() as f64;
+        assert!((frac - 0.9).abs() < 0.03, "heavy mode fraction {frac}");
+    }
+
+    #[test]
+    fn generate_pairs_distributions() {
+        let mut rng = seeded_rng(5, 0);
+        let inst = generate(
+            REGION,
+            (&Spatial::Uniform, 100),
+            (&Spatial::Skewed { rate: 0.2 }, 200),
+            &mut rng,
+        );
+        assert_eq!(inst.num_tasks(), 100);
+        assert_eq!(inst.num_workers(), 200);
+        inst.validate().unwrap();
+    }
+
+    #[test]
+    fn normal_matches_table2_generator() {
+        // Spatial::Normal must agree statistically with synthetic::generate.
+        let mut rng = seeded_rng(6, 0);
+        let pts = Spatial::Normal {
+            mu: 100.0,
+            sigma: 20.0,
+        }
+        .sample_many(&Rect::square(200.0), 5000, &mut rng);
+        let mean: f64 = pts.iter().map(|p| p.x).sum::<f64>() / pts.len() as f64;
+        assert!((mean - 100.0).abs() < 1.5);
+    }
+}

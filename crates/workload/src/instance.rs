@@ -1,0 +1,197 @@
+//! Problem instances: the input to one experiment run.
+
+use pombm_geom::{Point, Rect};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One POMBM problem instance: a region, a set of workers known upfront, and
+/// a sequence of tasks in arrival order.
+///
+/// The competitive-ratio definition (Definition 8) uses the *random order
+/// model*; [`Instance::shuffle_tasks`] re-randomizes the arrival order for
+/// repeated trials.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Instance {
+    /// The workspace region (used for clamping obfuscated points and sizing
+    /// indexes).
+    pub region: Rect,
+    /// Task locations in arrival order.
+    pub tasks: Vec<Point>,
+    /// Worker locations (registered before any task arrives).
+    pub workers: Vec<Point>,
+    /// Reachable radii, one per worker; `None` outside the case study.
+    pub radii: Option<Vec<f64>>,
+}
+
+impl Instance {
+    /// Creates an instance without radii.
+    pub fn new(region: Rect, tasks: Vec<Point>, workers: Vec<Point>) -> Self {
+        Instance {
+            region,
+            tasks,
+            workers,
+            radii: None,
+        }
+    }
+
+    /// Attaches uniformly drawn reachable radii in `[lo, hi]` (the case
+    /// study draws U[10, 20] for synthetic data and U[500, 1000] m for the
+    /// real data).
+    pub fn with_uniform_radii<R: Rng + ?Sized>(mut self, lo: f64, hi: f64, rng: &mut R) -> Self {
+        assert!(lo <= hi && lo >= 0.0, "invalid radius range [{lo}, {hi}]");
+        self.radii = Some(
+            (0..self.workers.len())
+                .map(|_| rng.gen_range(lo..=hi))
+                .collect(),
+        );
+        self
+    }
+
+    /// Number of tasks `m = |T|`.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of workers `n = |W|`.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The matching size bound `k = min(n, m)`.
+    pub fn k(&self) -> usize {
+        self.tasks.len().min(self.workers.len())
+    }
+
+    /// Shuffles the task arrival order in place (random order model).
+    pub fn shuffle_tasks<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.tasks.shuffle(rng);
+    }
+
+    /// Returns a copy with all coordinates (region, locations, radii)
+    /// multiplied by `factor`.
+    ///
+    /// Used to normalize the Chengdu-like trace (meters over 10 km) into the
+    /// same unit scale as the synthetic 200 × 200 space, so a given ε means
+    /// the same privacy level on both datasets (factor 1/50: 50 m per unit).
+    pub fn scaled(&self, factor: f64) -> Instance {
+        assert!(factor.is_finite() && factor > 0.0, "scale must be positive");
+        let scale_point = |p: &Point| Point::new(p.x * factor, p.y * factor);
+        Instance {
+            region: Rect::new(
+                self.region.min_x * factor,
+                self.region.min_y * factor,
+                self.region.max_x * factor,
+                self.region.max_y * factor,
+            ),
+            tasks: self.tasks.iter().map(scale_point).collect(),
+            workers: self.workers.iter().map(scale_point).collect(),
+            radii: self
+                .radii
+                .as_ref()
+                .map(|r| r.iter().map(|x| x * factor).collect()),
+        }
+    }
+
+    /// Validates that every coordinate is finite and inside the region, and
+    /// radii (if any) are positive and one-per-worker.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, p) in self.tasks.iter().enumerate() {
+            if !p.is_finite() || !self.region.contains(p) {
+                return Err(format!("task {i} at {p} outside region"));
+            }
+        }
+        for (i, p) in self.workers.iter().enumerate() {
+            if !p.is_finite() || !self.region.contains(p) {
+                return Err(format!("worker {i} at {p} outside region"));
+            }
+        }
+        if let Some(r) = &self.radii {
+            if r.len() != self.workers.len() {
+                return Err("radius count mismatch".into());
+            }
+            if let Some(bad) = r.iter().find(|x| !x.is_finite() || **x < 0.0) {
+                return Err(format!("invalid radius {bad}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pombm_geom::seeded_rng;
+
+    fn small() -> Instance {
+        Instance::new(
+            Rect::square(10.0),
+            vec![Point::new(1.0, 1.0), Point::new(2.0, 2.0)],
+            vec![Point::new(3.0, 3.0)],
+        )
+    }
+
+    #[test]
+    fn counts_and_k() {
+        let i = small();
+        assert_eq!(i.num_tasks(), 2);
+        assert_eq!(i.num_workers(), 1);
+        assert_eq!(i.k(), 1);
+        i.validate().unwrap();
+    }
+
+    #[test]
+    fn radii_are_in_range() {
+        let mut rng = seeded_rng(1, 0);
+        let i = small().with_uniform_radii(10.0, 20.0, &mut rng);
+        for r in i.radii.as_ref().unwrap() {
+            assert!((10.0..=20.0).contains(r));
+        }
+        i.validate().unwrap();
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset() {
+        let mut rng = seeded_rng(2, 0);
+        let mut i = Instance::new(
+            Rect::square(100.0),
+            (0..50).map(|k| Point::new(k as f64, 0.0)).collect(),
+            vec![],
+        );
+        let mut before: Vec<_> = i.tasks.iter().map(|p| p.x as i64).collect();
+        i.shuffle_tasks(&mut rng);
+        let mut after: Vec<_> = i.tasks.iter().map(|p| p.x as i64).collect();
+        assert_ne!(before, after, "shuffle should change the order");
+        before.sort_unstable();
+        after.sort_unstable();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn validate_catches_out_of_region() {
+        let i = Instance::new(Rect::square(1.0), vec![Point::new(5.0, 5.0)], vec![]);
+        assert!(i.validate().is_err());
+    }
+
+    #[test]
+    fn scaled_rescales_everything() {
+        let mut rng = seeded_rng(6, 0);
+        let i = small().with_uniform_radii(10.0, 20.0, &mut rng);
+        let s = i.scaled(0.1);
+        assert_eq!(s.region.max_x, 1.0);
+        assert_eq!(s.tasks[0], Point::new(0.1, 0.1));
+        let r0 = i.radii.as_ref().unwrap()[0];
+        assert!((s.radii.as_ref().unwrap()[0] - r0 * 0.1).abs() < 1e-12);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut rng = seeded_rng(3, 0);
+        let i = small().with_uniform_radii(1.0, 2.0, &mut rng);
+        let json = serde_json::to_string(&i).unwrap();
+        let back: Instance = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.tasks.len(), i.tasks.len());
+        assert_eq!(back.radii.unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,169 @@
+//! Worker shift schedules for the dynamic-pool extension.
+//!
+//! The paper's model knows every worker upfront; real fleets run shifts.
+//! A [`ShiftPlan`] assigns each worker a presence window `[start, end)`
+//! within a simulation horizon, so the dynamic simulator can replay worker
+//! arrivals and departures interleaved with task arrivals.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One worker's presence window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Shift {
+    /// Index into the instance's worker array.
+    pub worker: usize,
+    /// Shift start time (inclusive).
+    pub start: f64,
+    /// Shift end time (exclusive); always greater than `start`.
+    pub end: f64,
+}
+
+impl Shift {
+    /// True iff the worker is on shift at time `t`.
+    #[inline]
+    pub fn covers(&self, t: f64) -> bool {
+        self.start <= t && t < self.end
+    }
+}
+
+/// Per-worker shift windows over a `[0, horizon)` simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShiftPlan {
+    /// Simulation horizon; all shifts lie inside `[0, horizon)`.
+    pub horizon: f64,
+    /// One shift per worker, in worker order.
+    pub shifts: Vec<Shift>,
+}
+
+impl ShiftPlan {
+    /// Draws a random plan: each of `num_workers` workers starts uniformly
+    /// in the horizon and stays for a uniform duration in
+    /// `[min_duration, max_duration]` (clipped to the horizon).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` or the duration range is non-positive or
+    /// inverted.
+    pub fn uniform<R: Rng + ?Sized>(
+        num_workers: usize,
+        horizon: f64,
+        min_duration: f64,
+        max_duration: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(horizon > 0.0, "horizon must be positive");
+        assert!(
+            0.0 < min_duration && min_duration <= max_duration,
+            "need 0 < min_duration <= max_duration"
+        );
+        let shifts = (0..num_workers)
+            .map(|worker| {
+                let start = rng.gen::<f64>() * horizon;
+                let duration = min_duration + rng.gen::<f64>() * (max_duration - min_duration);
+                Shift {
+                    worker,
+                    start,
+                    end: (start + duration).min(horizon),
+                }
+            })
+            .collect();
+        ShiftPlan { horizon, shifts }
+    }
+
+    /// A degenerate plan where every worker is present for the whole
+    /// horizon — the paper's static model as a special case.
+    pub fn always_on(num_workers: usize, horizon: f64) -> Self {
+        assert!(horizon > 0.0, "horizon must be positive");
+        ShiftPlan {
+            horizon,
+            shifts: (0..num_workers)
+                .map(|worker| Shift {
+                    worker,
+                    start: 0.0,
+                    end: horizon,
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of workers on shift at time `t`.
+    pub fn on_shift_at(&self, t: f64) -> usize {
+        self.shifts.iter().filter(|s| s.covers(t)).count()
+    }
+
+    /// Mean fraction of the horizon each worker is present.
+    pub fn mean_coverage(&self) -> f64 {
+        if self.shifts.is_empty() {
+            return 0.0;
+        }
+        self.shifts
+            .iter()
+            .map(|s| (s.end - s.start) / self.horizon)
+            .sum::<f64>()
+            / self.shifts.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pombm_geom::seeded_rng;
+
+    #[test]
+    fn uniform_shifts_stay_in_horizon() {
+        let mut rng = seeded_rng(0, 0);
+        let plan = ShiftPlan::uniform(200, 100.0, 10.0, 30.0, &mut rng);
+        assert_eq!(plan.shifts.len(), 200);
+        for s in &plan.shifts {
+            assert!(0.0 <= s.start && s.start < 100.0);
+            assert!(s.start < s.end && s.end <= 100.0);
+        }
+    }
+
+    #[test]
+    fn always_on_covers_everything() {
+        let plan = ShiftPlan::always_on(10, 50.0);
+        assert_eq!(plan.on_shift_at(0.0), 10);
+        assert_eq!(plan.on_shift_at(49.9), 10);
+        assert_eq!(plan.on_shift_at(50.0), 0, "end is exclusive");
+        assert!((plan.mean_coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_reflects_durations() {
+        let mut rng = seeded_rng(1, 0);
+        // 10-unit shifts in a 100-unit horizon: coverage ≈ 0.1 (less from
+        // end clipping).
+        let plan = ShiftPlan::uniform(500, 100.0, 10.0, 10.0, &mut rng);
+        let cov = plan.mean_coverage();
+        assert!(cov > 0.05 && cov <= 0.101, "coverage {cov}");
+    }
+
+    #[test]
+    fn covers_is_half_open() {
+        let s = Shift {
+            worker: 0,
+            start: 5.0,
+            end: 8.0,
+        };
+        assert!(!s.covers(4.999));
+        assert!(s.covers(5.0));
+        assert!(s.covers(7.999));
+        assert!(!s.covers(8.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon must be positive")]
+    fn zero_horizon_rejected() {
+        let mut rng = seeded_rng(2, 0);
+        let _ = ShiftPlan::uniform(5, 0.0, 1.0, 2.0, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_duration")]
+    fn inverted_duration_range_rejected() {
+        let mut rng = seeded_rng(3, 0);
+        let _ = ShiftPlan::uniform(5, 10.0, 5.0, 2.0, &mut rng);
+    }
+}

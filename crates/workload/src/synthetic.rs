@@ -1,0 +1,135 @@
+//! Synthetic Normal workloads (Table II).
+
+use crate::instance::Instance;
+use crate::params::SyntheticParams;
+use pombm_geom::{Point, Rect};
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+
+/// Generates a synthetic instance per Table II: tasks and workers drawn
+/// i.i.d. from `N(µ, σ²)` per axis inside the 200 × 200 space, rejection-
+/// sampled into the region (resampling rather than clamping avoids the
+/// boundary atom a clamp would create).
+pub fn generate<R: Rng + ?Sized>(params: &SyntheticParams, rng: &mut R) -> Instance {
+    let region = Rect::square(SyntheticParams::SPACE_SIDE);
+    let normal = Normal::new(params.mu, params.sigma).expect("valid Normal parameters");
+    let tasks = sample_points(params.num_tasks, &normal, &region, rng);
+    let workers = sample_points(params.num_workers, &normal, &region, rng);
+    Instance::new(region, tasks, workers)
+}
+
+/// Generates the case-study variant: the same instance plus uniform
+/// reachable radii from [`SyntheticParams::REACH_RADIUS`].
+pub fn generate_with_radii<R: Rng + ?Sized>(params: &SyntheticParams, rng: &mut R) -> Instance {
+    let (lo, hi) = SyntheticParams::REACH_RADIUS;
+    generate(params, rng).with_uniform_radii(lo, hi, rng)
+}
+
+fn sample_points<R: Rng + ?Sized>(
+    count: usize,
+    normal: &Normal<f64>,
+    region: &Rect,
+    rng: &mut R,
+) -> Vec<Point> {
+    (0..count)
+        .map(|_| loop {
+            let p = Point::new(normal.sample(rng), normal.sample(rng));
+            if region.contains(&p) {
+                break p;
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pombm_geom::seeded_rng;
+
+    #[test]
+    fn default_instance_shape() {
+        let mut rng = seeded_rng(1, 0);
+        let inst = generate(&SyntheticParams::default(), &mut rng);
+        assert_eq!(inst.num_tasks(), 3000);
+        assert_eq!(inst.num_workers(), 5000);
+        inst.validate().unwrap();
+    }
+
+    #[test]
+    fn sample_mean_tracks_mu() {
+        let mut rng = seeded_rng(2, 0);
+        let params = SyntheticParams {
+            mu: 75.0,
+            sigma: 10.0,
+            num_tasks: 5000,
+            num_workers: 10,
+            epsilon: 0.6,
+        };
+        let inst = generate(&params, &mut rng);
+        let mean_x: f64 = inst.tasks.iter().map(|p| p.x).sum::<f64>() / inst.tasks.len() as f64;
+        let mean_y: f64 = inst.tasks.iter().map(|p| p.y).sum::<f64>() / inst.tasks.len() as f64;
+        // σ = 10, n = 5000: standard error ≈ 0.14; allow 1.0.
+        assert!((mean_x - 75.0).abs() < 1.0, "mean_x {mean_x}");
+        assert!((mean_y - 75.0).abs() < 1.0, "mean_y {mean_y}");
+    }
+
+    #[test]
+    fn sample_spread_tracks_sigma() {
+        let mut rng = seeded_rng(3, 0);
+        let params = SyntheticParams {
+            sigma: 25.0,
+            num_tasks: 5000,
+            num_workers: 10,
+            ..SyntheticParams::default()
+        };
+        let inst = generate(&params, &mut rng);
+        let mean: f64 = inst.tasks.iter().map(|p| p.x).sum::<f64>() / inst.tasks.len() as f64;
+        let var: f64 =
+            inst.tasks.iter().map(|p| (p.x - mean).powi(2)).sum::<f64>() / inst.tasks.len() as f64;
+        let sd = var.sqrt();
+        assert!((sd - 25.0).abs() < 2.0, "sd {sd}");
+    }
+
+    #[test]
+    fn edge_mu_stays_in_region() {
+        // µ = 150 with σ = 30 pushes mass toward the boundary; rejection
+        // sampling must keep everything inside.
+        let mut rng = seeded_rng(4, 0);
+        let params = SyntheticParams {
+            mu: 150.0,
+            sigma: 30.0,
+            num_tasks: 2000,
+            num_workers: 2000,
+            epsilon: 0.6,
+        };
+        let inst = generate(&params, &mut rng);
+        inst.validate().unwrap();
+    }
+
+    #[test]
+    fn radii_variant_attaches_radii() {
+        let mut rng = seeded_rng(5, 0);
+        let params = SyntheticParams {
+            num_tasks: 10,
+            num_workers: 20,
+            ..SyntheticParams::default()
+        };
+        let inst = generate_with_radii(&params, &mut rng);
+        let radii = inst.radii.as_ref().unwrap();
+        assert_eq!(radii.len(), 20);
+        assert!(radii.iter().all(|r| (10.0..=20.0).contains(r)));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let params = SyntheticParams {
+            num_tasks: 50,
+            num_workers: 50,
+            ..SyntheticParams::default()
+        };
+        let a = generate(&params, &mut seeded_rng(9, 0));
+        let b = generate(&params, &mut seeded_rng(9, 0));
+        assert_eq!(a.tasks, b.tasks);
+        assert_eq!(a.workers, b.workers);
+    }
+}

@@ -1,0 +1,177 @@
+//! Integration tests of the matching layer over real HSTs (not just raw
+//! code contexts): HST-greedy vs the offline optimum, engine equivalence at
+//! scale, and the greedy's competitive behaviour on the tree metric.
+
+use pombm_geom::{seeded_rng, Grid, Point, Rect};
+use pombm_hst::{Hst, LeafCode};
+use pombm_matching::offline::OfflineOptimal;
+use pombm_matching::{HstGreedy, HstGreedyEngine, Matching};
+use rand::Rng;
+
+fn grid_hst(side: usize, seed: u64) -> Hst {
+    let grid = Grid::square(Rect::square(200.0), side);
+    let mut rng = seeded_rng(seed, 0);
+    Hst::build(&grid.to_point_set(), &mut rng)
+}
+
+/// HST-greedy on exact (unobfuscated) leaves never does better than the
+/// offline optimum measured in tree distance, and stays within the
+/// O(log N log² k) ballpark on random instances.
+#[test]
+fn hst_greedy_vs_offline_optimum_in_tree_metric() {
+    let hst = grid_hst(8, 1);
+    let mut rng = seeded_rng(2, 1);
+    let n = 60;
+    let workers: Vec<LeafCode> = (0..n)
+        .map(|_| hst.leaf_of(rng.gen_range(0..hst.num_points())))
+        .collect();
+    let tasks: Vec<LeafCode> = (0..n)
+        .map(|_| hst.leaf_of(rng.gen_range(0..hst.num_points())))
+        .collect();
+
+    let mut greedy = HstGreedy::new(hst.ctx(), workers.clone(), HstGreedyEngine::Scan);
+    let mut greedy_total = 0.0;
+    for &t in &tasks {
+        let w = greedy.assign(t).unwrap();
+        greedy_total += hst.tree_dist(t, workers[w]);
+    }
+
+    let opt = OfflineOptimal::solve(tasks.len(), workers.len(), |t, w| {
+        hst.tree_dist(tasks[t], workers[w])
+    });
+    let opt_total: f64 = opt
+        .pairs
+        .iter()
+        .map(|&(t, w)| hst.tree_dist(tasks[t], workers[w]))
+        .sum();
+
+    assert!(greedy_total >= opt_total - 1e-9, "greedy beats OPT?");
+    // Meyerson et al. give O(log³ k) in expectation for HST greedy; a fixed
+    // instance can deviate, so use a loose sanity multiple.
+    assert!(
+        greedy_total <= opt_total.max(1.0) * 50.0,
+        "greedy {greedy_total} vs opt {opt_total}: unreasonable gap"
+    );
+}
+
+/// Engine equivalence on a real tree at moderate scale.
+#[test]
+fn engines_agree_on_real_tree() {
+    let hst = grid_hst(16, 3);
+    let mut rng = seeded_rng(4, 2);
+    let workers: Vec<LeafCode> = (0..800)
+        .map(|_| LeafCode(rng.gen_range(0..hst.num_leaves())))
+        .collect();
+    let tasks: Vec<LeafCode> = (0..800)
+        .map(|_| LeafCode(rng.gen_range(0..hst.num_leaves())))
+        .collect();
+    let mut scan = HstGreedy::new(hst.ctx(), workers.clone(), HstGreedyEngine::Scan);
+    let mut indexed = HstGreedy::new(hst.ctx(), workers, HstGreedyEngine::Indexed);
+    for &t in &tasks {
+        assert_eq!(scan.assign(t), indexed.assign(t));
+    }
+}
+
+/// Tree distances dominate Euclidean distances (the HST embedding property),
+/// so a matching's tree cost upper-bounds its Euclidean cost on the
+/// predefined points.
+#[test]
+fn tree_cost_dominates_euclidean_cost() {
+    let hst = grid_hst(8, 5);
+    let points = hst.points().clone();
+    let mut rng = seeded_rng(6, 3);
+    let task_ids: Vec<usize> = (0..40).map(|_| rng.gen_range(0..points.len())).collect();
+    let worker_ids: Vec<usize> = (0..40).map(|_| rng.gen_range(0..points.len())).collect();
+
+    let mut greedy = HstGreedy::new(
+        hst.ctx(),
+        worker_ids.iter().map(|&w| hst.leaf_of(w)).collect(),
+        HstGreedyEngine::Scan,
+    );
+    let mut matching = Matching::new();
+    for (i, &t) in task_ids.iter().enumerate() {
+        let w = greedy.assign(hst.leaf_of(t)).unwrap();
+        matching.pairs.push((i, w));
+    }
+    for &(t, w) in &matching.pairs {
+        let de = points.point(task_ids[t]).dist(&points.point(worker_ids[w]));
+        let dt = hst.tree_dist(hst.leaf_of(task_ids[t]), hst.leaf_of(worker_ids[w]));
+        assert!(dt + 1e-9 >= de, "tree {dt} < euclid {de}");
+    }
+}
+
+/// Greedy in the Euclidean plane vs greedy on the tree built over the same
+/// points: both produce perfect matchings of the same size, and on exact
+/// data their total distances are within a log-factor of each other.
+#[test]
+fn euclid_and_tree_greedy_are_comparable_on_exact_data() {
+    let hst = grid_hst(8, 7);
+    let points = hst.points().clone();
+    let mut rng = seeded_rng(8, 4);
+    let tasks: Vec<Point> = (0..50)
+        .map(|_| points.point(rng.gen_range(0..points.len())))
+        .collect();
+    let workers: Vec<Point> = (0..80)
+        .map(|_| points.point(rng.gen_range(0..points.len())))
+        .collect();
+
+    let mut euclid = pombm_matching::EuclideanGreedy::new(workers.clone());
+    let mut euclid_total = 0.0;
+    for t in &tasks {
+        let w = euclid.assign(t).unwrap();
+        euclid_total += t.dist(&workers[w]);
+    }
+
+    let mut tree = HstGreedy::new(
+        hst.ctx(),
+        workers.iter().map(|w| hst.snap(w)).collect(),
+        HstGreedyEngine::Scan,
+    );
+    let mut tree_total = 0.0;
+    for t in &tasks {
+        let w = tree.assign(hst.snap(t)).unwrap();
+        tree_total += t.dist(&workers[w]);
+    }
+
+    assert!(euclid_total > 0.0 || tree_total >= 0.0);
+    // The tree embedding distorts by O(log N); allow a wide but finite band.
+    assert!(
+        tree_total <= euclid_total.max(1.0) * 30.0,
+        "tree-greedy total {tree_total} vs euclid {euclid_total}"
+    );
+}
+
+/// Hungarian correctness on the tree metric: never worse than any greedy,
+/// for several arrival orders.
+#[test]
+fn offline_optimum_lower_bounds_greedy_over_orders() {
+    let hst = grid_hst(6, 9);
+    let mut rng = seeded_rng(10, 5);
+    let workers: Vec<LeafCode> = (0..30)
+        .map(|_| LeafCode(rng.gen_range(0..hst.num_leaves())))
+        .collect();
+    let mut tasks: Vec<LeafCode> = (0..30)
+        .map(|_| LeafCode(rng.gen_range(0..hst.num_leaves())))
+        .collect();
+
+    let opt = OfflineOptimal::solve(tasks.len(), workers.len(), |t, w| {
+        hst.tree_dist(tasks[t], workers[w])
+    });
+    let opt_total: f64 = opt
+        .pairs
+        .iter()
+        .map(|&(t, w)| hst.tree_dist(tasks[t], workers[w]))
+        .sum();
+
+    for _ in 0..5 {
+        use rand::seq::SliceRandom;
+        tasks.shuffle(&mut rng);
+        let mut greedy = HstGreedy::new(hst.ctx(), workers.clone(), HstGreedyEngine::Indexed);
+        let mut total = 0.0;
+        for &t in &tasks {
+            let w = greedy.assign(t).unwrap();
+            total += hst.tree_dist(t, workers[w]);
+        }
+        assert!(total >= opt_total - 1e-9);
+    }
+}

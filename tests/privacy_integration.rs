@@ -1,0 +1,148 @@
+//! Integration tests of the privacy layer against the tree substrate:
+//! Theorem 1 (Geo-I), Theorem 2 (walk ≡ naive), and the mechanism's
+//! distance-distortion window (Lemmas 1-2).
+
+use pombm_geom::{seeded_rng, Grid, Rect};
+use pombm_hst::{Hst, LeafCode};
+use pombm_privacy::geo_i::audit_hst_mechanism;
+use pombm_privacy::{Epsilon, HstMechanism};
+
+/// Theorem 1 on trees built over grids of several sizes and seeds.
+#[test]
+fn geo_i_holds_across_grid_trees() {
+    for (side, region) in [(2usize, 8.0), (3, 9.0)] {
+        let grid = Grid::square(Rect::square(region), side);
+        for seed in 0..3 {
+            let mut rng = seeded_rng(seed, 100);
+            let hst = Hst::build(&grid.to_point_set(), &mut rng);
+            if hst.num_leaves() > 256 {
+                continue; // exact audit infeasible; other seeds cover it
+            }
+            for eps in [0.1, 0.7] {
+                let mech = HstMechanism::new(&hst, Epsilon::new(eps));
+                let audit = audit_hst_mechanism(&hst, &mech);
+                assert!(
+                    audit.holds(1e-9),
+                    "side {side} seed {seed} eps {eps}: rate {} > {}",
+                    audit.max_loss_rate,
+                    audit.claimed_epsilon
+                );
+            }
+        }
+    }
+}
+
+/// Theorem 2 at integration level: empirical distributions of Alg. 3 match
+/// the closed-form Eq. 3 probabilities on a production-shaped tree (not just
+/// the worked example).
+#[test]
+fn random_walk_distribution_on_grid_tree() {
+    let grid = Grid::square(Rect::square(60.0), 3);
+    let mut rng = seeded_rng(3, 200);
+    let hst = Hst::build(&grid.to_point_set(), &mut rng);
+    let mech = HstMechanism::new(&hst, Epsilon::new(0.08));
+    let x = hst.leaf_of(4);
+
+    // Aggregate by LCA level (the distribution is uniform within a level, so
+    // level counts are a sufficient statistic and need far fewer samples).
+    let mut level_counts = vec![0u64; hst.depth() as usize + 1];
+    let trials = 60_000;
+    let mut sample_rng = seeded_rng(4, 201);
+    for _ in 0..trials {
+        let z = mech.obfuscate(&hst, x, &mut sample_rng);
+        level_counts[hst.lca_level(x, z) as usize] += 1;
+    }
+    let mut chi2 = 0.0;
+    for (level, &obs) in level_counts.iter().enumerate() {
+        let p = mech.table().level_probability(level as u32);
+        let expected = p * trials as f64;
+        if expected > 5.0 {
+            chi2 += (obs as f64 - expected).powi(2) / expected;
+        } else {
+            assert!(
+                (obs as f64) < expected + 30.0 + 10.0 * expected,
+                "level {level}: {obs} observed vs {expected} expected"
+            );
+        }
+    }
+    // Depth+1 categories; allow a generous chi-square bound.
+    assert!(chi2 < 40.0, "chi-square {chi2} too large");
+}
+
+/// The mechanism's expected displacement shrinks as ε grows (the engine of
+/// Lemmas 1-2): E[d_T(x, M(x))] is monotonically non-increasing in ε.
+#[test]
+fn expected_displacement_decreases_with_epsilon() {
+    let grid = Grid::square(Rect::square(200.0), 16);
+    let mut rng = seeded_rng(5, 300);
+    let hst = Hst::build(&grid.to_point_set(), &mut rng);
+    let x = hst.leaf_of(100);
+    let mut prev = f64::INFINITY;
+    for eps in [0.05, 0.2, 0.8, 3.2] {
+        let mech = HstMechanism::new(&hst, Epsilon::new(eps));
+        let mut sample_rng = seeded_rng(6, eps.to_bits());
+        let trials = 4000;
+        let mean: f64 = (0..trials)
+            .map(|_| hst.tree_dist(x, mech.obfuscate(&hst, x, &mut sample_rng)))
+            .sum::<f64>()
+            / trials as f64;
+        assert!(
+            mean <= prev * 1.05,
+            "eps {eps}: mean displacement {mean} should not exceed previous {prev}"
+        );
+        prev = mean;
+    }
+}
+
+/// Every output of the walk is a leaf of the published complete tree, and
+/// fake-leaf outputs occur with the frequency the weights predict.
+#[test]
+fn walk_outputs_cover_fake_leaves() {
+    let grid = Grid::square(Rect::square(40.0), 2);
+    let mut rng = seeded_rng(7, 400);
+    let hst = Hst::build(&grid.to_point_set(), &mut rng);
+    let mech = HstMechanism::new(&hst, Epsilon::new(0.01));
+    let x = hst.leaf_of(0);
+    let mut fake = 0usize;
+    let trials = 5000;
+    let mut sample_rng = seeded_rng(8, 401);
+    for _ in 0..trials {
+        let z = mech.obfuscate(&hst, x, &mut sample_rng);
+        assert!(hst.ctx().contains(z));
+        if !hst.is_real(z) {
+            fake += 1;
+        }
+    }
+    // With eps ~ 0 the distribution is near uniform over c^D leaves, of
+    // which only 4 are real; expect mostly fake outputs.
+    let expected_fake = 1.0 - 4.0 / hst.num_leaves() as f64;
+    let observed = fake as f64 / trials as f64;
+    assert!(
+        (observed - expected_fake).abs() < 0.05,
+        "fake-leaf rate {observed} vs expected {expected_fake}"
+    );
+}
+
+/// Obfuscating different inputs yields different conditional distributions
+/// that still overlap (indistinguishability is about bounded, not zero,
+/// difference): the supports coincide.
+#[test]
+fn supports_coincide_across_inputs() {
+    let grid = Grid::square(Rect::square(8.0), 2);
+    let mut rng = seeded_rng(9, 500);
+    let hst = Hst::build(&grid.to_point_set(), &mut rng);
+    let mech = HstMechanism::new(&hst, Epsilon::new(0.3));
+    for a in 0..4 {
+        for b in 0..4 {
+            for z in 0..hst.num_leaves() {
+                let pa = mech.probability(&hst, hst.leaf_of(a), LeafCode(z));
+                let pb = mech.probability(&hst, hst.leaf_of(b), LeafCode(z));
+                assert_eq!(
+                    pa > 0.0,
+                    pb > 0.0,
+                    "support mismatch at z={z} for inputs {a},{b}"
+                );
+            }
+        }
+    }
+}
