@@ -1,9 +1,13 @@
 //! End-to-end pipeline benchmarks: one full run (obfuscate + assign) per
-//! algorithm at a fixed synthetic size — the per-algorithm running-time
-//! ordering underlying Figs. 6e–h.
+//! registered algorithm spec at a fixed synthetic size, covering every
+//! registry entry (including pairings the legacy enum could not express).
+//! Related to the running-time comparison of Figs. 6e–h, but not
+//! comparable point-for-point: the generic driver times worker
+//! registration (matcher construction) inside the assignment stage,
+//! which the paper's metric excluded.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pombm::{run_with_server, Algorithm, PipelineConfig, Server};
+use pombm::{registry, run_spec_with_server, PipelineConfig, Server};
 use pombm_geom::seeded_rng;
 use pombm_workload::{synthetic, SyntheticParams};
 use std::hint::black_box;
@@ -24,9 +28,14 @@ fn bench_pipelines(c: &mut Criterion) {
     };
     let server = Server::new(instance.region, config.grid_side, 23);
 
-    for algo in Algorithm::ALL {
-        group.bench_with_input(BenchmarkId::new("algo", algo.label()), &algo, |b, &a| {
-            b.iter(|| black_box(run_with_server(a, &instance, &config, Some(&server), 0)))
+    for spec in registry().specs() {
+        group.bench_with_input(BenchmarkId::new("spec", spec.name()), spec, |b, s| {
+            b.iter(|| {
+                black_box(
+                    run_spec_with_server(s, &instance, &config, Some(&server), 0)
+                        .expect("registered specs run"),
+                )
+            })
         });
     }
     group.finish();

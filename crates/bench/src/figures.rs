@@ -71,6 +71,7 @@ impl ExperimentConfig {
             engine: self.engine,
             euclid_cells: self.euclid_cells,
             seed: self.seed.wrapping_add(rep.wrapping_mul(0x51_7E)),
+            ..PipelineConfig::default()
         }
     }
 }

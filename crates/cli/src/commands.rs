@@ -5,7 +5,7 @@
 //! is unit-testable without spawning processes.
 
 use crate::args::Args;
-use pombm::{run, Algorithm, EpochConfig, PipelineConfig};
+use pombm::{registry, run_spec, AlgorithmSpec, EpochConfig, PipelineConfig};
 use pombm_geom::{seeded_rng, Point};
 use pombm_hst::wire;
 use pombm_workload::{chengdu, synthetic, Instance, SyntheticParams};
@@ -19,22 +19,26 @@ pombm — privacy-preserving online task assignment (ICDE'20 TBF)
 USAGE: pombm <command> [flags]
 
 COMMANDS:
-  gen        generate a workload instance as JSON
-             --tasks N --workers N [--mu F] [--sigma F] [--seed N]
-             [--real [--day N]] --out FILE
-  run        run one algorithm on an instance JSON and print metrics
-             --input FILE --algo NAME [--epsilon F] [--grid-side N]
-             [--seed N] [--json]
-             algorithms: lap-gr lap-hg tbf exp-hg tbf-rand tbf-chain random
-  obfuscate  demo the TBF mechanism on one location
-             --x F --y F [--epsilon F] [--grid-side N] [--samples N] [--seed N]
-  publish    build an HST over a grid and write the wire format
-             --grid-side N [--side F] [--seed N] --out FILE
-  inspect    decode a published HST file and print its shape
-             --input FILE
-  epochs     multi-epoch deployment simulation under a lifetime budget
-             --workers N [--epochs N] [--lifetime F] [--epsilon F] [--seed N]
-  help       this text
+  gen         generate a workload instance as JSON
+              --tasks N --workers N [--mu F] [--sigma F] [--seed N]
+              [--real [--day N]] --out FILE
+  run         run one algorithm on an instance JSON and print metrics
+              --input FILE (--algo NAME | --mechanism M --matcher S)
+              [--epsilon F] [--grid-side N] [--capacity N] [--seed N] [--json]
+              `pombm algorithms` lists every name; --algo accepts registered
+              pairings (tbf, lap-gr, exp-chain, ...) while --mechanism and
+              --matcher compose any mechanism x matcher product freely
+  algorithms  list registered algorithms, mechanisms and matchers
+              (also available as `pombm run --list-algorithms`)
+  obfuscate   demo the TBF mechanism on one location
+              --x F --y F [--epsilon F] [--grid-side N] [--samples N] [--seed N]
+  publish     build an HST over a grid and write the wire format
+              --grid-side N [--side F] [--seed N] --out FILE
+  inspect     decode a published HST file and print its shape
+              --input FILE
+  epochs      multi-epoch deployment simulation under a lifetime budget
+              --workers N [--epochs N] [--lifetime F] [--epsilon F] [--seed N]
+  help        this text
 ";
 
 /// Dispatches a parsed command line.
@@ -42,6 +46,7 @@ pub fn dispatch(args: &Args) -> Result<String, String> {
     match args.command.as_deref() {
         Some("gen") => gen(args),
         Some("run") => run_cmd(args),
+        Some("algorithms") => Ok(list_algorithms()),
         Some("obfuscate") => obfuscate(args),
         Some("publish") => publish(args),
         Some("inspect") => inspect(args),
@@ -49,6 +54,32 @@ pub fn dispatch(args: &Args) -> Result<String, String> {
         Some("help") | None => Ok(USAGE.to_string()),
         Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     }
+}
+
+/// `pombm algorithms` (and `pombm run --list-algorithms`): the registry.
+pub fn list_algorithms() -> String {
+    let reg = registry();
+    let mut out = String::new();
+    let _ = writeln!(out, "registered algorithms (use with --algo):");
+    for spec in reg.specs() {
+        let _ = writeln!(
+            out,
+            "  {:<10} {:<10} = {} + {}",
+            spec.name(),
+            format!("[{}]", spec.label()),
+            spec.mechanism.name(),
+            spec.matcher.name(),
+        );
+    }
+    let _ = writeln!(out, "\nmechanisms (use with --mechanism):");
+    for m in reg.mechanisms() {
+        let _ = writeln!(out, "  {:<10} {}", m.name(), m.summary());
+    }
+    let _ = writeln!(out, "\nmatchers (use with --matcher):");
+    for m in reg.matchers() {
+        let _ = writeln!(out, "  {:<10} {}", m.name(), m.summary());
+    }
+    out
 }
 
 /// `pombm gen`: write a synthetic or Chengdu-like instance to JSON.
@@ -95,15 +126,22 @@ pub fn run_cmd(args: &Args) -> Result<String, String> {
     args.check_known(&[
         "input",
         "algo",
+        "mechanism",
+        "matcher",
         "epsilon",
         "grid-side",
+        "capacity",
         "seed",
         "json",
         "scan",
+        "list-algorithms",
     ])?;
+    if args.switch("list-algorithms") {
+        return Ok(list_algorithms());
+    }
+    let spec = parse_spec(args)?;
     let input: String = args.require("input")?;
     let instance = read_instance(Path::new(&input))?;
-    let algo = parse_algorithm(&args.require::<String>("algo")?)?;
     let config = PipelineConfig {
         epsilon: args.get_or("epsilon", 0.6)?,
         grid_side: args.get_or("grid-side", 64)?,
@@ -113,15 +151,18 @@ pub fn run_cmd(args: &Args) -> Result<String, String> {
             pombm_matching::HstGreedyEngine::Indexed
         },
         euclid_cells: 32,
+        capacity: args.get_or("capacity", 1)?,
         seed: args.get_or("seed", 0)?,
     };
-    let result = run(algo, &instance, &config, 0);
+    let result = run_spec(&spec, &instance, &config, 0).map_err(|e| e.to_string())?;
     let m = &result.metrics;
     if args.switch("json") {
         serde_json::to_string_pretty(m).map_err(|e| e.to_string())
     } else {
         let mut out = String::new();
-        let _ = writeln!(out, "algorithm:       {}", algo.label());
+        let _ = writeln!(out, "algorithm:       {} ({})", spec.label(), spec.name());
+        let _ = writeln!(out, "mechanism:       {}", spec.mechanism.name());
+        let _ = writeln!(out, "matcher:         {}", spec.matcher.name());
         let _ = writeln!(out, "matching size:   {}", m.matching_size);
         let _ = writeln!(out, "total distance:  {:.3}", m.total_distance);
         let _ = writeln!(out, "assign time:     {:?}", m.assign_time);
@@ -129,6 +170,28 @@ pub fn run_cmd(args: &Args) -> Result<String, String> {
         let _ = writeln!(out, "setup (HST):     {:?}", m.setup_time);
         let _ = writeln!(out, "avg latency:     {:?}", m.avg_task_latency());
         Ok(out)
+    }
+}
+
+/// Resolves `--algo NAME` or the free `--mechanism M --matcher S` pairing.
+fn parse_spec(args: &Args) -> Result<AlgorithmSpec, String> {
+    let algo = args.get("algo");
+    let mechanism = args.get("mechanism");
+    let matcher = args.get("matcher");
+    match (algo, mechanism, matcher) {
+        (Some(name), None, None) => parse_algorithm(name).cloned(),
+        (None, Some(mech), Some(strat)) => {
+            registry().compose(mech, strat).map_err(|e| e.to_string())
+        }
+        (None, Some(_), None) | (None, None, Some(_)) => {
+            Err("--mechanism and --matcher must be given together".to_string())
+        }
+        (Some(_), _, _) => Err("give either --algo or --mechanism/--matcher, not both".to_string()),
+        (None, None, None) => Err(
+            "missing algorithm: use --algo NAME or --mechanism M --matcher S \
+             (see `pombm algorithms`)"
+                .to_string(),
+        ),
     }
 }
 
@@ -259,20 +322,10 @@ pub fn epochs(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
-fn parse_algorithm(name: &str) -> Result<Algorithm, String> {
-    match name.to_ascii_lowercase().as_str() {
-        "lap-gr" | "lapgr" => Ok(Algorithm::LapGr),
-        "lap-hg" | "laphg" => Ok(Algorithm::LapHg),
-        "tbf" => Ok(Algorithm::Tbf),
-        "exp-hg" | "exphg" => Ok(Algorithm::ExpHg),
-        "tbf-rand" | "tbfrand" => Ok(Algorithm::TbfRand),
-        "tbf-chain" | "tbfchain" => Ok(Algorithm::TbfChain),
-        "random" => Ok(Algorithm::RandomFloor),
-        other => Err(format!(
-            "unknown algorithm `{other}`; expected one of \
-             lap-gr lap-hg tbf exp-hg tbf-rand tbf-chain random"
-        )),
-    }
+/// Registry-driven, case-insensitive algorithm lookup with an error that
+/// lists every valid name.
+fn parse_algorithm(name: &str) -> Result<&'static AlgorithmSpec, String> {
+    registry().require_spec(name).map_err(|e| e.to_string())
 }
 
 fn write_instance(instance: &Instance, path: &Path) -> Result<(), String> {
@@ -415,10 +468,69 @@ mod tests {
     }
 
     #[test]
-    fn algorithm_names_parse() {
-        assert_eq!(parse_algorithm("TBF").unwrap(), Algorithm::Tbf);
-        assert_eq!(parse_algorithm("tbf-chain").unwrap(), Algorithm::TbfChain);
-        assert!(parse_algorithm("nope").is_err());
+    fn algorithm_names_parse_case_insensitively() {
+        assert_eq!(parse_algorithm("TBF").unwrap().name(), "tbf");
+        assert_eq!(parse_algorithm("Tbf-Chain").unwrap().name(), "tbf-chain");
+        assert_eq!(parse_algorithm("LapGr").unwrap().name(), "lap-gr");
+        assert_eq!(parse_algorithm("exp-chain").unwrap().name(), "exp-chain");
+        let err = parse_algorithm("nope").unwrap_err();
+        assert!(
+            err.contains("nope") && err.contains("tbf") && err.contains("exp-chain"),
+            "error should list valid names: {err}"
+        );
+    }
+
+    #[test]
+    fn algorithms_command_lists_registry() {
+        let out = dispatch(&args("algorithms")).unwrap();
+        for name in [
+            "tbf",
+            "lap-gr",
+            "exp-chain",
+            "tbf-cap",
+            "laplace",
+            "chain",
+            "capacity",
+        ] {
+            assert!(out.contains(name), "listing missing {name}:\n{out}");
+        }
+        assert_eq!(run_cmd(&args("run --list-algorithms")).unwrap(), out);
+    }
+
+    #[test]
+    fn free_mechanism_matcher_pairing_runs() {
+        let path = tmp("pairing.json");
+        gen(&args(&format!(
+            "gen --tasks 25 --workers 40 --seed 9 --out {}",
+            path.display()
+        )))
+        .unwrap();
+        // Two pairings the legacy enum could not express.
+        for (mech, matcher) in [("exp", "chain"), ("hst", "capacity")] {
+            let out = run_cmd(&args(&format!(
+                "run --input {} --mechanism {mech} --matcher {matcher} --grid-side 16",
+                path.display()
+            )))
+            .unwrap();
+            assert!(
+                out.contains("matching size:   25"),
+                "{mech}+{matcher}: {out}"
+            );
+            assert!(out.contains(&format!("mechanism:       {mech}")), "{out}");
+        }
+    }
+
+    #[test]
+    fn algo_and_pairing_flags_are_exclusive() {
+        let err = run_cmd(&args(
+            "run --input x.json --algo tbf --mechanism exp --matcher chain",
+        ))
+        .unwrap_err();
+        assert!(err.contains("not both"));
+        let err = run_cmd(&args("run --input x.json --mechanism exp")).unwrap_err();
+        assert!(err.contains("together"));
+        let err = run_cmd(&args("run --input x.json")).unwrap_err();
+        assert!(err.contains("pombm algorithms"));
     }
 
     #[test]

@@ -1,0 +1,886 @@
+//! The composable algorithm API: privacy **mechanisms** × online
+//! **matchers**.
+//!
+//! The paper's framework is explicitly two-stage: a *mechanism* turns true
+//! worker/task locations into obfuscated reports (planar points for the
+//! Laplace baselines, HST leaf codes for the tree-based mechanisms), and a
+//! *matcher* consumes those reports to build an online assignment. This
+//! module encodes each stage as an object-safe trait so any mechanism can
+//! be paired with any matcher — the seven algorithms of
+//! [`crate::Algorithm`] become ordinary entries in the
+//! [`registry`](crate::registry::registry), and new pairings
+//! (e.g. exponential mechanism + chain matcher) need no changes to the
+//! pipeline driver.
+//!
+//! Report kinds are bridged automatically when a [`Server`] is available:
+//! planar reports snap to tree leaves (this is exactly how the paper's
+//! Lap-HG baseline is defined) and leaf reports project to their
+//! representative predefined points, so even "impossible" pairings like
+//! tree mechanism × Euclidean matcher are well-defined.
+//!
+//! # Adding a custom mechanism or matcher
+//!
+//! Implement one trait and compose a spec — no core code changes:
+//!
+//! ```
+//! use pombm::algorithm::{
+//!     AssignCtx, AssignStrategy, PipelineError, ReportSet,
+//! };
+//! use pombm::registry::{registry, AlgorithmSpec};
+//! use pombm_matching::Matching;
+//! use std::sync::Arc;
+//!
+//! /// Assigns every task to the lowest-indexed still-free worker.
+//! struct FirstFree;
+//!
+//! impl AssignStrategy for FirstFree {
+//!     fn name(&self) -> &'static str { "first-free" }
+//!     fn summary(&self) -> &'static str { "lowest-index free worker" }
+//!     fn needs_server(&self) -> bool { false }
+//!     fn assign(&self, reports: ReportSet, _ctx: &mut AssignCtx<'_>)
+//!         -> Result<Matching, PipelineError>
+//!     {
+//!         let mut matching = Matching::new();
+//!         for t in 0..reports.tasks.len().min(reports.workers.len()) {
+//!             matching.pairs.push((t, t));
+//!         }
+//!         Ok(matching)
+//!     }
+//! }
+//!
+//! let mech = registry().mechanism("laplace").unwrap();
+//! let spec = AlgorithmSpec::compose(mech, Arc::new(FirstFree));
+//! let instance = pombm_workload::synthetic::generate(
+//!     &pombm_workload::SyntheticParams { num_tasks: 5, num_workers: 9,
+//!         ..Default::default() },
+//!     &mut pombm_geom::seeded_rng(1, 0));
+//! let result = pombm::run_spec(&spec, &instance, &Default::default(), 0).unwrap();
+//! assert_eq!(result.matching.size(), 5);
+//! ```
+
+use crate::pipeline::PipelineConfig;
+use crate::server::Server;
+use pombm_geom::Point;
+use pombm_hst::LeafCode;
+use pombm_matching::{
+    CapacitatedGreedy, ChainMatcher, EuclideanGreedy, HstGreedy, Matching, RandomAssign,
+    RandomizedGreedy,
+};
+use pombm_privacy::{Epsilon, ExponentialMechanism, HstMechanism, PlanarLaplace};
+use pombm_workload::Instance;
+use rand::rngs::StdRng;
+
+/// Errors surfaced by the composable pipeline API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// A component required the server's published artifacts (HST + grid)
+    /// but none were supplied.
+    MissingServer(&'static str),
+    /// A matcher received reports it cannot interpret (e.g. location-blind
+    /// reports fed to a location-aware matcher).
+    IncompatibleReports {
+        /// The component that rejected the reports.
+        component: &'static str,
+        /// What it needed.
+        needed: &'static str,
+    },
+    /// A mechanism produced a mix of report kinds within one batch.
+    MixedReports(&'static str),
+    /// A configuration value is invalid for the selected component.
+    InvalidConfig {
+        /// The offending configuration field.
+        field: &'static str,
+        /// Why the value is rejected.
+        why: &'static str,
+    },
+    /// Registry lookup failed.
+    UnknownName {
+        /// The kind of entity looked up (`algorithm`, `mechanism`, ...).
+        kind: &'static str,
+        /// The name that failed to resolve.
+        name: String,
+        /// The valid names, for the error message.
+        known: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::MissingServer(who) => {
+                write!(f, "`{who}` needs a server (published HST), none supplied")
+            }
+            PipelineError::IncompatibleReports { component, needed } => {
+                write!(
+                    f,
+                    "`{component}` cannot consume these reports: needs {needed}"
+                )
+            }
+            PipelineError::MixedReports(who) => {
+                write!(f, "mechanism `{who}` produced mixed report kinds")
+            }
+            PipelineError::InvalidConfig { field, why } => {
+                write!(f, "invalid config `{field}`: {why}")
+            }
+            PipelineError::UnknownName { kind, name, known } => {
+                write!(
+                    f,
+                    "unknown {kind} `{name}`; expected one of: {}",
+                    known.join(" ")
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// One obfuscated location report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Report {
+    /// A noisy point in the plane (planar Laplace, identity).
+    Planar(Point),
+    /// A leaf of the published HST (tree walk, exponential, snapping).
+    Leaf(LeafCode),
+    /// Nothing location-dependent is reported (the blind floor).
+    Blind,
+}
+
+/// A homogeneous batch of reports for one side (workers or tasks).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reports {
+    /// Planar reports.
+    Planar(Vec<Point>),
+    /// Tree-leaf reports.
+    Leaves(Vec<LeafCode>),
+    /// `n` participants reported nothing location-dependent.
+    Blind(usize),
+}
+
+impl Reports {
+    /// Number of participants behind this batch.
+    pub fn len(&self) -> usize {
+        match self {
+            Reports::Planar(v) => v.len(),
+            Reports::Leaves(v) => v.len(),
+            Reports::Blind(n) => *n,
+        }
+    }
+
+    /// True when no participants reported.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Collects per-point reports into a homogeneous batch.
+    pub fn collect(reports: Vec<Report>, mechanism: &'static str) -> Result<Self, PipelineError> {
+        match reports.first() {
+            None => Ok(Reports::Blind(0)),
+            Some(Report::Planar(_)) => {
+                let mut points = Vec::with_capacity(reports.len());
+                for r in &reports {
+                    match r {
+                        Report::Planar(p) => points.push(*p),
+                        _ => return Err(PipelineError::MixedReports(mechanism)),
+                    }
+                }
+                Ok(Reports::Planar(points))
+            }
+            Some(Report::Leaf(_)) => {
+                let mut leaves = Vec::with_capacity(reports.len());
+                for r in &reports {
+                    match r {
+                        Report::Leaf(l) => leaves.push(*l),
+                        _ => return Err(PipelineError::MixedReports(mechanism)),
+                    }
+                }
+                Ok(Reports::Leaves(leaves))
+            }
+            Some(Report::Blind) => {
+                if reports.iter().all(|r| matches!(r, Report::Blind)) {
+                    Ok(Reports::Blind(reports.len()))
+                } else {
+                    Err(PipelineError::MixedReports(mechanism))
+                }
+            }
+        }
+    }
+
+    /// Converts the batch into tree leaves, snapping planar reports onto
+    /// the published tree (exactly the Lap-HG construction of the paper).
+    /// Consumes the batch so the leaf case is a move, not a clone. An
+    /// empty batch converts to an empty vector regardless of kind — a
+    /// zero-participant side carries no location information to reject.
+    pub fn into_leaves(
+        self,
+        server: Option<&Server>,
+        component: &'static str,
+    ) -> Result<Vec<LeafCode>, PipelineError> {
+        match self {
+            Reports::Leaves(v) => Ok(v),
+            Reports::Planar(v) => {
+                let server = server.ok_or(PipelineError::MissingServer(component))?;
+                Ok(v.iter().map(|p| server.snap(p)).collect())
+            }
+            Reports::Blind(0) => Ok(Vec::new()),
+            Reports::Blind(_) => Err(PipelineError::IncompatibleReports {
+                component,
+                needed: "location reports (got location-blind reports)",
+            }),
+        }
+    }
+
+    /// Converts the batch into planar points, projecting tree leaves to
+    /// their representative predefined points (see [`Reports::into_leaves`]
+    /// for the move/empty-batch semantics).
+    pub fn into_points(
+        self,
+        server: Option<&Server>,
+        component: &'static str,
+    ) -> Result<Vec<Point>, PipelineError> {
+        match self {
+            Reports::Planar(v) => Ok(v),
+            Reports::Leaves(v) => {
+                let server = server.ok_or(PipelineError::MissingServer(component))?;
+                Ok(v.iter()
+                    .map(|&l| server.hst().representative_point(l))
+                    .collect())
+            }
+            Reports::Blind(0) => Ok(Vec::new()),
+            Reports::Blind(_) => Err(PipelineError::IncompatibleReports {
+                component,
+                needed: "location reports (got location-blind reports)",
+            }),
+        }
+    }
+}
+
+impl Report {
+    /// Views one report as a planar point (see [`Reports::to_points`]).
+    pub fn into_point(
+        self,
+        server: Option<&Server>,
+        component: &'static str,
+    ) -> Result<Point, PipelineError> {
+        match self {
+            Report::Planar(p) => Ok(p),
+            Report::Leaf(l) => {
+                let server = server.ok_or(PipelineError::MissingServer(component))?;
+                Ok(server.hst().representative_point(l))
+            }
+            Report::Blind => Err(PipelineError::IncompatibleReports {
+                component,
+                needed: "a location report (got a location-blind report)",
+            }),
+        }
+    }
+
+    /// Views one report as a tree leaf (see [`Reports::to_leaves`]).
+    pub fn into_leaf(
+        self,
+        server: Option<&Server>,
+        component: &'static str,
+    ) -> Result<LeafCode, PipelineError> {
+        match self {
+            Report::Leaf(l) => Ok(l),
+            Report::Planar(p) => {
+                let server = server.ok_or(PipelineError::MissingServer(component))?;
+                Ok(server.snap(&p))
+            }
+            Report::Blind => Err(PipelineError::IncompatibleReports {
+                component,
+                needed: "a location report (got a location-blind report)",
+            }),
+        }
+    }
+}
+
+/// The obfuscated view the server matches on: worker reports (step 2 of
+/// the paper's workflow) and task reports (step 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportSet {
+    /// Registered worker reports.
+    pub workers: Reports,
+    /// Arriving task reports, in arrival order.
+    pub tasks: Reports,
+}
+
+/// A per-run obfuscator produced by [`ReportMechanism::reporter`]; holds
+/// whatever per-run state the mechanism needs (weight tables, alias-table
+/// caches).
+pub trait PointReporter {
+    /// Obfuscates one true location into a report.
+    fn report(&mut self, location: &Point, rng: &mut StdRng) -> Report;
+}
+
+/// Stage 1 of the framework: turns true locations into obfuscated reports.
+///
+/// Implementations are stateless descriptors (safe to keep in a global
+/// registry); per-run state lives in the [`PointReporter`] they build.
+pub trait ReportMechanism: Send + Sync {
+    /// Registry name (kebab-case).
+    fn name(&self) -> &'static str;
+
+    /// One-line description for `--list-algorithms`.
+    fn summary(&self) -> &'static str;
+
+    /// True when the mechanism needs the server's published artifacts.
+    fn needs_server(&self) -> bool;
+
+    /// Builds the per-run obfuscator.
+    fn reporter<'a>(
+        &self,
+        epsilon: Epsilon,
+        server: Option<&'a Server>,
+    ) -> Result<Box<dyn PointReporter + 'a>, PipelineError>;
+}
+
+/// Mutable context handed to [`AssignStrategy::assign`].
+pub struct AssignCtx<'a> {
+    /// The problem instance (true locations; used only for sizing and the
+    /// region of auxiliary indexes — matchers never see true coordinates).
+    pub instance: &'a Instance,
+    /// The pipeline configuration (engine, cell index, capacity, ...).
+    pub config: &'a PipelineConfig,
+    /// The server's published artifacts, when available.
+    pub server: Option<&'a Server>,
+    /// Continuation of the mechanism's RNG stream; location-blind matchers
+    /// draw from it (matching the historical `Random` floor exactly).
+    pub mech_rng: &'a mut StdRng,
+    /// Dedicated tie-breaking stream for randomized matchers.
+    pub tie_rng: &'a mut StdRng,
+}
+
+/// Stage 2 of the framework: consumes reports, produces a [`Matching`].
+pub trait AssignStrategy: Send + Sync {
+    /// Registry name (kebab-case).
+    fn name(&self) -> &'static str;
+
+    /// One-line description for `--list-algorithms`.
+    fn summary(&self) -> &'static str;
+
+    /// True when the matcher needs the server's published artifacts.
+    fn needs_server(&self) -> bool;
+
+    /// True when one worker may serve several tasks (capacitated
+    /// matchers); relaxes the driver's worker-uniqueness validation.
+    fn reuses_workers(&self) -> bool {
+        false
+    }
+
+    /// Runs the online assignment over the reports (consumed: matchers
+    /// take ownership so leaf/point batches register without copying).
+    fn assign(
+        &self,
+        reports: ReportSet,
+        ctx: &mut AssignCtx<'_>,
+    ) -> Result<Matching, PipelineError>;
+}
+
+// ---------------------------------------------------------------------------
+// Mechanism implementations
+// ---------------------------------------------------------------------------
+
+/// Planar Laplace (Andrés et al., CCS'13): noisy points in the plane.
+pub struct LaplaceMechanism;
+
+impl ReportMechanism for LaplaceMechanism {
+    fn name(&self) -> &'static str {
+        "laplace"
+    }
+
+    fn summary(&self) -> &'static str {
+        "planar Laplace noise in the plane (Geo-I baseline)"
+    }
+
+    fn needs_server(&self) -> bool {
+        false
+    }
+
+    fn reporter<'a>(
+        &self,
+        epsilon: Epsilon,
+        _server: Option<&'a Server>,
+    ) -> Result<Box<dyn PointReporter + 'a>, PipelineError> {
+        struct R(PlanarLaplace);
+        impl PointReporter for R {
+            fn report(&mut self, location: &Point, rng: &mut StdRng) -> Report {
+                Report::Planar(self.0.obfuscate(location, rng))
+            }
+        }
+        Ok(Box::new(R(PlanarLaplace::new(epsilon))))
+    }
+}
+
+/// The paper's mechanism (Alg. 3): snap to the tree, random-walk the leaf.
+pub struct HstWalkMechanism;
+
+impl ReportMechanism for HstWalkMechanism {
+    fn name(&self) -> &'static str {
+        "hst"
+    }
+
+    fn summary(&self) -> &'static str {
+        "the paper's HST random-walk mechanism (Alg. 3)"
+    }
+
+    fn needs_server(&self) -> bool {
+        true
+    }
+
+    fn reporter<'a>(
+        &self,
+        epsilon: Epsilon,
+        server: Option<&'a Server>,
+    ) -> Result<Box<dyn PointReporter + 'a>, PipelineError> {
+        let server = server.ok_or(PipelineError::MissingServer("hst mechanism"))?;
+        struct R<'a> {
+            mechanism: HstMechanism,
+            server: &'a Server,
+        }
+        impl PointReporter for R<'_> {
+            fn report(&mut self, location: &Point, rng: &mut StdRng) -> Report {
+                let leaf = self.server.snap(location);
+                Report::Leaf(self.mechanism.obfuscate(self.server.hst(), leaf, rng))
+            }
+        }
+        Ok(Box::new(R {
+            mechanism: HstMechanism::new(server.hst(), epsilon),
+            server,
+        }))
+    }
+}
+
+/// Exponential mechanism over the predefined points (the ablation
+/// separating "discretize to the grid" from "use the tree").
+pub struct ExponentialReportMechanism;
+
+impl ReportMechanism for ExponentialReportMechanism {
+    fn name(&self) -> &'static str {
+        "exp"
+    }
+
+    fn summary(&self) -> &'static str {
+        "exponential mechanism over the predefined points"
+    }
+
+    fn needs_server(&self) -> bool {
+        true
+    }
+
+    fn reporter<'a>(
+        &self,
+        epsilon: Epsilon,
+        server: Option<&'a Server>,
+    ) -> Result<Box<dyn PointReporter + 'a>, PipelineError> {
+        let server = server.ok_or(PipelineError::MissingServer("exp mechanism"))?;
+        struct R<'a> {
+            mechanism: ExponentialMechanism,
+            server: &'a Server,
+        }
+        impl PointReporter for R<'_> {
+            fn report(&mut self, location: &Point, rng: &mut StdRng) -> Report {
+                let nearest = self.server.grid().nearest(location);
+                let noisy = self.mechanism.obfuscate(nearest, rng);
+                Report::Leaf(self.server.hst().leaf_of(noisy))
+            }
+        }
+        Ok(Box::new(R {
+            mechanism: ExponentialMechanism::new(server.hst().points().clone(), epsilon),
+            server,
+        }))
+    }
+}
+
+/// No privacy: reports true locations verbatim (the non-private ceiling;
+/// useful for quantifying the privacy/utility gap of any matcher).
+pub struct IdentityMechanism;
+
+impl ReportMechanism for IdentityMechanism {
+    fn name(&self) -> &'static str {
+        "identity"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no obfuscation: true locations (non-private ceiling)"
+    }
+
+    fn needs_server(&self) -> bool {
+        false
+    }
+
+    fn reporter<'a>(
+        &self,
+        _epsilon: Epsilon,
+        _server: Option<&'a Server>,
+    ) -> Result<Box<dyn PointReporter + 'a>, PipelineError> {
+        struct R;
+        impl PointReporter for R {
+            fn report(&mut self, location: &Point, _rng: &mut StdRng) -> Report {
+                Report::Planar(*location)
+            }
+        }
+        Ok(Box::new(R))
+    }
+}
+
+/// Perfect privacy: reports nothing location-dependent (the floor).
+pub struct BlindMechanism;
+
+impl ReportMechanism for BlindMechanism {
+    fn name(&self) -> &'static str {
+        "blind"
+    }
+
+    fn summary(&self) -> &'static str {
+        "nothing location-dependent is reported (sanity floor)"
+    }
+
+    fn needs_server(&self) -> bool {
+        false
+    }
+
+    fn reporter<'a>(
+        &self,
+        _epsilon: Epsilon,
+        _server: Option<&'a Server>,
+    ) -> Result<Box<dyn PointReporter + 'a>, PipelineError> {
+        struct R;
+        impl PointReporter for R {
+            fn report(&mut self, _location: &Point, _rng: &mut StdRng) -> Report {
+                Report::Blind
+            }
+        }
+        Ok(Box::new(R))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Matcher implementations
+// ---------------------------------------------------------------------------
+
+/// Euclidean greedy (Tong et al., PVLDB'16): nearest available worker in
+/// the plane, linear scan or cell index per `config.euclid_cells`.
+pub struct EuclideanGreedyStrategy;
+
+impl AssignStrategy for EuclideanGreedyStrategy {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn summary(&self) -> &'static str {
+        "nearest available worker in the plane"
+    }
+
+    fn needs_server(&self) -> bool {
+        false
+    }
+
+    fn assign(
+        &self,
+        reports: ReportSet,
+        ctx: &mut AssignCtx<'_>,
+    ) -> Result<Matching, PipelineError> {
+        let workers = reports.workers.into_points(ctx.server, "greedy matcher")?;
+        let tasks = reports.tasks.into_points(ctx.server, "greedy matcher")?;
+        let mut matcher = if ctx.config.euclid_cells > 0 {
+            EuclideanGreedy::with_cell_index(workers, ctx.instance.region, ctx.config.euclid_cells)
+        } else {
+            EuclideanGreedy::new(workers)
+        };
+        let mut matching = Matching::new();
+        for (t_idx, t) in tasks.iter().enumerate() {
+            if let Some(w_idx) = matcher.assign(t) {
+                matching.pairs.push((t_idx, w_idx));
+            }
+        }
+        Ok(matching)
+    }
+}
+
+/// Euclidean greedy over a k-d tree with logical deletion; identical
+/// matchings to [`EuclideanGreedyStrategy`], different asymptotics.
+pub struct KdGreedyStrategy;
+
+impl AssignStrategy for KdGreedyStrategy {
+    fn name(&self) -> &'static str {
+        "kd-greedy"
+    }
+
+    fn summary(&self) -> &'static str {
+        "nearest available worker via k-d tree"
+    }
+
+    fn needs_server(&self) -> bool {
+        false
+    }
+
+    fn assign(
+        &self,
+        reports: ReportSet,
+        ctx: &mut AssignCtx<'_>,
+    ) -> Result<Matching, PipelineError> {
+        let workers = reports
+            .workers
+            .into_points(ctx.server, "kd-greedy matcher")?;
+        let tasks = reports.tasks.into_points(ctx.server, "kd-greedy matcher")?;
+        let mut tree = pombm_matching::kdtree::KdTree::build(workers);
+        let mut matching = Matching::new();
+        for (t_idx, t) in tasks.iter().enumerate() {
+            if let Some(w_idx) = tree.take_nearest(t) {
+                matching.pairs.push((t_idx, w_idx));
+            }
+        }
+        Ok(matching)
+    }
+}
+
+/// The paper's Alg. 4: nearest available worker on the HST.
+pub struct HstGreedyStrategy;
+
+impl AssignStrategy for HstGreedyStrategy {
+    fn name(&self) -> &'static str {
+        "hst-greedy"
+    }
+
+    fn summary(&self) -> &'static str {
+        "tree-nearest available worker (Alg. 4)"
+    }
+
+    fn needs_server(&self) -> bool {
+        true
+    }
+
+    fn assign(
+        &self,
+        reports: ReportSet,
+        ctx: &mut AssignCtx<'_>,
+    ) -> Result<Matching, PipelineError> {
+        let server = ctx
+            .server
+            .ok_or(PipelineError::MissingServer("hst-greedy matcher"))?;
+        let workers = reports
+            .workers
+            .into_leaves(ctx.server, "hst-greedy matcher")?;
+        let tasks = reports
+            .tasks
+            .into_leaves(ctx.server, "hst-greedy matcher")?;
+        let mut matcher = HstGreedy::new(server.hst().ctx(), workers, ctx.config.engine);
+        let mut matching = Matching::new();
+        for (t_idx, &t) in tasks.iter().enumerate() {
+            if let Some(w_idx) = matcher.assign(t) {
+                matching.pairs.push((t_idx, w_idx));
+            }
+        }
+        Ok(matching)
+    }
+}
+
+/// Alg. 4 with uniform tie-break randomization (Meyerson et al.).
+pub struct RandomizedGreedyStrategy;
+
+impl AssignStrategy for RandomizedGreedyStrategy {
+    fn name(&self) -> &'static str {
+        "hst-rand"
+    }
+
+    fn summary(&self) -> &'static str {
+        "tree-nearest worker with randomized tie-breaking"
+    }
+
+    fn needs_server(&self) -> bool {
+        true
+    }
+
+    fn assign(
+        &self,
+        reports: ReportSet,
+        ctx: &mut AssignCtx<'_>,
+    ) -> Result<Matching, PipelineError> {
+        let server = ctx
+            .server
+            .ok_or(PipelineError::MissingServer("hst-rand matcher"))?;
+        let workers = reports
+            .workers
+            .into_leaves(ctx.server, "hst-rand matcher")?;
+        let tasks = reports.tasks.into_leaves(ctx.server, "hst-rand matcher")?;
+        let mut matcher = RandomizedGreedy::new(server.hst().ctx(), workers);
+        let mut matching = Matching::new();
+        for (t_idx, &t) in tasks.iter().enumerate() {
+            if let Some(w_idx) = matcher.assign(t, ctx.tie_rng) {
+                matching.pairs.push((t_idx, w_idx));
+            }
+        }
+        Ok(matching)
+    }
+}
+
+/// Chain reassignment (Bansal et al., Algorithmica 2014) on the HST.
+pub struct ChainStrategy;
+
+impl AssignStrategy for ChainStrategy {
+    fn name(&self) -> &'static str {
+        "chain"
+    }
+
+    fn summary(&self) -> &'static str {
+        "chain-reassignment rule on the tree"
+    }
+
+    fn needs_server(&self) -> bool {
+        true
+    }
+
+    fn assign(
+        &self,
+        reports: ReportSet,
+        ctx: &mut AssignCtx<'_>,
+    ) -> Result<Matching, PipelineError> {
+        let server = ctx
+            .server
+            .ok_or(PipelineError::MissingServer("chain matcher"))?;
+        let workers = reports.workers.into_leaves(ctx.server, "chain matcher")?;
+        let tasks = reports.tasks.into_leaves(ctx.server, "chain matcher")?;
+        let mut matcher = ChainMatcher::new(server.hst().ctx(), workers);
+        let mut matching = Matching::new();
+        for (t_idx, &t) in tasks.iter().enumerate() {
+            if let Some(out) = matcher.assign(t) {
+                matching.pairs.push((t_idx, out.worker));
+            }
+        }
+        Ok(matching)
+    }
+}
+
+/// Capacitated HST greedy: each worker serves up to
+/// [`PipelineConfig::capacity`] tasks.
+pub struct CapacitatedStrategy;
+
+impl AssignStrategy for CapacitatedStrategy {
+    fn name(&self) -> &'static str {
+        "capacity"
+    }
+
+    fn summary(&self) -> &'static str {
+        "tree-nearest worker with residual capacity (config.capacity per worker)"
+    }
+
+    fn needs_server(&self) -> bool {
+        true
+    }
+
+    fn reuses_workers(&self) -> bool {
+        true
+    }
+
+    fn assign(
+        &self,
+        reports: ReportSet,
+        ctx: &mut AssignCtx<'_>,
+    ) -> Result<Matching, PipelineError> {
+        let server = ctx
+            .server
+            .ok_or(PipelineError::MissingServer("capacity matcher"))?;
+        let workers = reports
+            .workers
+            .into_leaves(ctx.server, "capacity matcher")?;
+        let tasks = reports.tasks.into_leaves(ctx.server, "capacity matcher")?;
+        if ctx.config.capacity == 0 {
+            return Err(PipelineError::InvalidConfig {
+                field: "capacity",
+                why: "the capacity matcher needs at least one slot per worker",
+            });
+        }
+        let q = ctx.config.capacity;
+        let mut matcher = CapacitatedGreedy::uniform(server.hst().ctx(), workers, q);
+        let mut matching = Matching::new();
+        for (t_idx, &t) in tasks.iter().enumerate() {
+            if let Some(w_idx) = matcher.assign(t) {
+                matching.pairs.push((t_idx, w_idx));
+            }
+        }
+        Ok(matching)
+    }
+}
+
+/// Location-blind uniform assignment: the sanity floor.
+pub struct RandomAssignStrategy;
+
+impl AssignStrategy for RandomAssignStrategy {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn summary(&self) -> &'static str {
+        "uniformly random available worker (location-blind)"
+    }
+
+    fn needs_server(&self) -> bool {
+        false
+    }
+
+    fn assign(
+        &self,
+        reports: ReportSet,
+        ctx: &mut AssignCtx<'_>,
+    ) -> Result<Matching, PipelineError> {
+        let mut matcher = RandomAssign::new(reports.workers.len());
+        let mut matching = Matching::new();
+        for t_idx in 0..reports.tasks.len() {
+            if let Some(w_idx) = matcher.assign(ctx.mech_rng) {
+                matching.pairs.push((t_idx, w_idx));
+            }
+        }
+        Ok(matching)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_rejects_mixed_batches() {
+        let mixed = vec![
+            Report::Planar(Point::new(0.0, 0.0)),
+            Report::Leaf(LeafCode(3)),
+        ];
+        assert!(matches!(
+            Reports::collect(mixed, "test"),
+            Err(PipelineError::MixedReports("test"))
+        ));
+        let blind = vec![Report::Blind, Report::Blind];
+        assert_eq!(Reports::collect(blind, "test").unwrap(), Reports::Blind(2));
+        assert_eq!(Reports::collect(vec![], "test").unwrap(), Reports::Blind(0));
+    }
+
+    #[test]
+    fn blind_reports_cannot_become_locations() {
+        assert!(Reports::Blind(4).into_points(None, "x").is_err());
+        assert!(Reports::Blind(4).into_leaves(None, "x").is_err());
+        assert!(Report::Blind.into_leaf(None, "x").is_err());
+        // ...but an empty side carries nothing to reject.
+        assert_eq!(Reports::Blind(0).into_points(None, "x").unwrap(), vec![]);
+        assert_eq!(Reports::Blind(0).into_leaves(None, "x").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn planar_to_leaves_requires_server() {
+        let planar = Reports::Planar(vec![Point::new(1.0, 2.0)]);
+        assert_eq!(
+            planar.into_leaves(None, "hst-greedy matcher"),
+            Err(PipelineError::MissingServer("hst-greedy matcher"))
+        );
+    }
+
+    #[test]
+    fn errors_display_helpfully() {
+        let e = PipelineError::UnknownName {
+            kind: "algorithm",
+            name: "nope".into(),
+            known: vec!["tbf".into(), "lap-gr".into()],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("nope") && msg.contains("tbf") && msg.contains("lap-gr"));
+    }
+}

@@ -7,11 +7,12 @@
 //! obfuscated data, can get this wrong; such assignments waste the worker
 //! and do not count toward the matching size).
 
+use crate::registry::registry;
 use crate::server::Server;
-use pombm_geom::seeded_rng;
+use pombm_geom::{seeded_rng, Point};
 use pombm_hst::LeafCode;
 use pombm_matching::reachable::{ProbMatcher, TbfReachMatcher, DEFAULT_THRESHOLD};
-use pombm_privacy::{Epsilon, HstMechanism, PlanarLaplace, ReachEstimator};
+use pombm_privacy::{Epsilon, ReachEstimator};
 use pombm_workload::Instance;
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
@@ -77,16 +78,31 @@ pub fn run_case_study(
 
     match algorithm {
         CaseStudyAlgorithm::Prob => {
-            let laplace = PlanarLaplace::new(epsilon);
-            let workers: Vec<_> = instance
+            // The Prob baseline reports through the registered planar
+            // Laplace mechanism.
+            let mechanism = registry().mechanism("laplace").expect("registered");
+            let mut reporter = mechanism
+                .reporter(epsilon, Some(server))
+                .expect("laplace needs no server");
+            let workers: Vec<Point> = instance
                 .workers
                 .iter()
-                .map(|w| laplace.obfuscate(w, &mut rng))
+                .map(|w| {
+                    reporter
+                        .report(w, &mut rng)
+                        .into_point(Some(server), "prob case study")
+                        .expect("laplace reports are planar")
+                })
                 .collect();
-            let tasks: Vec<_> = instance
+            let tasks: Vec<Point> = instance
                 .tasks
                 .iter()
-                .map(|t| laplace.obfuscate(t, &mut rng))
+                .map(|t| {
+                    reporter
+                        .report(t, &mut rng)
+                        .into_point(Some(server), "prob case study")
+                        .expect("laplace reports are planar")
+                })
                 .collect();
             let estimator = ReachEstimator::with_defaults(epsilon, seed);
             let mut matcher =
@@ -109,11 +125,20 @@ pub fn run_case_study(
             }
         }
         CaseStudyAlgorithm::Tbf => {
-            let mechanism = HstMechanism::new(server.hst(), epsilon);
+            // TBF reports through the registered HST random-walk mechanism.
+            let mechanism = registry().mechanism("hst").expect("registered");
+            let mut reporter = mechanism
+                .reporter(epsilon, Some(server))
+                .expect("server supplied");
             let workers: Vec<LeafCode> = instance
                 .workers
                 .iter()
-                .map(|w| mechanism.obfuscate(server.hst(), server.snap(w), &mut rng))
+                .map(|w| {
+                    reporter
+                        .report(w, &mut rng)
+                        .into_leaf(Some(server), "tbf case study")
+                        .expect("hst reports are leaves")
+                })
                 .collect();
             let worker_pos = workers
                 .iter()
@@ -122,7 +147,12 @@ pub fn run_case_study(
             let tasks: Vec<LeafCode> = instance
                 .tasks
                 .iter()
-                .map(|t| mechanism.obfuscate(server.hst(), server.snap(t), &mut rng))
+                .map(|t| {
+                    reporter
+                        .report(t, &mut rng)
+                        .into_leaf(Some(server), "tbf case study")
+                        .expect("hst reports are leaves")
+                })
                 .collect();
             // Snapping to the grid moves each endpoint by at most half a
             // cell diagonal (typical error is ~0.38 of a pitch), so half a

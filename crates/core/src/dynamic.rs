@@ -16,10 +16,12 @@
 //! (arrivals before departures before tasks at equal timestamps, then by
 //! id) so runs are reproducible.
 
+use crate::algorithm::{PipelineError, ReportMechanism};
+use crate::registry::registry;
 use crate::server::Server;
 use pombm_geom::seeded_rng;
 use pombm_matching::dynamic::DynamicHstGreedy;
-use pombm_privacy::{Epsilon, HstMechanism};
+use pombm_privacy::Epsilon;
 use pombm_workload::shifts::ShiftPlan;
 use pombm_workload::Instance;
 use serde::{Deserialize, Serialize};
@@ -90,6 +92,21 @@ pub fn run_dynamic(
     plan: &ShiftPlan,
     config: &DynamicConfig,
 ) -> DynamicOutcome {
+    let mechanism = registry().mechanism("hst").expect("hst is registered");
+    run_dynamic_with(instance, task_times, plan, config, mechanism.as_ref())
+        .expect("the hst mechanism always produces tree reports")
+}
+
+/// [`run_dynamic`] with an explicit reporting mechanism: any registered
+/// (or custom) [`ReportMechanism`] whose reports can be interpreted on the
+/// published tree — planar reports are snapped, like the paper's Lap-HG.
+pub fn run_dynamic_with(
+    instance: &Instance,
+    task_times: &[f64],
+    plan: &ShiftPlan,
+    config: &DynamicConfig,
+    mechanism: &dyn ReportMechanism,
+) -> Result<DynamicOutcome, PipelineError> {
     assert_eq!(
         task_times.len(),
         instance.num_tasks(),
@@ -103,7 +120,7 @@ pub fn run_dynamic(
 
     let server = Server::new(instance.region, config.grid_side, config.seed ^ 0xD1CE);
     let epsilon = Epsilon::new(config.epsilon);
-    let mechanism = HstMechanism::new(server.hst(), epsilon);
+    let mut reporter = mechanism.reporter(epsilon, Some(&server))?;
     let mut rng = seeded_rng(config.seed, 0xD1CE_0001);
 
     // Build the unified timeline.
@@ -130,8 +147,9 @@ pub fn run_dynamic(
     for &(_, _, _, kind) in &events {
         match kind {
             EventKind::ShiftStart(w) => {
-                let leaf =
-                    mechanism.obfuscate(server.hst(), server.snap(&instance.workers[w]), &mut rng);
+                let leaf = reporter
+                    .report(&instance.workers[w], &mut rng)
+                    .into_leaf(Some(&server), "dynamic pool")?;
                 pool.add(w as u64, leaf);
                 peak = peak.max(pool.available());
             }
@@ -140,8 +158,9 @@ pub fn run_dynamic(
                 let _ = pool.withdraw(w as u64);
             }
             EventKind::Task(t) => {
-                let reported =
-                    mechanism.obfuscate(server.hst(), server.snap(&instance.tasks[t]), &mut rng);
+                let reported = reporter
+                    .report(&instance.tasks[t], &mut rng)
+                    .into_leaf(Some(&server), "dynamic pool")?;
                 match pool.assign(reported) {
                     Some(w) => pairs.push((t, w as usize)),
                     None => dropped += 1,
@@ -154,12 +173,12 @@ pub fn run_dynamic(
         .iter()
         .map(|&(t, w)| instance.tasks[t].dist(&instance.workers[w]))
         .sum();
-    DynamicOutcome {
+    Ok(DynamicOutcome {
         pairs,
         dropped_tasks: dropped,
         total_distance,
         peak_available: peak,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -255,6 +274,48 @@ mod tests {
             b.pairs.len(),
             a.pairs.len()
         );
+    }
+
+    #[test]
+    fn laplace_mechanism_drives_the_same_fleet() {
+        // The dynamic pool accepts any location-reporting mechanism:
+        // planar Laplace reports are snapped onto the tree (Lap-HG style).
+        let inst = instance(60, 120, 4);
+        let times = uniform_times(60, 100.0, 4);
+        let plan = ShiftPlan::always_on(120, 101.0);
+        let mechanism = registry().mechanism("laplace").unwrap();
+        let out = run_dynamic_with(
+            &inst,
+            &times,
+            &plan,
+            &DynamicConfig::default(),
+            mechanism.as_ref(),
+        )
+        .unwrap();
+        assert_eq!(out.dropped_tasks, 0);
+        assert_eq!(out.pairs.len(), 60);
+        let hst = run_dynamic(&inst, &times, &plan, &DynamicConfig::default());
+        assert_ne!(
+            out.pairs, hst.pairs,
+            "different mechanisms, different noise"
+        );
+    }
+
+    #[test]
+    fn blind_mechanism_is_rejected() {
+        let inst = instance(5, 5, 6);
+        let times = uniform_times(5, 10.0, 6);
+        let plan = ShiftPlan::always_on(5, 11.0);
+        let mechanism = registry().mechanism("blind").unwrap();
+        let err = run_dynamic_with(
+            &inst,
+            &times,
+            &plan,
+            &DynamicConfig::default(),
+            mechanism.as_ref(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("location"), "{err}");
     }
 
     #[test]

@@ -20,12 +20,14 @@
 //! the fleet's reports go stale, quantifying the deployment concern the
 //! paper scopes out (its mechanism is single-shot by design).
 
+use crate::algorithm::{PipelineError, ReportMechanism};
+use crate::registry::registry;
 use crate::server::Server;
 use pombm_geom::{seeded_rng, Point, Rect};
 use pombm_hst::LeafCode;
 use pombm_matching::{HstGreedy, HstGreedyEngine, Matching};
 use pombm_privacy::budget::BudgetLedger;
-use pombm_privacy::{Epsilon, HstMechanism};
+use pombm_privacy::Epsilon;
 use rand_distr::{Distribution, Normal};
 use serde::{Deserialize, Serialize};
 
@@ -118,6 +120,18 @@ impl EpochReport {
 /// every epoch they drift, (maybe) re-report, and serve that epoch's
 /// `tasks_per_epoch` arrivals.
 pub fn run_epochs(num_workers: usize, config: &EpochConfig) -> EpochReport {
+    let mechanism = registry().mechanism("hst").expect("hst is registered");
+    run_epochs_with(num_workers, config, mechanism.as_ref())
+        .expect("the hst mechanism always produces tree reports")
+}
+
+/// [`run_epochs`] with an explicit reporting mechanism (planar reports are
+/// snapped onto the published tree, like the paper's Lap-HG).
+pub fn run_epochs_with(
+    num_workers: usize,
+    config: &EpochConfig,
+    mechanism: &dyn ReportMechanism,
+) -> Result<EpochReport, PipelineError> {
     assert!(config.num_epochs > 0, "need at least one epoch");
     assert!(
         config.epoch_epsilon > 0.0 && config.lifetime_epsilon > 0.0,
@@ -126,7 +140,7 @@ pub fn run_epochs(num_workers: usize, config: &EpochConfig) -> EpochReport {
     let region = Rect::square(2.0 * config.mu.max(100.0));
     let server = Server::new(region, config.grid_side, config.seed ^ 0xE70C);
     let epsilon = Epsilon::new(config.epoch_epsilon);
-    let mechanism = HstMechanism::new(server.hst(), epsilon);
+    let mut reporter = mechanism.reporter(epsilon, Some(&server))?;
     let ledger = BudgetLedger::new(config.lifetime_epsilon);
 
     let mut rng = seeded_rng(config.seed, 0xE70C_0001);
@@ -145,7 +159,11 @@ pub fn run_epochs(num_workers: usize, config: &EpochConfig) -> EpochReport {
         ledger
             .charge(i as u64, config.epoch_epsilon)
             .expect("lifetime must cover at least one report");
-        reports.push(mechanism.obfuscate(server.hst(), server.snap(w), &mut rng));
+        reports.push(
+            reporter
+                .report(w, &mut rng)
+                .into_leaf(Some(&server), "epoch reports")?,
+        );
     }
 
     let drift = Normal::new(0.0, config.worker_drift.max(1e-9)).expect("drift >= 0");
@@ -161,8 +179,9 @@ pub fn run_epochs(num_workers: usize, config: &EpochConfig) -> EpochReport {
                     p.y + drift.sample(&mut rng),
                 ));
                 if ledger.charge(i as u64, config.epoch_epsilon).is_ok() {
-                    reports[i] =
-                        mechanism.obfuscate(server.hst(), server.snap(&positions[i]), &mut rng);
+                    reports[i] = reporter
+                        .report(&positions[i], &mut rng)
+                        .into_leaf(Some(&server), "epoch reports")?;
                     report_basis[i] = positions[i];
                 }
             }
@@ -181,10 +200,14 @@ pub fn run_epochs(num_workers: usize, config: &EpochConfig) -> EpochReport {
         let tasks: Vec<Point> = (0..config.tasks_per_epoch)
             .map(|_| sample_point(&mut rng))
             .collect();
-        let reported_tasks: Vec<LeafCode> = tasks
-            .iter()
-            .map(|t| mechanism.obfuscate(server.hst(), server.snap(t), &mut rng))
-            .collect();
+        let mut reported_tasks: Vec<LeafCode> = Vec::with_capacity(tasks.len());
+        for t in &tasks {
+            reported_tasks.push(
+                reporter
+                    .report(t, &mut rng)
+                    .into_leaf(Some(&server), "epoch reports")?,
+            );
+        }
 
         // Fresh matcher per epoch: workers come back on shift every day.
         let mut matcher = HstGreedy::new(server.hst().ctx(), reports.clone(), config.engine);
@@ -206,10 +229,10 @@ pub fn run_epochs(num_workers: usize, config: &EpochConfig) -> EpochReport {
         });
     }
 
-    EpochReport {
+    Ok(EpochReport {
         per_epoch,
         worker_budget_spent: ledger.total_spent(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -284,6 +307,26 @@ mod tests {
         let report = run_epochs(150, &quick_config());
         let deg = report.degradation();
         assert!(deg.is_finite() && deg > 0.0);
+    }
+
+    #[test]
+    fn alternative_mechanisms_plug_in() {
+        // Epoch reporting goes through the ReportMechanism trait: the
+        // planar Laplace mechanism (snapped onto the tree) and the exact
+        // identity mechanism both drive the same budget lifecycle.
+        let config = quick_config();
+        for name in ["laplace", "identity"] {
+            let mechanism = registry().mechanism(name).unwrap();
+            let report = run_epochs_with(80, &config, mechanism.as_ref()).unwrap();
+            assert_eq!(report.per_epoch.len(), 6, "{name}");
+            assert!(
+                (report.worker_budget_spent - 80.0 * 1.8).abs() < 1e-9,
+                "{name}"
+            );
+            for m in &report.per_epoch {
+                assert_eq!(m.matching_size, 80, "{name} epoch {}", m.epoch);
+            }
+        }
     }
 
     #[test]

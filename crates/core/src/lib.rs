@@ -14,20 +14,25 @@
 //! Hierarchically Well-Separated Tree, which is ε-Geo-Indistinguishable
 //! *and* admits a matching algorithm with a provable competitive ratio.
 //!
-//! This crate wires the substrates ([`pombm_hst`], [`pombm_privacy`],
-//! [`pombm_matching`], [`pombm_workload`]) into the paper's four-step
-//! workflow (Fig. 1):
+//! # Architecture: mechanisms × matchers
 //!
-//! 1. the server builds and publishes an HST over predefined points
-//!    ([`Server`]);
-//! 2. workers obfuscate their mapped tree nodes and register;
-//! 3. each arriving task obfuscates its node and submits;
-//! 4. the server assigns a worker by greedy matching on the tree.
+//! Every algorithm is a pairing of two open, object-safe traits:
+//!
+//! * a [`ReportMechanism`](algorithm::ReportMechanism) turns true locations
+//!   into obfuscated reports (planar points or HST leaves),
+//! * an [`AssignStrategy`](algorithm::AssignStrategy) consumes the reports
+//!   and produces a [`pombm_matching::Matching`].
+//!
+//! Named pairings — the paper's seven algorithms plus previously impossible
+//! combinations like `exp-chain` — live in the global [`registry()`], and a
+//! single generic driver ([`run_spec`]) executes any of them with uniform
+//! setup/obfuscation/assignment timing. The [`Algorithm`] enum survives as
+//! thin aliases into the registry.
 //!
 //! # Quick start
 //!
 //! ```
-//! use pombm::{run, Algorithm, PipelineConfig};
+//! use pombm::{registry, run_spec, PipelineConfig};
 //! use pombm_workload::{synthetic, SyntheticParams};
 //! use pombm_geom::seeded_rng;
 //!
@@ -35,23 +40,40 @@
 //! let instance = synthetic::generate(&params, &mut seeded_rng(1, 0));
 //! let config = PipelineConfig { epsilon: 0.6, ..Default::default() };
 //!
-//! let result = run(Algorithm::Tbf, &instance, &config, 1);
+//! // Run a registered algorithm by name...
+//! let result = run_spec(registry().spec("tbf").unwrap(), &instance, &config, 1).unwrap();
 //! assert_eq!(result.matching.size(), 50);
+//!
+//! // ...or compose a pairing the paper never evaluated.
+//! let exp_chain = registry().compose("exp", "chain").unwrap();
+//! let novel = run_spec(&exp_chain, &instance, &config, 1).unwrap();
+//! assert_eq!(novel.matching.size(), 50);
 //! println!("total travel distance: {:.1}", result.metrics.total_distance);
 //! ```
+//!
+//! Adding your own mechanism or matcher is one trait impl plus
+//! [`AlgorithmSpec::compose`] — see the [`algorithm`] module docs for a
+//! complete ≤20-line example.
 
+pub mod algorithm;
 pub mod arrivals;
 pub mod case_study;
 pub mod dynamic;
 pub mod epochs;
 pub mod pipeline;
 pub mod ratio;
+pub mod registry;
 pub mod server;
 
+pub use algorithm::{AssignStrategy, PipelineError, PointReporter, Report, ReportMechanism};
 pub use arrivals::{simulate_stream, ArrivalProcess, StreamReport};
 pub use case_study::{run_case_study, CaseStudyAlgorithm, CaseStudyResult};
-pub use dynamic::{run_dynamic, DynamicConfig, DynamicOutcome};
-pub use epochs::{run_epochs, EpochConfig, EpochMetrics, EpochReport};
-pub use pipeline::{run, run_with_server, Algorithm, PipelineConfig, RunMetrics, RunResult};
+pub use dynamic::{run_dynamic, run_dynamic_with, DynamicConfig, DynamicOutcome};
+pub use epochs::{run_epochs, run_epochs_with, EpochConfig, EpochMetrics, EpochReport};
+pub use pipeline::{
+    run, run_spec, run_spec_with_server, run_with_server, Algorithm, PipelineConfig, RunMetrics,
+    RunResult,
+};
 pub use ratio::empirical_competitive_ratio;
+pub use registry::{registry, AlgorithmSpec, Registry};
 pub use server::{Server, TreeConstruction};

@@ -1,19 +1,36 @@
-//! End-to-end pipelines: the compared algorithms of Sec. IV.
+//! The pipeline driver: one generic obfuscate → register → assign loop.
+//!
+//! Historically each compared algorithm of Sec. IV was one arm of a large
+//! `match` here, duplicating the plumbing seven times. The driver is now a
+//! single generic function over an [`AlgorithmSpec`] — a named pairing of
+//! a [`ReportMechanism`](crate::algorithm::ReportMechanism) and an
+//! [`AssignStrategy`](crate::algorithm::AssignStrategy) from the
+//! [`registry`] — and the [`Algorithm`] enum survives only as a set of
+//! thin aliases resolving into that registry, so existing callers and
+//! serialized configs keep working.
+//!
+//! Timing semantics: `obfuscation_time` covers mechanism construction plus
+//! every report; `assign_time` covers worker registration (matcher
+//! construction) plus the online assignment loop; `setup_time` covers
+//! building the server's published artifacts (zero when a prebuilt server
+//! is supplied).
 
+use crate::algorithm::{AssignCtx, PipelineError, Report, ReportSet, Reports};
+use crate::registry::{registry, AlgorithmSpec};
 use crate::server::Server;
-use pombm_geom::{seeded_rng, Point};
-use pombm_hst::LeafCode;
-use pombm_matching::{
-    ChainMatcher, EuclideanGreedy, HstGreedy, HstGreedyEngine, Matching, RandomAssign,
-    RandomizedGreedy,
-};
-use pombm_privacy::{Epsilon, ExponentialMechanism, HstMechanism, PlanarLaplace};
+use pombm_geom::seeded_rng;
+use pombm_matching::{HstGreedyEngine, Matching};
+use pombm_privacy::Epsilon;
 use pombm_workload::Instance;
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
 /// The compared algorithms of the main evaluation (Sec. IV-A), plus the
 /// extension/ablation variants this repository adds.
+///
+/// Soft-deprecated: these are aliases into the [`registry`]; new code
+/// (and new pairings like `exp-chain`) should address specs by name via
+/// [`registry()`][registry] and run them with [`run_spec`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Algorithm {
     /// Lap-GR: planar Laplace mechanism + Euclidean greedy.
@@ -51,6 +68,26 @@ impl Algorithm {
         Algorithm::RandomFloor,
     ];
 
+    /// The registry name this variant aliases.
+    pub fn spec_name(&self) -> &'static str {
+        match self {
+            Algorithm::LapGr => "lap-gr",
+            Algorithm::LapHg => "lap-hg",
+            Algorithm::Tbf => "tbf",
+            Algorithm::ExpHg => "exp-hg",
+            Algorithm::TbfRand => "tbf-rand",
+            Algorithm::TbfChain => "tbf-chain",
+            Algorithm::RandomFloor => "random",
+        }
+    }
+
+    /// The registered spec this variant resolves to.
+    pub fn spec(&self) -> &'static AlgorithmSpec {
+        registry()
+            .spec(self.spec_name())
+            .expect("legacy algorithms are always registered")
+    }
+
     /// The label used in the paper's figures (or our extension labels).
     pub fn label(&self) -> &'static str {
         match self {
@@ -83,6 +120,9 @@ pub struct PipelineConfig {
     /// Bucket-grid resolution for the Euclidean matcher (cells per axis);
     /// 0 disables the index (paper-faithful linear scan).
     pub euclid_cells: usize,
+    /// Per-worker task capacity for the `capacity` matcher; ignored by
+    /// matchers that assign each worker at most once.
+    pub capacity: u32,
     /// Base seed; mechanisms, tree construction and arrival shuffling derive
     /// independent streams from it.
     pub seed: u64,
@@ -95,6 +135,7 @@ impl Default for PipelineConfig {
             grid_side: 32,
             engine: HstGreedyEngine::Scan,
             euclid_cells: 0,
+            capacity: 1,
             seed: 0,
         }
     }
@@ -108,8 +149,9 @@ pub struct RunMetrics {
     pub total_distance: f64,
     /// Number of assigned pairs.
     pub matching_size: usize,
-    /// Wall-clock time spent assigning tasks — "from receiving a task to the
-    /// completion of the assignment" (Figs. 6e-h, 7e-h).
+    /// Wall-clock time spent registering workers and assigning tasks —
+    /// "from receiving a task to the completion of the assignment"
+    /// (Figs. 6e-h, 7e-h).
     pub assign_time: Duration,
     /// Wall-clock time spent in the privacy mechanism (not part of the
     /// paper's running-time metric; reported separately).
@@ -121,11 +163,16 @@ pub struct RunMetrics {
 
 impl RunMetrics {
     /// Mean assignment latency per task.
+    ///
+    /// Divides in `u128` nanoseconds: the previous
+    /// `assign_time / size as u32` silently wrapped the divisor for
+    /// matchings larger than `u32::MAX`.
     pub fn avg_task_latency(&self) -> Duration {
         if self.matching_size == 0 {
             Duration::ZERO
         } else {
-            self.assign_time / self.matching_size as u32
+            let nanos = self.assign_time.as_nanos() / self.matching_size as u128;
+            Duration::from_nanos(u64::try_from(nanos).unwrap_or(u64::MAX))
         }
     }
 }
@@ -139,26 +186,19 @@ pub struct RunResult {
     pub metrics: RunMetrics,
 }
 
-/// Runs `algorithm` on `instance`, building the server artifacts internally.
+/// Runs a registered or composed spec, building the server artifacts
+/// internally when either stage needs them.
 ///
 /// `repetition` decorrelates the randomness of repeated runs: the paper
 /// repeats every experiment 10 times and reports averages.
-pub fn run(
-    algorithm: Algorithm,
+pub fn run_spec(
+    spec: &AlgorithmSpec,
     instance: &Instance,
     config: &PipelineConfig,
     repetition: u64,
-) -> RunResult {
-    let needs_tree = matches!(
-        algorithm,
-        Algorithm::LapHg
-            | Algorithm::Tbf
-            | Algorithm::ExpHg
-            | Algorithm::TbfRand
-            | Algorithm::TbfChain
-    );
+) -> Result<RunResult, PipelineError> {
     let setup_start = Instant::now();
-    let server = needs_tree.then(|| {
+    let server = spec.needs_server().then(|| {
         Server::new(
             instance.region,
             config.grid_side,
@@ -166,226 +206,70 @@ pub fn run(
         )
     });
     let setup_time = setup_start.elapsed();
-    let mut result = run_with_server(algorithm, instance, config, server.as_ref(), repetition);
+    let mut result = run_spec_with_server(spec, instance, config, server.as_ref(), repetition)?;
     result.metrics.setup_time = setup_time;
-    result
+    Ok(result)
 }
 
-/// Runs `algorithm` against a prebuilt [`Server`] (required for
-/// [`Algorithm::LapHg`] and [`Algorithm::Tbf`], ignored for
-/// [`Algorithm::LapGr`]).
-pub fn run_with_server(
-    algorithm: Algorithm,
+/// Runs a spec against an optional prebuilt [`Server`] — the single
+/// generic driver behind every algorithm: obfuscate (stage 1), register +
+/// assign (stage 2), evaluate on true locations.
+pub fn run_spec_with_server(
+    spec: &AlgorithmSpec,
     instance: &Instance,
     config: &PipelineConfig,
     server: Option<&Server>,
     repetition: u64,
-) -> RunResult {
+) -> Result<RunResult, PipelineError> {
     let epsilon = Epsilon::new(config.epsilon);
     let mut mech_rng = seeded_rng(config.seed.wrapping_add(repetition), 0x0BF5);
 
-    match algorithm {
-        Algorithm::LapGr => {
-            let laplace = PlanarLaplace::new(epsilon);
-            let obf_start = Instant::now();
-            let reported_workers: Vec<Point> = instance
-                .workers
-                .iter()
-                .map(|w| laplace.obfuscate(w, &mut mech_rng))
-                .collect();
-            let reported_tasks: Vec<Point> = instance
-                .tasks
-                .iter()
-                .map(|t| laplace.obfuscate(t, &mut mech_rng))
-                .collect();
-            let obfuscation_time = obf_start.elapsed();
+    // Stage 1: obfuscation. Workers report first (step 2 of the paper's
+    // workflow), then tasks in arrival order (step 3), all on one RNG
+    // stream so runs are reproducible per (seed, repetition).
+    let obf_start = Instant::now();
+    let mut reporter = spec.mechanism.reporter(epsilon, server)?;
+    let worker_reports: Vec<Report> = instance
+        .workers
+        .iter()
+        .map(|w| reporter.report(w, &mut mech_rng))
+        .collect();
+    let task_reports: Vec<Report> = instance
+        .tasks
+        .iter()
+        .map(|t| reporter.report(t, &mut mech_rng))
+        .collect();
+    drop(reporter);
+    let mechanism_name = spec.mechanism.name();
+    let reports = ReportSet {
+        workers: Reports::collect(worker_reports, mechanism_name)?,
+        tasks: Reports::collect(task_reports, mechanism_name)?,
+    };
+    let obfuscation_time = obf_start.elapsed();
 
-            let mut matcher = if config.euclid_cells > 0 {
-                EuclideanGreedy::with_cell_index(
-                    reported_workers,
-                    instance.region,
-                    config.euclid_cells,
-                )
-            } else {
-                EuclideanGreedy::new(reported_workers)
-            };
-            let assign_start = Instant::now();
-            let mut matching = Matching::new();
-            for (t_idx, t) in reported_tasks.iter().enumerate() {
-                if let Some(w_idx) = matcher.assign(t) {
-                    matching.pairs.push((t_idx, w_idx));
-                }
-            }
-            let assign_time = assign_start.elapsed();
-            finish(matching, instance, assign_time, obfuscation_time)
-        }
-        Algorithm::LapHg => {
-            let server = server.expect("Lap-HG needs a server (HST)");
-            let laplace = PlanarLaplace::new(epsilon);
-            let obf_start = Instant::now();
-            // Noise in the plane, then snap onto the published tree.
-            let reported_workers: Vec<LeafCode> = instance
-                .workers
-                .iter()
-                .map(|w| server.snap(&laplace.obfuscate(w, &mut mech_rng)))
-                .collect();
-            let reported_tasks: Vec<LeafCode> = instance
-                .tasks
-                .iter()
-                .map(|t| server.snap(&laplace.obfuscate(t, &mut mech_rng)))
-                .collect();
-            let obfuscation_time = obf_start.elapsed();
-            run_hst_greedy(
-                instance,
-                server,
-                config,
-                reported_workers,
-                reported_tasks,
-                obfuscation_time,
-            )
-        }
-        Algorithm::Tbf => {
-            let server = server.expect("TBF needs a server (HST)");
-            let mechanism = HstMechanism::new(server.hst(), epsilon);
-            let obf_start = Instant::now();
-            let reported_workers: Vec<LeafCode> = instance
-                .workers
-                .iter()
-                .map(|w| mechanism.obfuscate(server.hst(), server.snap(w), &mut mech_rng))
-                .collect();
-            let reported_tasks: Vec<LeafCode> = instance
-                .tasks
-                .iter()
-                .map(|t| mechanism.obfuscate(server.hst(), server.snap(t), &mut mech_rng))
-                .collect();
-            let obfuscation_time = obf_start.elapsed();
-            run_hst_greedy(
-                instance,
-                server,
-                config,
-                reported_workers,
-                reported_tasks,
-                obfuscation_time,
-            )
-        }
-        Algorithm::ExpHg => {
-            let server = server.expect("Exp-HG needs a server (HST + grid)");
-            let mut mechanism = ExponentialMechanism::new(server.hst().points().clone(), epsilon);
-            let obf_start = Instant::now();
-            // Snap to the nearest predefined point, obfuscate among the
-            // predefined points, then take that point's leaf on the tree.
-            let grid = server.grid();
-            let hst = server.hst();
-            let reported_workers: Vec<LeafCode> = instance
-                .workers
-                .iter()
-                .map(|w| hst.leaf_of(mechanism.obfuscate(grid.nearest(w), &mut mech_rng)))
-                .collect();
-            let reported_tasks: Vec<LeafCode> = instance
-                .tasks
-                .iter()
-                .map(|t| hst.leaf_of(mechanism.obfuscate(grid.nearest(t), &mut mech_rng)))
-                .collect();
-            let obfuscation_time = obf_start.elapsed();
-            run_hst_greedy(
-                instance,
-                server,
-                config,
-                reported_workers,
-                reported_tasks,
-                obfuscation_time,
-            )
-        }
-        Algorithm::TbfRand | Algorithm::TbfChain => {
-            let server = server.expect("TBF variants need a server (HST)");
-            let mechanism = HstMechanism::new(server.hst(), epsilon);
-            let obf_start = Instant::now();
-            let reported_workers: Vec<LeafCode> = instance
-                .workers
-                .iter()
-                .map(|w| mechanism.obfuscate(server.hst(), server.snap(w), &mut mech_rng))
-                .collect();
-            let reported_tasks: Vec<LeafCode> = instance
-                .tasks
-                .iter()
-                .map(|t| mechanism.obfuscate(server.hst(), server.snap(t), &mut mech_rng))
-                .collect();
-            let obfuscation_time = obf_start.elapsed();
-
-            let ctx = server.hst().ctx();
-            let assign_start = Instant::now();
-            let mut matching = Matching::new();
-            match algorithm {
-                Algorithm::TbfRand => {
-                    let mut matcher = RandomizedGreedy::new(ctx, reported_workers);
-                    let mut tie_rng = seeded_rng(config.seed.wrapping_add(repetition), 0x7A9D);
-                    for (t_idx, &t) in reported_tasks.iter().enumerate() {
-                        if let Some(w_idx) = matcher.assign(t, &mut tie_rng) {
-                            matching.pairs.push((t_idx, w_idx));
-                        }
-                    }
-                }
-                Algorithm::TbfChain => {
-                    let mut matcher = ChainMatcher::new(ctx, reported_workers);
-                    for (t_idx, &t) in reported_tasks.iter().enumerate() {
-                        if let Some(out) = matcher.assign(t) {
-                            matching.pairs.push((t_idx, out.worker));
-                        }
-                    }
-                }
-                _ => unreachable!(),
-            }
-            let assign_time = assign_start.elapsed();
-            finish(matching, instance, assign_time, obfuscation_time)
-        }
-        Algorithm::RandomFloor => {
-            // Nothing location-dependent is reported, so there is nothing
-            // to obfuscate; the floor is what assignment quality looks like
-            // with zero location signal.
-            let mut matcher = RandomAssign::new(instance.num_workers());
-            let assign_start = Instant::now();
-            let mut matching = Matching::new();
-            for t_idx in 0..instance.num_tasks() {
-                if let Some(w_idx) = matcher.assign(&mut mech_rng) {
-                    matching.pairs.push((t_idx, w_idx));
-                }
-            }
-            let assign_time = assign_start.elapsed();
-            finish(matching, instance, assign_time, Duration::ZERO)
-        }
-    }
-}
-
-fn run_hst_greedy(
-    instance: &Instance,
-    server: &Server,
-    config: &PipelineConfig,
-    reported_workers: Vec<LeafCode>,
-    reported_tasks: Vec<LeafCode>,
-    obfuscation_time: Duration,
-) -> RunResult {
-    let mut matcher = HstGreedy::new(server.hst().ctx(), reported_workers, config.engine);
+    // Stage 2: registration + online assignment.
+    let mut tie_rng = seeded_rng(config.seed.wrapping_add(repetition), 0x7A9D);
+    let mut ctx = AssignCtx {
+        instance,
+        config,
+        server,
+        mech_rng: &mut mech_rng,
+        tie_rng: &mut tie_rng,
+    };
     let assign_start = Instant::now();
-    let mut matching = Matching::new();
-    for (t_idx, &t) in reported_tasks.iter().enumerate() {
-        if let Some(w_idx) = matcher.assign(t) {
-            matching.pairs.push((t_idx, w_idx));
-        }
-    }
+    let matching = spec.matcher.assign(reports, &mut ctx)?;
     let assign_time = assign_start.elapsed();
-    finish(matching, instance, assign_time, obfuscation_time)
-}
 
-fn finish(
-    matching: Matching,
-    instance: &Instance,
-    assign_time: Duration,
-    obfuscation_time: Duration,
-) -> RunResult {
-    debug_assert!(matching.is_valid());
+    debug_assert!(
+        valid_for(&matching, spec.matcher.reuses_workers()),
+        "{}: invalid matching",
+        spec.name()
+    );
+
+    // Evaluation is always on true locations, whatever was reported.
     let total_distance = matching.total_distance(&instance.tasks, &instance.workers);
     let matching_size = matching.size();
-    RunResult {
+    Ok(RunResult {
         matching,
         metrics: RunMetrics {
             total_distance,
@@ -394,6 +278,45 @@ fn finish(
             obfuscation_time,
             setup_time: Duration::ZERO,
         },
+    })
+}
+
+/// Tasks must be unique always; workers only for non-capacitated matchers.
+fn valid_for(matching: &Matching, reuses_workers: bool) -> bool {
+    if reuses_workers {
+        let mut tasks = std::collections::HashSet::new();
+        matching.pairs.iter().all(|&(t, _)| tasks.insert(t))
+    } else {
+        matching.is_valid()
+    }
+}
+
+/// Runs a legacy [`Algorithm`] alias, building the server internally.
+pub fn run(
+    algorithm: Algorithm,
+    instance: &Instance,
+    config: &PipelineConfig,
+    repetition: u64,
+) -> RunResult {
+    run_spec(algorithm.spec(), instance, config, repetition)
+        .expect("legacy algorithm specs are always runnable")
+}
+
+/// Runs a legacy [`Algorithm`] alias against a prebuilt [`Server`]
+/// (required for the tree-based variants, ignored for `LapGr`).
+pub fn run_with_server(
+    algorithm: Algorithm,
+    instance: &Instance,
+    config: &PipelineConfig,
+    server: Option<&Server>,
+    repetition: u64,
+) -> RunResult {
+    match run_spec_with_server(algorithm.spec(), instance, config, server, repetition) {
+        Ok(result) => result,
+        Err(PipelineError::MissingServer(who)) => {
+            panic!("{} needs a server: {who}", algorithm.label())
+        }
+        Err(e) => panic!("{}: {e}", algorithm.label()),
     }
 }
 
@@ -600,5 +523,46 @@ mod tests {
         assert!(avg <= r.metrics.assign_time);
         // Duration division truncates, so allow up to 60 lost nanoseconds.
         assert!(avg.as_nanos() * 60 + 60 >= r.metrics.assign_time.as_nanos());
+    }
+
+    #[test]
+    fn avg_task_latency_survives_huge_matchings() {
+        // 5 billion pairs overflows a u32 divisor; the old
+        // `assign_time / size as u32` wrapped to dividing by ~705 million,
+        // reporting a latency ~7x too large.
+        let metrics = RunMetrics {
+            total_distance: 0.0,
+            matching_size: 5_000_000_000,
+            assign_time: Duration::from_secs(5_000),
+            obfuscation_time: Duration::ZERO,
+            setup_time: Duration::ZERO,
+        };
+        assert_eq!(metrics.avg_task_latency(), Duration::from_micros(1));
+        let empty = RunMetrics {
+            matching_size: 0,
+            ..metrics
+        };
+        assert_eq!(empty.avg_task_latency(), Duration::ZERO);
+    }
+
+    #[test]
+    fn capacity_spec_reuses_workers() {
+        // 90 tasks onto 40 workers of capacity 3: every task is served,
+        // which the unit-capacity matchers cannot do.
+        let params = SyntheticParams {
+            num_tasks: 90,
+            num_workers: 40,
+            ..SyntheticParams::default()
+        };
+        let instance = synthetic::generate(&params, &mut seeded_rng(21, 0));
+        let config = PipelineConfig {
+            capacity: 3,
+            ..PipelineConfig::default()
+        };
+        let spec = registry().spec("tbf-cap").unwrap();
+        let r = run_spec(spec, &instance, &config, 0).unwrap();
+        assert_eq!(r.matching.size(), 90);
+        let unit = run(Algorithm::Tbf, &instance, &config, 0);
+        assert_eq!(unit.matching.size(), 40);
     }
 }

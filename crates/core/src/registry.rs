@@ -1,0 +1,282 @@
+//! Global registry of named mechanisms, matchers and their pairings.
+//!
+//! The paper's seven evaluated algorithms are ordinary entries here; the
+//! registry also exposes the raw mechanism and matcher catalogues so any
+//! `mechanism × matcher` product can be composed by name (the CLI's
+//! `--mechanism X --matcher Y`), including pairings the legacy
+//! [`crate::Algorithm`] enum could not express (e.g. `exp` × `chain`, or
+//! `hst` × `capacity`).
+//!
+//! Lookup is case-insensitive and alias-aware (`lapgr` → `lap-gr`, `TBF` →
+//! `tbf`), so serialized configs and scripts from the enum era keep
+//! resolving.
+
+use crate::algorithm::{
+    AssignStrategy, BlindMechanism, CapacitatedStrategy, ChainStrategy, EuclideanGreedyStrategy,
+    ExponentialReportMechanism, HstGreedyStrategy, HstWalkMechanism, IdentityMechanism,
+    KdGreedyStrategy, LaplaceMechanism, PipelineError, RandomAssignStrategy,
+    RandomizedGreedyStrategy, ReportMechanism,
+};
+use std::sync::{Arc, OnceLock};
+
+/// A named `mechanism × matcher` pairing.
+#[derive(Clone)]
+pub struct AlgorithmSpec {
+    name: String,
+    label: String,
+    /// Stage 1: the privacy mechanism.
+    pub mechanism: Arc<dyn ReportMechanism>,
+    /// Stage 2: the online matcher.
+    pub matcher: Arc<dyn AssignStrategy>,
+}
+
+impl AlgorithmSpec {
+    /// Creates a named spec.
+    pub fn new(
+        name: impl Into<String>,
+        label: impl Into<String>,
+        mechanism: Arc<dyn ReportMechanism>,
+        matcher: Arc<dyn AssignStrategy>,
+    ) -> Self {
+        AlgorithmSpec {
+            name: name.into(),
+            label: label.into(),
+            mechanism,
+            matcher,
+        }
+    }
+
+    /// Composes an ad-hoc spec named `<mechanism>+<matcher>`.
+    pub fn compose(mechanism: Arc<dyn ReportMechanism>, matcher: Arc<dyn AssignStrategy>) -> Self {
+        let name = format!("{}+{}", mechanism.name(), matcher.name());
+        AlgorithmSpec {
+            label: name.clone(),
+            name,
+            mechanism,
+            matcher,
+        }
+    }
+
+    /// Registry name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Figure label (`TBF`, `Lap-GR`, ...).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// True when either stage needs the server's published artifacts.
+    pub fn needs_server(&self) -> bool {
+        self.mechanism.needs_server() || self.matcher.needs_server()
+    }
+}
+
+impl std::fmt::Debug for AlgorithmSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AlgorithmSpec")
+            .field("name", &self.name)
+            .field("mechanism", &self.mechanism.name())
+            .field("matcher", &self.matcher.name())
+            .finish()
+    }
+}
+
+/// The catalogue of mechanisms, matchers and named pairings.
+pub struct Registry {
+    mechanisms: Vec<Arc<dyn ReportMechanism>>,
+    matchers: Vec<Arc<dyn AssignStrategy>>,
+    specs: Vec<AlgorithmSpec>,
+    spec_aliases: Vec<(&'static str, &'static str)>,
+}
+
+fn normalize(name: &str) -> String {
+    name.to_ascii_lowercase()
+}
+
+impl Registry {
+    /// All named specs, in presentation order (paper algorithms first).
+    pub fn specs(&self) -> &[AlgorithmSpec] {
+        &self.specs
+    }
+
+    /// All registered mechanisms.
+    pub fn mechanisms(&self) -> &[Arc<dyn ReportMechanism>] {
+        &self.mechanisms
+    }
+
+    /// All registered matchers.
+    pub fn matchers(&self) -> &[Arc<dyn AssignStrategy>] {
+        &self.matchers
+    }
+
+    /// Case-insensitive, alias-aware spec lookup.
+    pub fn spec(&self, name: &str) -> Option<&AlgorithmSpec> {
+        let wanted = normalize(name);
+        let wanted = self
+            .spec_aliases
+            .iter()
+            .find(|(alias, _)| *alias == wanted)
+            .map(|&(_, target)| target.to_string())
+            .unwrap_or(wanted);
+        self.specs.iter().find(|s| s.name == wanted)
+    }
+
+    /// Spec lookup returning a listing-rich error for CLI surfaces.
+    pub fn require_spec(&self, name: &str) -> Result<&AlgorithmSpec, PipelineError> {
+        self.spec(name).ok_or_else(|| PipelineError::UnknownName {
+            kind: "algorithm",
+            name: name.to_string(),
+            known: self.specs.iter().map(|s| s.name.clone()).collect(),
+        })
+    }
+
+    /// Case-insensitive mechanism lookup.
+    pub fn mechanism(&self, name: &str) -> Option<Arc<dyn ReportMechanism>> {
+        let wanted = normalize(name);
+        self.mechanisms.iter().find(|m| m.name() == wanted).cloned()
+    }
+
+    /// Case-insensitive matcher lookup.
+    pub fn matcher(&self, name: &str) -> Option<Arc<dyn AssignStrategy>> {
+        let wanted = normalize(name);
+        self.matchers.iter().find(|m| m.name() == wanted).cloned()
+    }
+
+    /// Composes a free `mechanism × matcher` pairing by name.
+    pub fn compose(&self, mechanism: &str, matcher: &str) -> Result<AlgorithmSpec, PipelineError> {
+        let mech = self
+            .mechanism(mechanism)
+            .ok_or_else(|| PipelineError::UnknownName {
+                kind: "mechanism",
+                name: mechanism.to_string(),
+                known: self
+                    .mechanisms
+                    .iter()
+                    .map(|m| m.name().to_string())
+                    .collect(),
+            })?;
+        let strat = self
+            .matcher(matcher)
+            .ok_or_else(|| PipelineError::UnknownName {
+                kind: "matcher",
+                name: matcher.to_string(),
+                known: self.matchers.iter().map(|m| m.name().to_string()).collect(),
+            })?;
+        Ok(AlgorithmSpec::compose(mech, strat))
+    }
+}
+
+/// The process-wide registry (built once, immutable afterwards).
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(build)
+}
+
+fn build() -> Registry {
+    let laplace: Arc<dyn ReportMechanism> = Arc::new(LaplaceMechanism);
+    let hst: Arc<dyn ReportMechanism> = Arc::new(HstWalkMechanism);
+    let exp: Arc<dyn ReportMechanism> = Arc::new(ExponentialReportMechanism);
+    let identity: Arc<dyn ReportMechanism> = Arc::new(IdentityMechanism);
+    let blind: Arc<dyn ReportMechanism> = Arc::new(BlindMechanism);
+
+    let greedy: Arc<dyn AssignStrategy> = Arc::new(EuclideanGreedyStrategy);
+    let kd: Arc<dyn AssignStrategy> = Arc::new(KdGreedyStrategy);
+    let hst_greedy: Arc<dyn AssignStrategy> = Arc::new(HstGreedyStrategy);
+    let hst_rand: Arc<dyn AssignStrategy> = Arc::new(RandomizedGreedyStrategy);
+    let chain: Arc<dyn AssignStrategy> = Arc::new(ChainStrategy);
+    let capacity: Arc<dyn AssignStrategy> = Arc::new(CapacitatedStrategy);
+    let random: Arc<dyn AssignStrategy> = Arc::new(RandomAssignStrategy);
+
+    let specs = vec![
+        // The paper's compared algorithms (Sec. IV-A)...
+        AlgorithmSpec::new("lap-gr", "Lap-GR", laplace.clone(), greedy.clone()),
+        AlgorithmSpec::new("lap-hg", "Lap-HG", laplace.clone(), hst_greedy.clone()),
+        AlgorithmSpec::new("tbf", "TBF", hst.clone(), hst_greedy.clone()),
+        // ...this repository's ablations/extensions...
+        AlgorithmSpec::new("exp-hg", "Exp-HG", exp.clone(), hst_greedy.clone()),
+        AlgorithmSpec::new("tbf-rand", "TBF-Rand", hst.clone(), hst_rand.clone()),
+        AlgorithmSpec::new("tbf-chain", "TBF-Chain", hst.clone(), chain.clone()),
+        AlgorithmSpec::new("random", "Random", blind.clone(), random.clone()),
+        // ...and pairings the closed enum could not express.
+        AlgorithmSpec::new("exp-chain", "Exp-Chain", exp.clone(), chain.clone()),
+        AlgorithmSpec::new("tbf-cap", "TBF-Cap", hst.clone(), capacity.clone()),
+        AlgorithmSpec::new("lap-kd", "Lap-KD", laplace.clone(), kd.clone()),
+    ];
+
+    Registry {
+        mechanisms: vec![laplace, hst, exp, identity, blind],
+        matchers: vec![greedy, kd, hst_greedy, hst_rand, chain, capacity, random],
+        specs,
+        spec_aliases: vec![
+            ("lapgr", "lap-gr"),
+            ("laphg", "lap-hg"),
+            ("exphg", "exp-hg"),
+            ("tbfrand", "tbf-rand"),
+            ("tbfchain", "tbf-chain"),
+            ("expchain", "exp-chain"),
+            ("tbfcap", "tbf-cap"),
+            ("lapkd", "lap-kd"),
+            ("random-floor", "random"),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legacy_names_resolve_case_insensitively() {
+        for name in [
+            "tbf",
+            "TBF",
+            "Lap-GR",
+            "lapgr",
+            "tbf-chain",
+            "TbfChain",
+            "random",
+        ] {
+            assert!(registry().spec(name).is_some(), "{name} should resolve");
+        }
+        assert!(registry().spec("nope").is_none());
+    }
+
+    #[test]
+    fn require_spec_lists_known_names() {
+        let err = registry().require_spec("bogus").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("bogus") && msg.contains("tbf") && msg.contains("exp-chain"));
+    }
+
+    #[test]
+    fn compose_builds_novel_pairings() {
+        let spec = registry().compose("exp", "chain").unwrap();
+        assert_eq!(spec.name(), "exp+chain");
+        assert!(spec.needs_server());
+        assert!(registry().compose("exp", "bogus").is_err());
+        assert!(registry().compose("bogus", "chain").is_err());
+    }
+
+    #[test]
+    fn catalogue_is_complete() {
+        let names: Vec<&str> = registry().specs().iter().map(|s| s.name()).collect();
+        for expected in [
+            "lap-gr",
+            "lap-hg",
+            "tbf",
+            "exp-hg",
+            "tbf-rand",
+            "tbf-chain",
+            "random",
+            "exp-chain",
+            "tbf-cap",
+            "lap-kd",
+        ] {
+            assert!(names.contains(&expected), "missing spec {expected}");
+        }
+        assert_eq!(registry().mechanisms().len(), 5);
+        assert_eq!(registry().matchers().len(), 7);
+    }
+}

@@ -1,0 +1,173 @@
+//! Minimal offline stand-in for `criterion`: enough API surface
+//! ([`Criterion`], benchmark groups, [`Bencher::iter`], [`black_box`],
+//! [`BenchmarkId`], the `criterion_group!`/`criterion_main!` macros) to
+//! compile and run this workspace's benches as plain wall-clock timers.
+//! No statistics, plots or comparisons — just a warmed-up mean per bench,
+//! printed to stdout.
+
+use std::time::{Duration, Instant};
+
+/// Re-exported from `std::hint`; prevents the optimizer from deleting the
+/// benchmarked expression.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one parameterized benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            text: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(text: String) -> Self {
+        BenchmarkId { text }
+    }
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    /// Mean time per iteration of the last [`iter`](Bencher::iter) run.
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f` over a few warmed-up iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up.
+        for _ in 0..3 {
+            black_box(f());
+        }
+        // Choose an iteration count targeting ~50 ms of measurement,
+        // bounded to keep pathological cases short.
+        let probe_start = Instant::now();
+        black_box(f());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(1));
+        let iters = (Duration::from_millis(50).as_nanos() / probe.as_nanos()).clamp(1, 1000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the shim ignores sample-count tuning.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; the shim ignores measurement tuning.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.into(), |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.into(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+fn run_one(group: &str, id: &BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 1,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.as_nanos() / u128::from(bencher.iters.max(1));
+    println!(
+        "bench {group}/{}: {} ns/iter ({} iters)",
+        id.text, per_iter, bencher.iters
+    );
+}
+
+/// Benchmark driver with criterion's API shape.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one("", &id.into(), |b| f(b));
+        self
+    }
+}
+
+/// Declares a group-runner function calling each bench target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

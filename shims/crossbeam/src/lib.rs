@@ -1,0 +1,79 @@
+//! Minimal offline stand-in for `crossbeam`: the `thread::scope` /
+//! `Scope::spawn` API, delegating to `std::thread::scope` (stable since
+//! Rust 1.63, so the historical reason for crossbeam's scoped threads is
+//! gone — only the signatures differ).
+
+/// Scoped-thread API compatible with `crossbeam::thread`.
+pub mod thread {
+    /// Handle for spawning threads inside a [`scope`] invocation.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives a scope handle
+        /// (crossbeam-style) allowing nested spawns.
+        pub fn spawn<F, T>(&self, f: F)
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || {
+                let nested = Scope { inner };
+                f(&nested)
+            });
+        }
+    }
+
+    /// Runs `f` with a scope in which spawned threads are joined before
+    /// `scope` returns. Always `Ok`: panics in scoped threads propagate on
+    /// join exactly like upstream's `Err` path would surface them via
+    /// `.expect(...)` at every call site in this workspace.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_join_before_return() {
+        let counter = AtomicUsize::new(0);
+        let result = super::thread::scope(|scope| {
+            for _ in 0..8 {
+                let counter = &counter;
+                scope.spawn(move |_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            42
+        })
+        .unwrap();
+        assert_eq!(result, 42);
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn borrows_from_environment() {
+        let data = [1u64, 2, 3, 4];
+        let sums = std::sync::Mutex::new(Vec::new());
+        super::thread::scope(|scope| {
+            for chunk in data.chunks(2) {
+                let sums = &sums;
+                scope.spawn(move |_| {
+                    sums.lock().unwrap().push(chunk.iter().sum::<u64>());
+                });
+            }
+        })
+        .unwrap();
+        let mut got = sums.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, vec![3, 7]);
+    }
+}
