@@ -592,8 +592,10 @@ pub fn ratio(cfg: &ExperimentConfig) -> Report {
         let instance = synthetic::generate(&params, &mut seeded_rng(cfg.seed, 0x0C));
         for algo in Algorithm::ALL {
             let pc = cfg.pipeline(eps, 0);
-            let (r, _, _) =
-                pombm::empirical_competitive_ratio(algo, &instance, &pc, cfg.repetitions);
+            let r =
+                pombm::empirical_competitive_ratio(algo.spec(), &instance, &pc, cfg.repetitions)
+                    .expect("ratio experiment instances are non-degenerate")
+                    .ratio;
             report.push(
                 "ratio",
                 "epsilon",

@@ -5,7 +5,9 @@
 //! is unit-testable without spawning processes.
 
 use crate::args::Args;
-use pombm::{registry, run_spec, AlgorithmSpec, EpochConfig, PipelineConfig};
+use pombm::{
+    registry, run_spec, run_sweep, AlgorithmSpec, EpochConfig, PipelineConfig, SweepConfig,
+};
 use pombm_geom::{seeded_rng, Point};
 use pombm_hst::wire;
 use pombm_workload::{chengdu, synthetic, Instance, SyntheticParams};
@@ -38,6 +40,13 @@ COMMANDS:
               --input FILE
   epochs      multi-epoch deployment simulation under a lifetime budget
               --workers N [--epochs N] [--lifetime F] [--epsilon F] [--seed N]
+  sweep       registry-wide empirical competitive-ratio sweep against the
+              exact offline optimum, sharded across cores
+              [--mechanisms A,B,..] [--matchers X,Y,..] [--sizes N,N,..]
+              [--epsilons F,F,..] [--reps N] [--shards N] [--grid-side N]
+              [--seed N] [--json]
+              omitting --mechanisms/--matchers sweeps the full registry
+              product; `identity x offline-opt` always reports ratio 1.0
   help        this text
 ";
 
@@ -51,6 +60,7 @@ pub fn dispatch(args: &Args) -> Result<String, String> {
         Some("publish") => publish(args),
         Some("inspect") => inspect(args),
         Some("epochs") => epochs(args),
+        Some("sweep") => sweep(args),
         Some("help") | None => Ok(USAGE.to_string()),
         Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     }
@@ -322,6 +332,131 @@ pub fn epochs(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+/// `pombm sweep`: competitive ratios for a `mechanism × matcher × size × ε`
+/// product, fanned across cores (deterministic in --seed for any --shards).
+pub fn sweep(args: &Args) -> Result<String, String> {
+    args.check_known(&[
+        "mechanisms",
+        "matchers",
+        "sizes",
+        "epsilons",
+        "reps",
+        "shards",
+        "grid-side",
+        "seed",
+        "json",
+    ])?;
+    let shards = match args.get_or("shards", 0usize)? {
+        0 => std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1),
+        n => n,
+    };
+    let defaults = SweepConfig::default();
+    let config = SweepConfig {
+        mechanisms: parse_name_list(args, "mechanisms")?,
+        matchers: parse_name_list(args, "matchers")?,
+        sizes: parse_number_list(args, "sizes", defaults.sizes)?,
+        epsilons: parse_number_list(args, "epsilons", defaults.epsilons)?,
+        repetitions: args.get_or("reps", defaults.repetitions)?,
+        shards,
+        base: PipelineConfig {
+            grid_side: args.get_or("grid-side", 32)?,
+            seed: args.get_or("seed", 0)?,
+            ..PipelineConfig::default()
+        },
+    };
+    let report = run_sweep(&config).map_err(|e| e.to_string())?;
+    if args.switch("json") {
+        return serde_json::to_string_pretty(&report).map_err(|e| e.to_string());
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:<12} {:>6} {:>6} {:>9} {:>9} {:>9} {:>12}",
+        "mechanism", "matcher", "tasks", "eps", "ratio", "min", "max", "opt_dist"
+    );
+    for cell in &report.cells {
+        match (&cell.report, &cell.error) {
+            (Some(r), _) => {
+                let _ = writeln!(
+                    out,
+                    "{:<10} {:<12} {:>6} {:>6.2} {:>9.4} {:>9.4} {:>9.4} {:>12.2}",
+                    cell.mechanism,
+                    cell.matcher,
+                    cell.num_tasks,
+                    cell.epsilon,
+                    r.ratio,
+                    r.min_ratio,
+                    r.max_ratio,
+                    r.opt_distance
+                );
+            }
+            (None, Some(e)) => {
+                let _ = writeln!(
+                    out,
+                    "{:<10} {:<12} {:>6} {:>6.2} skipped: {e}",
+                    cell.mechanism, cell.matcher, cell.num_tasks, cell.epsilon
+                );
+            }
+            (None, None) => unreachable!("every cell has a report or an error"),
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{} cells measured, {} skipped ({} reps each, seed {})",
+        report.measured().count(),
+        report.failed().count(),
+        report.repetitions,
+        report.seed
+    );
+    Ok(out)
+}
+
+/// The flag's comma-separated value, requiring a value when the flag is
+/// present (`--sizes --json` must error, not fall back to the default).
+fn list_flag<'a>(args: &'a Args, name: &str) -> Result<Option<&'a str>, String> {
+    match args.get(name) {
+        Some(v) => Ok(Some(v)),
+        None if args.switch(name) => Err(format!("flag --{name} needs a value")),
+        None => Ok(None),
+    }
+}
+
+/// Splits a comma-separated name list; an absent flag means "all
+/// registered" (the empty `SweepConfig` filter).
+fn parse_name_list(args: &Args, name: &str) -> Result<Vec<String>, String> {
+    Ok(list_flag(args, name)?
+        .map(|v| {
+            v.split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(String::from)
+                .collect()
+        })
+        .unwrap_or_default())
+}
+
+/// Parses a comma-separated numeric flag into `Vec<T>`, with a default.
+fn parse_number_list<T: std::str::FromStr>(
+    args: &Args,
+    name: &str,
+    default: Vec<T>,
+) -> Result<Vec<T>, String> {
+    match list_flag(args, name)? {
+        None => Ok(default),
+        Some(v) => v
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                s.parse()
+                    .map_err(|_| format!("flag --{name}: cannot parse `{s}`"))
+            })
+            .collect(),
+    }
+}
+
 /// Registry-driven, case-insensitive algorithm lookup with an error that
 /// lists every valid name.
 fn parse_algorithm(name: &str) -> Result<&'static AlgorithmSpec, String> {
@@ -359,7 +494,15 @@ mod tests {
     #[test]
     fn help_lists_all_commands() {
         let text = dispatch(&args("help")).unwrap();
-        for cmd in ["gen", "run", "obfuscate", "publish", "inspect", "epochs"] {
+        for cmd in [
+            "gen",
+            "run",
+            "obfuscate",
+            "publish",
+            "inspect",
+            "epochs",
+            "sweep",
+        ] {
             assert!(text.contains(cmd), "usage missing {cmd}");
         }
         assert_eq!(dispatch(&args("")).unwrap(), USAGE);
@@ -531,6 +674,57 @@ mod tests {
         assert!(err.contains("together"));
         let err = run_cmd(&args("run --input x.json")).unwrap_err();
         assert!(err.contains("pombm algorithms"));
+    }
+
+    #[test]
+    fn sweep_oracle_pairing_reports_ratio_one() {
+        let out = sweep(&args(
+            "sweep --mechanisms identity --matchers offline-opt --sizes 16 --reps 2 \
+             --grid-side 16 --shards 1",
+        ))
+        .unwrap();
+        assert!(out.contains("identity"), "{out}");
+        assert!(out.contains("offline-opt"), "{out}");
+        assert!(out.contains("1.0000"), "oracle ratio must be 1.0:\n{out}");
+        assert!(out.contains("1 cells measured, 0 skipped"), "{out}");
+    }
+
+    #[test]
+    fn sweep_json_output_parses_and_is_shard_independent() {
+        let flags = "sweep --mechanisms identity,laplace --matchers greedy,offline-opt \
+                     --sizes 12 --epsilons 0.4,1.0 --reps 2 --grid-side 16 --seed 5 --json";
+        let one = sweep(&args(&format!("{flags} --shards 1"))).unwrap();
+        let many = sweep(&args(&format!("{flags} --shards 3"))).unwrap();
+        assert_eq!(one, many, "shard count changed the sweep output");
+        let v: serde_json::Value = serde_json::from_str(&one).unwrap();
+        assert_eq!(v["cells"].as_array().unwrap().len(), 2 * 2 * 2);
+    }
+
+    #[test]
+    fn sweep_skips_incompatible_cells_and_rejects_unknown_names() {
+        let out = sweep(&args(
+            "sweep --mechanisms blind --matchers greedy,random --sizes 10 --reps 1 --shards 1",
+        ))
+        .unwrap();
+        assert!(out.contains("skipped:"), "{out}");
+        assert!(out.contains("1 cells measured, 1 skipped"), "{out}");
+        let err = sweep(&args("sweep --mechanisms bogus")).unwrap_err();
+        assert!(err.contains("bogus") && err.contains("identity"), "{err}");
+    }
+
+    #[test]
+    fn sweep_list_flags_without_values_are_rejected() {
+        // A list flag swallowed by the next flag must error, not silently
+        // fall back to the full registry / grid defaults.
+        for flags in [
+            "sweep --mechanisms --json",
+            "sweep --matchers --json",
+            "sweep --sizes --json",
+            "sweep --epsilons --json",
+        ] {
+            let err = sweep(&args(flags)).unwrap_err();
+            assert!(err.contains("needs a value"), "{flags}: {err}");
+        }
     }
 
     #[test]

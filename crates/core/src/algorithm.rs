@@ -62,6 +62,7 @@ use crate::pipeline::PipelineConfig;
 use crate::server::Server;
 use pombm_geom::Point;
 use pombm_hst::LeafCode;
+use pombm_matching::offline::OfflineOptimal;
 use pombm_matching::{
     CapacitatedGreedy, ChainMatcher, EuclideanGreedy, HstGreedy, Matching, RandomAssign,
     RandomizedGreedy,
@@ -799,6 +800,51 @@ impl AssignStrategy for CapacitatedStrategy {
                 matching.pairs.push((t_idx, w_idx));
             }
         }
+        Ok(matching)
+    }
+}
+
+/// Exact offline optimum (Hungarian) over the *reported* locations.
+///
+/// This is `OPT` of Definition 8 run on the obfuscated view: it sees every
+/// task before assigning any of them, so it lower-bounds what any online
+/// matcher can achieve on the same reports. Composed with the `identity`
+/// mechanism it reproduces the true offline optimum exactly — the built-in
+/// sanity oracle of the competitive-ratio sweep (ratio = 1.0).
+pub struct OfflineOptimalStrategy;
+
+impl AssignStrategy for OfflineOptimalStrategy {
+    fn name(&self) -> &'static str {
+        "offline-opt"
+    }
+
+    fn summary(&self) -> &'static str {
+        "exact offline optimum on the reports (Hungarian; not online)"
+    }
+
+    fn needs_server(&self) -> bool {
+        false
+    }
+
+    fn assign(
+        &self,
+        reports: ReportSet,
+        ctx: &mut AssignCtx<'_>,
+    ) -> Result<Matching, PipelineError> {
+        let workers = reports
+            .workers
+            .into_points(ctx.server, "offline-opt matcher")?;
+        let tasks = reports
+            .tasks
+            .into_points(ctx.server, "offline-opt matcher")?;
+        let mut matching = OfflineOptimal::solve(tasks.len(), workers.len(), |t, w| {
+            tasks[t].dist(&workers[w])
+        });
+        // Canonical worker-index order: worker indices never change when the
+        // task arrival order is reshuffled, so the float summation order of
+        // `total_distance` — and hence the identity × offline-opt ratio of
+        // exactly 1.0 — is independent of the arrival permutation.
+        matching.pairs.sort_unstable_by_key(|&(_, w)| w);
         Ok(matching)
     }
 }

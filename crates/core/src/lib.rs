@@ -54,6 +54,31 @@
 //! Adding your own mechanism or matcher is one trait impl plus
 //! [`AlgorithmSpec::compose`] — see the [`algorithm`] module docs for a
 //! complete ≤20-line example.
+//!
+//! # Measuring competitive ratios
+//!
+//! The exact offline optimum is itself a registered matcher
+//! (`offline-opt`), so Definition 8's competitive ratio is measurable for
+//! *any* pairing: [`empirical_competitive_ratio`] returns a structured
+//! [`RatioReport`], and the [`sweep`] module fans the full
+//! `mechanism × matcher × size × ε` product out across cores
+//! deterministically (`pombm sweep` on the CLI):
+//!
+//! ```
+//! use pombm::sweep::{run_sweep, SweepConfig};
+//!
+//! let config = SweepConfig {
+//!     mechanisms: vec!["identity".into()],
+//!     matchers: vec!["offline-opt".into(), "greedy".into()],
+//!     sizes: vec![24],
+//!     repetitions: 2,
+//!     ..SweepConfig::default()
+//! };
+//! let report = run_sweep(&config).unwrap();
+//! let (_, oracle) = report.measured()
+//!     .find(|(c, _)| c.matcher == "offline-opt").unwrap();
+//! assert_eq!(oracle.ratio, 1.0); // identity × offline-opt reproduces OPT
+//! ```
 
 pub mod algorithm;
 pub mod arrivals;
@@ -64,6 +89,7 @@ pub mod pipeline;
 pub mod ratio;
 pub mod registry;
 pub mod server;
+pub mod sweep;
 
 pub use algorithm::{AssignStrategy, PipelineError, PointReporter, Report, ReportMechanism};
 pub use arrivals::{simulate_stream, ArrivalProcess, StreamReport};
@@ -74,6 +100,7 @@ pub use pipeline::{
     run, run_spec, run_spec_with_server, run_with_server, Algorithm, PipelineConfig, RunMetrics,
     RunResult,
 };
-pub use ratio::empirical_competitive_ratio;
+pub use ratio::{empirical_competitive_ratio, offline_optimum, RatioError, RatioReport};
 pub use registry::{registry, AlgorithmSpec, Registry};
 pub use server::{Server, TreeConstruction};
+pub use sweep::{run_sweep, SweepCell, SweepConfig, SweepReport};

@@ -1,55 +1,215 @@
 //! Empirical competitive ratios against the offline optimum.
 //!
-//! Theorem 3 bounds Alg. 4's competitive ratio by `O(ε⁻⁴ log N log² k)`.
-//! The paper does not plot the ratio directly (its figures compare
-//! mechanisms' total distances), but measuring it grounds the theory: this
-//! module runs a pipeline repeatedly in the random order model and divides
-//! the average total distance by `d(M_OPT)` computed by the exact offline
-//! matcher on the true locations.
+//! Theorem 3 bounds Alg. 4's competitive ratio by `O(ε⁻⁴ log N log² k)`
+//! against `OPT`, the minimum-total-distance matching computed with every
+//! task known in advance (Definition 8). The paper does not plot the ratio
+//! directly (its figures compare mechanisms' total distances), but
+//! measuring it grounds the theory: this module runs any registered or
+//! composed [`AlgorithmSpec`] repeatedly in the random order model —
+//! Definition 8's expectation is over both the mechanism's coins and the
+//! arrival order — and divides each run's total distance by `d(M_OPT)`
+//! computed by the exact offline matcher on the true locations.
+//!
+//! The result is a structured [`RatioReport`] (mean/min/max ratio plus the
+//! per-repetition distances) that serializes through the serde shim, so the
+//! [`sweep`](crate::sweep) engine and the CLI's `--json` output share one
+//! contract. Degenerate inputs (empty instances, zero-distance optima)
+//! surface as a typed [`RatioError`] instead of a panic: the registry
+//! admits arbitrary compositions, so the measurement layer must reject bad
+//! denominators gracefully.
 
-use crate::pipeline::{run, Algorithm, PipelineConfig};
+use crate::algorithm::PipelineError;
+use crate::pipeline::{run_spec, PipelineConfig};
+use crate::registry::AlgorithmSpec;
 use pombm_geom::seeded_rng;
 use pombm_matching::offline::OfflineOptimal;
 use pombm_workload::Instance;
+use serde::{Deserialize, Serialize};
+
+/// Why a competitive ratio could not be measured.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RatioError {
+    /// `repetitions == 0`: the empirical mean is undefined.
+    ZeroRepetitions,
+    /// `k = min(n, m) = 0`: there is nothing to match, so the ratio's
+    /// numerator and denominator are both empty sums.
+    EmptyInstance {
+        /// Number of tasks in the rejected instance.
+        num_tasks: usize,
+        /// Number of workers in the rejected instance.
+        num_workers: usize,
+    },
+    /// The offline optimum has zero total distance (every matched task
+    /// coincides with its worker), so the ratio would divide by zero.
+    DegenerateOptimum {
+        /// Size of the zero-distance optimal matching.
+        matched: usize,
+    },
+    /// The pipeline rejected the composition (e.g. location-blind reports
+    /// fed to a location-aware matcher).
+    Pipeline(PipelineError),
+}
+
+impl std::fmt::Display for RatioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RatioError::ZeroRepetitions => {
+                write!(f, "competitive ratio needs at least one repetition")
+            }
+            RatioError::EmptyInstance {
+                num_tasks,
+                num_workers,
+            } => write!(
+                f,
+                "competitive ratio needs a non-empty instance \
+                 ({num_tasks} tasks, {num_workers} workers)"
+            ),
+            RatioError::DegenerateOptimum { matched } => write!(
+                f,
+                "degenerate instance: OPT distance is zero over {matched} pairs"
+            ),
+            RatioError::Pipeline(e) => write!(f, "pipeline error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RatioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RatioError::Pipeline(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PipelineError> for RatioError {
+    fn from(e: PipelineError) -> Self {
+        RatioError::Pipeline(e)
+    }
+}
+
+/// The measured competitive ratio of one `mechanism × matcher` pairing on
+/// one instance at one ε — the unit of the sweep engine's output and of
+/// the CLI's `--json` contract (field names are pinned by a golden test).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RatioReport {
+    /// Spec name (`tbf`, `identity+offline-opt`, ...).
+    pub algorithm: String,
+    /// Stage-1 mechanism name.
+    pub mechanism: String,
+    /// Stage-2 matcher name.
+    pub matcher: String,
+    /// Privacy budget ε the runs used.
+    pub epsilon: f64,
+    /// Number of tasks `m = |T|`.
+    pub num_tasks: usize,
+    /// Number of workers `n = |W|`.
+    pub num_workers: usize,
+    /// Number of shuffled-arrival repetitions averaged over.
+    pub repetitions: u64,
+    /// `d(M_OPT)`: exact offline optimum on the true locations.
+    pub opt_distance: f64,
+    /// Mean of the per-repetition total distances.
+    pub mean_distance: f64,
+    /// Mean of the per-repetition ratios `d_i / d(M_OPT)` — exactly 1.0
+    /// for `identity × offline-opt` (each term divides to exactly 1).
+    pub ratio: f64,
+    /// Smallest per-repetition ratio.
+    pub min_ratio: f64,
+    /// Largest per-repetition ratio.
+    pub max_ratio: f64,
+    /// Per-repetition total distances, in repetition order.
+    pub distances: Vec<f64>,
+}
+
+/// Computes `d(M_OPT)` on the true locations, rejecting empty and
+/// zero-distance instances.
+///
+/// Pairs are summed in worker-index order: worker indices are stable under
+/// task-arrival reshuffling, so the float summation order (and therefore
+/// bit-exact comparability with [`OfflineOptimalStrategy`]
+/// (crate::algorithm::OfflineOptimalStrategy) runs) does not depend on the
+/// arrival permutation.
+pub fn offline_optimum(instance: &Instance) -> Result<f64, RatioError> {
+    if instance.k() == 0 {
+        return Err(RatioError::EmptyInstance {
+            num_tasks: instance.num_tasks(),
+            num_workers: instance.num_workers(),
+        });
+    }
+    let mut opt = OfflineOptimal::solve_euclidean(&instance.tasks, &instance.workers);
+    opt.pairs.sort_unstable_by_key(|&(_, w)| w);
+    let distance = opt.total_distance(&instance.tasks, &instance.workers);
+    if distance <= 0.0 {
+        return Err(RatioError::DegenerateOptimum {
+            matched: opt.size(),
+        });
+    }
+    Ok(distance)
+}
 
 /// Measures `E[d(M_A)] / d(M_OPT)` over `repetitions` runs with shuffled
-/// arrival orders (Definition 8's expectation over mechanisms and orders).
-///
-/// Returns `(ratio, avg_algorithm_distance, opt_distance)`.
-///
-/// # Panics
-///
-/// Panics if the instance is empty or OPT is degenerate (zero distance).
+/// arrival orders (Definition 8's expectation over mechanisms and orders)
+/// for any registered or composed spec.
 pub fn empirical_competitive_ratio(
-    algorithm: Algorithm,
+    spec: &AlgorithmSpec,
     instance: &Instance,
     config: &PipelineConfig,
     repetitions: u64,
-) -> (f64, f64, f64) {
-    assert!(repetitions > 0, "need at least one repetition");
-    assert!(
-        instance.k() > 0,
-        "competitive ratio needs a non-empty instance"
-    );
-    let opt = OfflineOptimal::solve_euclidean(&instance.tasks, &instance.workers)
-        .total_distance(&instance.tasks, &instance.workers);
-    assert!(opt > 0.0, "degenerate instance: OPT distance is zero");
+) -> Result<RatioReport, RatioError> {
+    if repetitions == 0 {
+        return Err(RatioError::ZeroRepetitions);
+    }
+    let opt = offline_optimum(instance)?;
 
-    let mut total = 0.0;
+    let mut distances = Vec::with_capacity(repetitions as usize);
     for rep in 0..repetitions {
         let mut shuffled = instance.clone();
         shuffled.shuffle_tasks(&mut seeded_rng(config.seed.wrapping_add(rep), 0x5EED));
-        total += run(algorithm, &shuffled, config, rep)
-            .metrics
-            .total_distance;
+        distances.push(
+            run_spec(spec, &shuffled, config, rep)?
+                .metrics
+                .total_distance,
+        );
     }
-    let avg = total / repetitions as f64;
-    (avg / opt, avg, opt)
+
+    let mean_distance = distances.iter().sum::<f64>() / repetitions as f64;
+    // Mean of per-repetition ratios, not mean distance over OPT: when every
+    // repetition reproduces OPT bit-for-bit (identity × offline-opt), each
+    // term is exactly 1.0 and their mean is exactly 1.0.
+    let ratio = distances.iter().map(|d| d / opt).sum::<f64>() / repetitions as f64;
+    let min_ratio = distances
+        .iter()
+        .map(|d| d / opt)
+        .fold(f64::INFINITY, f64::min);
+    let max_ratio = distances
+        .iter()
+        .map(|d| d / opt)
+        .fold(f64::NEG_INFINITY, f64::max);
+
+    Ok(RatioReport {
+        algorithm: spec.name().to_string(),
+        mechanism: spec.mechanism.name().to_string(),
+        matcher: spec.matcher.name().to_string(),
+        epsilon: config.epsilon,
+        num_tasks: instance.num_tasks(),
+        num_workers: instance.num_workers(),
+        repetitions,
+        opt_distance: opt,
+        mean_distance,
+        ratio,
+        min_ratio,
+        max_ratio,
+        distances,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::Algorithm;
+    use crate::registry::registry;
+    use pombm_geom::{Point, Rect};
     use pombm_workload::{synthetic, SyntheticParams};
 
     fn instance(seed: u64) -> Instance {
@@ -66,12 +226,27 @@ mod tests {
         let inst = instance(1);
         let config = PipelineConfig::default();
         for algo in Algorithm::ALL {
-            let (ratio, avg, opt) = empirical_competitive_ratio(algo, &inst, &config, 3);
+            let r = empirical_competitive_ratio(algo.spec(), &inst, &config, 3).unwrap();
             assert!(
-                ratio >= 1.0 - 1e-9,
-                "{algo}: ratio {ratio} (avg {avg}, opt {opt}) below 1"
+                r.ratio >= 1.0 - 1e-9,
+                "{algo}: ratio {} (avg {}, opt {}) below 1",
+                r.ratio,
+                r.mean_distance,
+                r.opt_distance
             );
+            assert!(r.min_ratio <= r.ratio && r.ratio <= r.max_ratio, "{algo}");
+            assert_eq!(r.distances.len(), 3, "{algo}");
         }
+    }
+
+    #[test]
+    fn identity_offline_opt_is_exactly_one() {
+        let inst = instance(4);
+        let spec = registry().spec("opt").unwrap();
+        let r = empirical_competitive_ratio(spec, &inst, &PipelineConfig::default(), 5).unwrap();
+        assert_eq!(r.ratio, 1.0, "oracle pairing must reproduce OPT exactly");
+        assert_eq!(r.min_ratio, 1.0);
+        assert_eq!(r.max_ratio, 1.0);
     }
 
     #[test]
@@ -85,8 +260,13 @@ mod tests {
             epsilon: 5.0,
             ..PipelineConfig::default()
         };
-        let (r_strict, _, _) = empirical_competitive_ratio(Algorithm::Tbf, &inst, &strict, 4);
-        let (r_loose, _, _) = empirical_competitive_ratio(Algorithm::Tbf, &inst, &loose, 4);
+        let tbf = registry().spec("tbf").unwrap();
+        let r_strict = empirical_competitive_ratio(tbf, &inst, &strict, 4)
+            .unwrap()
+            .ratio;
+        let r_loose = empirical_competitive_ratio(tbf, &inst, &loose, 4)
+            .unwrap()
+            .ratio;
         assert!(
             r_loose < r_strict,
             "ε=5 ratio {r_loose} should beat ε=0.05 ratio {r_strict}"
@@ -94,9 +274,58 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one repetition")]
-    fn zero_repetitions_rejected() {
+    fn zero_repetitions_is_a_typed_error() {
         let inst = instance(3);
-        let _ = empirical_competitive_ratio(Algorithm::Tbf, &inst, &PipelineConfig::default(), 0);
+        let spec = registry().spec("tbf").unwrap();
+        assert_eq!(
+            empirical_competitive_ratio(spec, &inst, &PipelineConfig::default(), 0).unwrap_err(),
+            RatioError::ZeroRepetitions
+        );
+    }
+
+    #[test]
+    fn empty_instance_is_a_typed_error() {
+        let empty = Instance::new(Rect::square(100.0), vec![], vec![Point::new(1.0, 1.0)]);
+        let spec = registry().spec("tbf").unwrap();
+        assert_eq!(
+            empirical_competitive_ratio(spec, &empty, &PipelineConfig::default(), 2).unwrap_err(),
+            RatioError::EmptyInstance {
+                num_tasks: 0,
+                num_workers: 1
+            }
+        );
+    }
+
+    #[test]
+    fn zero_distance_opt_is_a_typed_error() {
+        // Every task coincides with a worker: OPT = 0, ratio undefined.
+        let p = Point::new(5.0, 5.0);
+        let inst = Instance::new(Rect::square(100.0), vec![p, p], vec![p, p]);
+        let spec = registry().spec("lap-gr").unwrap();
+        assert_eq!(
+            empirical_competitive_ratio(spec, &inst, &PipelineConfig::default(), 2).unwrap_err(),
+            RatioError::DegenerateOptimum { matched: 2 }
+        );
+    }
+
+    #[test]
+    fn incompatible_pairings_surface_pipeline_errors() {
+        let inst = instance(5);
+        let blind_greedy = registry().compose("blind", "offline-opt").unwrap();
+        let err = empirical_competitive_ratio(&blind_greedy, &inst, &PipelineConfig::default(), 2)
+            .unwrap_err();
+        assert!(matches!(err, RatioError::Pipeline(_)), "got {err}");
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let inst = instance(6);
+        let spec = registry().spec("lap-gr").unwrap();
+        let r = empirical_competitive_ratio(spec, &inst, &PipelineConfig::default(), 2).unwrap();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RatioReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.algorithm, r.algorithm);
+        assert_eq!(back.ratio, r.ratio);
+        assert_eq!(back.distances, r.distances);
     }
 }

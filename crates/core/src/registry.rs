@@ -14,8 +14,8 @@
 use crate::algorithm::{
     AssignStrategy, BlindMechanism, CapacitatedStrategy, ChainStrategy, EuclideanGreedyStrategy,
     ExponentialReportMechanism, HstGreedyStrategy, HstWalkMechanism, IdentityMechanism,
-    KdGreedyStrategy, LaplaceMechanism, PipelineError, RandomAssignStrategy,
-    RandomizedGreedyStrategy, ReportMechanism,
+    KdGreedyStrategy, LaplaceMechanism, OfflineOptimalStrategy, PipelineError,
+    RandomAssignStrategy, RandomizedGreedyStrategy, ReportMechanism,
 };
 use std::sync::{Arc, OnceLock};
 
@@ -188,6 +188,7 @@ fn build() -> Registry {
     let chain: Arc<dyn AssignStrategy> = Arc::new(ChainStrategy);
     let capacity: Arc<dyn AssignStrategy> = Arc::new(CapacitatedStrategy);
     let random: Arc<dyn AssignStrategy> = Arc::new(RandomAssignStrategy);
+    let offline_opt: Arc<dyn AssignStrategy> = Arc::new(OfflineOptimalStrategy);
 
     let specs = vec![
         // The paper's compared algorithms (Sec. IV-A)...
@@ -203,11 +204,23 @@ fn build() -> Registry {
         AlgorithmSpec::new("exp-chain", "Exp-Chain", exp.clone(), chain.clone()),
         AlgorithmSpec::new("tbf-cap", "TBF-Cap", hst.clone(), capacity.clone()),
         AlgorithmSpec::new("lap-kd", "Lap-KD", laplace.clone(), kd.clone()),
+        // The exact offline optimum on true locations: the competitive-ratio
+        // denominator as a runnable pairing (ratio = 1.0 by construction).
+        AlgorithmSpec::new("opt", "OPT", identity.clone(), offline_opt.clone()),
     ];
 
     Registry {
         mechanisms: vec![laplace, hst, exp, identity, blind],
-        matchers: vec![greedy, kd, hst_greedy, hst_rand, chain, capacity, random],
+        matchers: vec![
+            greedy,
+            kd,
+            hst_greedy,
+            hst_rand,
+            chain,
+            capacity,
+            random,
+            offline_opt,
+        ],
         specs,
         spec_aliases: vec![
             ("lapgr", "lap-gr"),
@@ -273,10 +286,22 @@ mod tests {
             "exp-chain",
             "tbf-cap",
             "lap-kd",
+            "opt",
         ] {
             assert!(names.contains(&expected), "missing spec {expected}");
         }
         assert_eq!(registry().mechanisms().len(), 5);
-        assert_eq!(registry().matchers().len(), 7);
+        assert_eq!(registry().matchers().len(), 8);
+    }
+
+    #[test]
+    fn offline_opt_is_registered_as_a_matcher() {
+        let matcher = registry().matcher("offline-opt").expect("registered");
+        assert_eq!(matcher.name(), "offline-opt");
+        assert!(!matcher.needs_server());
+        let spec = registry().spec("opt").expect("named pairing");
+        assert_eq!(spec.mechanism.name(), "identity");
+        assert_eq!(spec.matcher.name(), "offline-opt");
+        assert!(!spec.needs_server());
     }
 }

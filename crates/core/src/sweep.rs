@@ -1,0 +1,422 @@
+//! Sharded, registry-wide competitive-ratio sweeps.
+//!
+//! Theorem 3's `O(ε⁻⁴ log N log² k)` bound is a statement about one
+//! algorithm; the registry makes it cheap to ask the empirical question for
+//! *every* `mechanism × matcher` product at once. A sweep takes a set of
+//! mechanisms and matchers (defaulting to the full registry), a grid of
+//! instance sizes and privacy budgets ε, and measures each pairing's
+//! [`RatioReport`] (Definition 8's expectation, estimated by
+//! [`empirical_competitive_ratio`]) on a deterministic synthetic instance
+//! per size.
+//!
+//! # Sharding and determinism
+//!
+//! The job list — the full `pairing × size × ε` product — is fanned out
+//! over `crossbeam` scoped threads, mirroring [`pombm_privacy::batch`]:
+//! shard `s` takes the `s`-th contiguous chunk of jobs and writes results
+//! through a `parking_lot`-protected output vector, one lock acquisition
+//! per shard. Unlike the batch obfuscator, every job derives its RNG seeds
+//! from its *position in the job list*, never from the shard that happens
+//! to execute it, so sweep output is bit-identical for every shard count:
+//! deterministic in `seed` alone, not just in `(seed, num_shards)`.
+//!
+//! Incompatible pairings (e.g. the `blind` mechanism with any
+//! location-aware matcher) and degenerate measurements (empty instances,
+//! zero-distance optima) do not abort the sweep: each cell records either
+//! a report or the typed error's message, so a full-registry sweep always
+//! completes.
+
+use crate::algorithm::{AssignStrategy, PipelineError, ReportMechanism};
+use crate::pipeline::PipelineConfig;
+use crate::ratio::{empirical_competitive_ratio, RatioReport};
+use crate::registry::{registry, AlgorithmSpec};
+use parking_lot::Mutex;
+use pombm_geom::seeded_rng;
+use pombm_workload::{synthetic, Instance, SyntheticParams};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// What to sweep: the pairing filter, the instance/ε grid, and the
+/// execution parameters.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Mechanism names to include; empty means every registered mechanism.
+    pub mechanisms: Vec<String>,
+    /// Matcher names to include; empty means every registered matcher.
+    pub matchers: Vec<String>,
+    /// Instance sizes: each entry generates one synthetic instance with
+    /// `size` tasks and `size` workers (so `k = size` pairs are matched).
+    pub sizes: Vec<usize>,
+    /// Privacy budgets ε to sweep.
+    pub epsilons: Vec<f64>,
+    /// Shuffled-arrival repetitions per cell.
+    pub repetitions: u64,
+    /// Worker threads to fan the job list over. Results are bit-identical
+    /// for every value ≥ 1; this only trades wall-clock for cores.
+    pub shards: usize,
+    /// Base pipeline configuration: `seed` roots every derived RNG stream,
+    /// `epsilon` is overridden per cell by the ε grid.
+    pub base: PipelineConfig,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            mechanisms: Vec::new(),
+            matchers: Vec::new(),
+            sizes: vec![48],
+            epsilons: vec![0.6],
+            repetitions: 3,
+            shards: 1,
+            base: PipelineConfig::default(),
+        }
+    }
+}
+
+/// One cell of the sweep product: exactly one of `report` / `error` is set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepCell {
+    /// Stage-1 mechanism name.
+    pub mechanism: String,
+    /// Stage-2 matcher name.
+    pub matcher: String,
+    /// Tasks in this cell's instance.
+    pub num_tasks: usize,
+    /// Workers in this cell's instance.
+    pub num_workers: usize,
+    /// Privacy budget ε of this cell.
+    pub epsilon: f64,
+    /// The measured ratio, when the pairing is measurable.
+    pub report: Option<RatioReport>,
+    /// The typed error's message, when it is not (incompatible reports,
+    /// degenerate optimum, ...).
+    pub error: Option<String>,
+}
+
+/// A completed sweep: the cell list in job order (mechanism-major, then
+/// matcher, size, ε) plus the parameters needed to reproduce it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// Root seed every cell's RNG streams derive from.
+    pub seed: u64,
+    /// Repetitions per cell.
+    pub repetitions: u64,
+    /// All measured cells.
+    pub cells: Vec<SweepCell>,
+}
+
+impl SweepReport {
+    /// Cells that produced a measurement.
+    pub fn measured(&self) -> impl Iterator<Item = (&SweepCell, &RatioReport)> {
+        self.cells
+            .iter()
+            .filter_map(|c| Some((c, c.report.as_ref()?)))
+    }
+
+    /// Cells rejected with a typed error.
+    pub fn failed(&self) -> impl Iterator<Item = &SweepCell> {
+        self.cells.iter().filter(|c| c.error.is_some())
+    }
+}
+
+/// One unit of sweep work, fully determined before any thread runs.
+struct Job {
+    spec: AlgorithmSpec,
+    size: usize,
+    epsilon: f64,
+    /// Seed for this job's pipeline/shuffle streams; derived from the job's
+    /// position so it is independent of shard assignment.
+    job_seed: u64,
+}
+
+/// The deterministic instance a sweep uses for `size`: `size` tasks and
+/// `size` workers from the standard synthetic generator, seeded by
+/// `(seed, size)` only.
+pub fn sweep_instance(seed: u64, size: usize) -> Instance {
+    let params = SyntheticParams {
+        num_tasks: size,
+        num_workers: size,
+        ..SyntheticParams::default()
+    };
+    let stream = seed ^ (size as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    synthetic::generate(&params, &mut seeded_rng(stream, 0x51EE))
+}
+
+fn resolve_mechanisms(names: &[String]) -> Result<Vec<Arc<dyn ReportMechanism>>, PipelineError> {
+    if names.is_empty() {
+        return Ok(registry().mechanisms().to_vec());
+    }
+    names
+        .iter()
+        .map(|n| {
+            registry()
+                .mechanism(n)
+                .ok_or_else(|| PipelineError::UnknownName {
+                    kind: "mechanism",
+                    name: n.clone(),
+                    known: registry()
+                        .mechanisms()
+                        .iter()
+                        .map(|m| m.name().to_string())
+                        .collect(),
+                })
+        })
+        .collect()
+}
+
+fn resolve_matchers(names: &[String]) -> Result<Vec<Arc<dyn AssignStrategy>>, PipelineError> {
+    if names.is_empty() {
+        return Ok(registry().matchers().to_vec());
+    }
+    names
+        .iter()
+        .map(|n| {
+            registry()
+                .matcher(n)
+                .ok_or_else(|| PipelineError::UnknownName {
+                    kind: "matcher",
+                    name: n.clone(),
+                    known: registry()
+                        .matchers()
+                        .iter()
+                        .map(|m| m.name().to_string())
+                        .collect(),
+                })
+        })
+        .collect()
+}
+
+fn run_job(job: &Job, base: &PipelineConfig, repetitions: u64) -> SweepCell {
+    let instance = sweep_instance(base.seed, job.size);
+    let config = PipelineConfig {
+        epsilon: job.epsilon,
+        seed: job.job_seed,
+        ..*base
+    };
+    let (report, error) =
+        match empirical_competitive_ratio(&job.spec, &instance, &config, repetitions) {
+            Ok(r) => (Some(r), None),
+            Err(e) => (None, Some(e.to_string())),
+        };
+    SweepCell {
+        mechanism: job.spec.mechanism.name().to_string(),
+        matcher: job.spec.matcher.name().to_string(),
+        num_tasks: instance.num_tasks(),
+        num_workers: instance.num_workers(),
+        epsilon: job.epsilon,
+        report,
+        error,
+    }
+}
+
+/// Runs the sweep, fanning the `pairing × size × ε` product over
+/// `config.shards` scoped threads.
+///
+/// Fails fast on configuration errors (unknown names, empty grids, zero
+/// shards/repetitions); per-cell measurement failures are recorded in the
+/// cells, not returned.
+pub fn run_sweep(config: &SweepConfig) -> Result<SweepReport, PipelineError> {
+    if config.shards == 0 {
+        return Err(PipelineError::InvalidConfig {
+            field: "shards",
+            why: "the sweep needs at least one shard",
+        });
+    }
+    if config.repetitions == 0 {
+        return Err(PipelineError::InvalidConfig {
+            field: "repetitions",
+            why: "the sweep needs at least one repetition per cell",
+        });
+    }
+    if config.sizes.is_empty() {
+        return Err(PipelineError::InvalidConfig {
+            field: "sizes",
+            why: "the sweep needs at least one instance size",
+        });
+    }
+    if config.epsilons.is_empty() {
+        return Err(PipelineError::InvalidConfig {
+            field: "epsilons",
+            why: "the sweep needs at least one privacy budget",
+        });
+    }
+    let mechanisms = resolve_mechanisms(&config.mechanisms)?;
+    let matchers = resolve_matchers(&config.matchers)?;
+
+    let mut jobs = Vec::new();
+    for mechanism in &mechanisms {
+        for matcher in &matchers {
+            for &size in &config.sizes {
+                for &epsilon in &config.epsilons {
+                    // Per-job seed from the job index: independent of the
+                    // shard that executes it, so shard count never changes
+                    // any cell.
+                    let job_seed = config
+                        .base
+                        .seed
+                        .wrapping_add((jobs.len() as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    jobs.push(Job {
+                        spec: AlgorithmSpec::compose(mechanism.clone(), matcher.clone()),
+                        size,
+                        epsilon,
+                        job_seed,
+                    });
+                }
+            }
+        }
+    }
+
+    let chunk = jobs.len().div_ceil(config.shards).max(1);
+    let out: Mutex<Vec<Option<SweepCell>>> = Mutex::new((0..jobs.len()).map(|_| None).collect());
+    crossbeam::thread::scope(|scope| {
+        for (s, slice) in jobs.chunks(chunk).enumerate() {
+            let out = &out;
+            let base = &config.base;
+            let repetitions = config.repetitions;
+            scope.spawn(move |_| {
+                // Compute the whole chunk locally; take the lock once.
+                let local: Vec<SweepCell> = slice
+                    .iter()
+                    .map(|job| run_job(job, base, repetitions))
+                    .collect();
+                let mut guard = out.lock();
+                for (i, cell) in local.into_iter().enumerate() {
+                    guard[s * chunk + i] = Some(cell);
+                }
+            });
+        }
+    })
+    .expect("sweep shards never panic");
+
+    let cells = out
+        .into_inner()
+        .into_iter()
+        .map(|c| c.expect("every job produces exactly one cell"))
+        .collect();
+    Ok(SweepReport {
+        seed: config.base.seed,
+        repetitions: config.repetitions,
+        cells,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> SweepConfig {
+        SweepConfig {
+            mechanisms: vec!["identity".into(), "laplace".into()],
+            matchers: vec!["greedy".into(), "offline-opt".into()],
+            sizes: vec![12],
+            epsilons: vec![0.6],
+            repetitions: 2,
+            shards: 1,
+            base: PipelineConfig {
+                grid_side: 16,
+                ..PipelineConfig::default()
+            },
+        }
+    }
+
+    #[test]
+    fn sweep_covers_the_product() {
+        let report = run_sweep(&small_config()).unwrap();
+        assert_eq!(report.cells.len(), 2 * 2);
+        assert_eq!(report.measured().count(), 4);
+        assert_eq!(report.failed().count(), 0);
+        for (cell, r) in report.measured() {
+            assert!(r.ratio >= 1.0 - 1e-9, "{}+{}", cell.mechanism, cell.matcher);
+        }
+    }
+
+    #[test]
+    fn identity_offline_opt_cell_is_the_oracle() {
+        let report = run_sweep(&small_config()).unwrap();
+        let (_, oracle) = report
+            .measured()
+            .find(|(c, _)| c.mechanism == "identity" && c.matcher == "offline-opt")
+            .expect("oracle cell present");
+        assert_eq!(oracle.ratio, 1.0);
+    }
+
+    #[test]
+    fn unknown_names_fail_fast() {
+        let mut config = small_config();
+        config.mechanisms = vec!["bogus".into()];
+        assert!(matches!(
+            run_sweep(&config),
+            Err(PipelineError::UnknownName {
+                kind: "mechanism",
+                ..
+            })
+        ));
+        let mut config = small_config();
+        config.matchers = vec!["bogus".into()];
+        assert!(matches!(
+            run_sweep(&config),
+            Err(PipelineError::UnknownName {
+                kind: "matcher",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn degenerate_grids_fail_fast() {
+        for broken in [
+            SweepConfig {
+                shards: 0,
+                ..small_config()
+            },
+            SweepConfig {
+                repetitions: 0,
+                ..small_config()
+            },
+            SweepConfig {
+                sizes: vec![],
+                ..small_config()
+            },
+            SweepConfig {
+                epsilons: vec![],
+                ..small_config()
+            },
+        ] {
+            assert!(matches!(
+                run_sweep(&broken),
+                Err(PipelineError::InvalidConfig { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn incompatible_cells_record_errors_without_aborting() {
+        let config = SweepConfig {
+            mechanisms: vec!["blind".into()],
+            matchers: vec!["greedy".into(), "random".into()],
+            ..small_config()
+        };
+        let report = run_sweep(&config).unwrap();
+        assert_eq!(report.cells.len(), 2);
+        let by_matcher = |m: &str| report.cells.iter().find(|c| c.matcher == m).unwrap();
+        assert!(by_matcher("greedy").error.is_some());
+        assert!(by_matcher("random").report.is_some());
+    }
+
+    #[test]
+    fn empty_size_cell_is_a_recorded_error() {
+        let config = SweepConfig {
+            mechanisms: vec!["identity".into()],
+            matchers: vec!["greedy".into()],
+            sizes: vec![0],
+            ..small_config()
+        };
+        let report = run_sweep(&config).unwrap();
+        assert_eq!(report.cells.len(), 1);
+        assert!(report.cells[0]
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("non-empty"));
+    }
+}

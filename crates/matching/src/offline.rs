@@ -234,6 +234,131 @@ mod tests {
         }
     }
 
+    /// Brute-force minimum cost over every injective assignment of the
+    /// smaller side into the larger one, for an arbitrary cost function.
+    fn brute_force_cost<F: Fn(usize, usize) -> f64>(
+        num_tasks: usize,
+        num_workers: usize,
+        cost: &F,
+    ) -> f64 {
+        fn dfs<G: Fn(usize, usize) -> f64>(
+            row: usize,
+            rows: usize,
+            used: &mut Vec<bool>,
+            cost: &G,
+        ) -> f64 {
+            if row == rows {
+                return 0.0;
+            }
+            let mut best = f64::INFINITY;
+            for col in 0..used.len() {
+                if !used[col] {
+                    used[col] = true;
+                    best = best.min(cost(row, col) + dfs(row + 1, rows, used, cost));
+                    used[col] = false;
+                }
+            }
+            best
+        }
+        if num_tasks == 0 || num_workers == 0 {
+            return 0.0;
+        }
+        if num_tasks <= num_workers {
+            dfs(0, num_tasks, &mut vec![false; num_workers], cost)
+        } else {
+            dfs(0, num_workers, &mut vec![false; num_tasks], &|w, t| {
+                cost(t, w)
+            })
+        }
+    }
+
+    /// Exhaustive comparison against the `O(n!)` brute force on every shape
+    /// up to 6×6 — square, rectangular both ways, and 0/1-sided degenerate —
+    /// with several seeded random cost matrices per shape.
+    #[test]
+    fn matches_brute_force_exhaustively_up_to_six_by_six() {
+        let mut rng = seeded_rng(97, 0);
+        for n_tasks in 0..=6usize {
+            for n_workers in 0..=6usize {
+                for trial in 0..4 {
+                    let costs: Vec<Vec<f64>> = (0..n_tasks.max(1))
+                        .map(|_| {
+                            (0..n_workers.max(1))
+                                .map(|_| (rng.gen::<f64>() * 100.0).round() / 4.0)
+                                .collect()
+                        })
+                        .collect();
+                    let cost = |t: usize, w: usize| costs[t][w];
+                    let m = OfflineOptimal::solve(n_tasks, n_workers, cost);
+                    assert!(m.is_valid(), "{n_tasks}x{n_workers} trial {trial}");
+                    assert_eq!(
+                        m.size(),
+                        n_tasks.min(n_workers),
+                        "{n_tasks}x{n_workers} trial {trial}: not maximum"
+                    );
+                    assert!(
+                        m.pairs.iter().all(|&(t, w)| t < n_tasks && w < n_workers),
+                        "{n_tasks}x{n_workers} trial {trial}: out-of-range pair"
+                    );
+                    let got: f64 = m.pairs.iter().map(|&(t, w)| cost(t, w)).sum();
+                    let brute = brute_force_cost(n_tasks, n_workers, &cost);
+                    let reference = if n_tasks.min(n_workers) == 0 {
+                        0.0
+                    } else {
+                        brute
+                    };
+                    assert!(
+                        (got - reference).abs() < 1e-9,
+                        "{n_tasks}x{n_workers} trial {trial}: hungarian {got} vs brute {reference}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Ties and zero costs (many co-optimal matchings) must still hit the
+    /// brute-force minimum.
+    #[test]
+    fn matches_brute_force_with_degenerate_costs() {
+        let mut rng = seeded_rng(98, 0);
+        for trial in 0..20 {
+            let n_tasks = rng.gen_range(1..=5);
+            let n_workers = rng.gen_range(1..=5);
+            // Integer costs in {0, 1, 2}: heavy ties by construction.
+            let costs: Vec<Vec<f64>> = (0..n_tasks)
+                .map(|_| {
+                    (0..n_workers)
+                        .map(|_| rng.gen_range(0..3u32) as f64)
+                        .collect()
+                })
+                .collect();
+            let cost = |t: usize, w: usize| costs[t][w];
+            let m = OfflineOptimal::solve(n_tasks, n_workers, cost);
+            let got: f64 = m.pairs.iter().map(|&(t, w)| cost(t, w)).sum();
+            let brute = brute_force_cost(n_tasks, n_workers, &cost);
+            assert!(
+                (got - brute).abs() < 1e-12,
+                "trial {trial} ({n_tasks}x{n_workers}): hungarian {got} vs brute {brute}"
+            );
+        }
+    }
+
+    #[test]
+    fn one_sided_and_single_pair_instances() {
+        // 1×1: the only possible pair.
+        assert_eq!(OfflineOptimal::solve(1, 1, |_, _| 7.5).pairs, vec![(0, 0)]);
+        // 1×n and n×1 pick the cheapest partner.
+        let m = OfflineOptimal::solve(1, 6, |_, w| (6 - w) as f64);
+        assert_eq!(m.pairs, vec![(0, 5)]);
+        let m = OfflineOptimal::solve(6, 1, |t, _| (t + 1) as f64);
+        assert_eq!(m.pairs, vec![(0, 0)]);
+        // 0-sided instances are empty, whatever the other side holds.
+        for n in 0..=6 {
+            assert_eq!(OfflineOptimal::solve(0, n, |_, _| 1.0).size(), 0);
+            assert_eq!(OfflineOptimal::solve(n, 0, |_, _| 1.0).size(), 0);
+        }
+    }
+
     #[test]
     fn opt_lower_bounds_any_greedy_order() {
         let mut rng = seeded_rng(43, 0);

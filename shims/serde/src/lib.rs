@@ -75,6 +75,23 @@ impl Value {
         }
     }
 
+    /// Array view, matching `serde_json::Value::as_array`.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Object view as ordered key/value pairs (the shim's object
+    /// representation preserves insertion order).
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
     fn kind(&self) -> &'static str {
         match self {
             Value::Null => "null",

@@ -19,6 +19,13 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
     Ok(out)
 }
 
+/// Converts any serializable value into the shim's self-describing
+/// [`Value`] tree, matching `serde_json::to_value` (the `Result` keeps the
+/// upstream signature; the shim's serialization itself cannot fail).
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
 /// Parses JSON text into any [`Deserialize`] type (including [`Value`]).
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
     let mut p = Parser {

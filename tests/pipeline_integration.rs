@@ -150,7 +150,8 @@ fn competitive_ratio_is_bounded() {
         epsilon: 0.6,
         ..PipelineConfig::default()
     };
-    let (ratio, avg, opt) = empirical_competitive_ratio(Algorithm::Tbf, &instance, &config, 5);
+    let report = empirical_competitive_ratio(Algorithm::Tbf.spec(), &instance, &config, 5).unwrap();
+    let (ratio, avg, opt) = (report.ratio, report.mean_distance, report.opt_distance);
     assert!(ratio >= 1.0 - 1e-9);
     assert!(
         ratio < 100.0,
