@@ -5,8 +5,11 @@
 //! is unit-testable without spawning processes.
 
 use crate::args::Args;
+use pombm::sweep::{dynamic_shift_plan, dynamic_task_times};
 use pombm::{
-    registry, run_spec, run_sweep, AlgorithmSpec, EpochConfig, PipelineConfig, SweepConfig,
+    registry, run_dynamic_spec, run_dynamic_sweep, run_spec, run_sweep, AlgorithmSpec,
+    DynamicConfig, DynamicMeasurement, DynamicSweepConfig, EpochConfig, PipelineConfig,
+    SweepConfig,
 };
 use pombm_geom::{seeded_rng, Point};
 use pombm_hst::wire;
@@ -40,6 +43,11 @@ COMMANDS:
               --input FILE
   epochs      multi-epoch deployment simulation under a lifetime budget
               --workers N [--epochs N] [--lifetime F] [--epsilon F] [--seed N]
+  dynamic     event-driven simulation over a shifting worker fleet: any
+              mechanism x dynamic-matcher pairing on one timeline
+              [--tasks N] [--workers N] [--plan always-on|short|long]
+              [--mechanism M] [--matcher X] [--epsilon F] [--grid-side N]
+              [--seed N] [--json]
   sweep       registry-wide empirical competitive-ratio sweep against the
               exact offline optimum, sharded across cores
               [--mechanisms A,B,..] [--matchers X,Y,..] [--sizes N,N,..]
@@ -47,6 +55,9 @@ COMMANDS:
               [--seed N] [--json]
               omitting --mechanisms/--matchers sweeps the full registry
               product; `identity x offline-opt` always reports ratio 1.0
+              with --dynamic: sweep the dynamic-fleet product instead
+              (--matchers then names dynamic matchers; extra axis
+              [--shift-plans always-on,short,long]; no --reps)
   help        this text
 ";
 
@@ -60,6 +71,7 @@ pub fn dispatch(args: &Args) -> Result<String, String> {
         Some("publish") => publish(args),
         Some("inspect") => inspect(args),
         Some("epochs") => epochs(args),
+        Some("dynamic") => dynamic(args),
         Some("sweep") => sweep(args),
         Some("help") | None => Ok(USAGE.to_string()),
         Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
@@ -87,6 +99,13 @@ pub fn list_algorithms() -> String {
     }
     let _ = writeln!(out, "\nmatchers (use with --matcher):");
     for m in reg.matchers() {
+        let _ = writeln!(out, "  {:<10} {}", m.name(), m.summary());
+    }
+    let _ = writeln!(
+        out,
+        "\ndynamic matchers (use with `pombm dynamic --matcher` / `pombm sweep --dynamic`):"
+    );
+    for m in reg.dynamic_matchers() {
         let _ = writeln!(out, "  {:<10} {}", m.name(), m.summary());
     }
     out
@@ -332,8 +351,90 @@ pub fn epochs(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+/// `pombm dynamic`: one event-driven simulation over a shifting fleet,
+/// through any registered `mechanism × dynamic-matcher` pairing.
+pub fn dynamic(args: &Args) -> Result<String, String> {
+    args.check_known(&[
+        "tasks",
+        "workers",
+        "plan",
+        "mechanism",
+        "matcher",
+        "epsilon",
+        "grid-side",
+        "seed",
+        "json",
+    ])?;
+    let num_tasks: usize = args.get_or("tasks", 200)?;
+    let num_workers: usize = args.get_or("workers", 100)?;
+    let plan_kind: String = args.get_or("plan", "short".to_string())?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let mechanism = {
+        let name: String = args.get_or("mechanism", "hst".to_string())?;
+        registry().mechanism(&name).ok_or_else(|| {
+            format!(
+                "unknown mechanism `{name}`; expected one of: {}",
+                registry()
+                    .mechanisms()
+                    .iter()
+                    .map(|m| m.name())
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            )
+        })?
+    };
+    let matcher = {
+        let name: String = args.get_or("matcher", "hst-greedy".to_string())?;
+        registry()
+            .require_dynamic_matcher(&name)
+            .map_err(|e| e.to_string())?
+    };
+    let params = SyntheticParams {
+        num_tasks,
+        num_workers,
+        ..SyntheticParams::default()
+    };
+    let instance = synthetic::generate(&params, &mut seeded_rng(seed, 0xD1CE_0006));
+    let times = dynamic_task_times(seed, num_tasks);
+    let plan = dynamic_shift_plan(&plan_kind, num_workers, seed).map_err(|e| e.to_string())?;
+    let config = DynamicConfig {
+        epsilon: args.get_or("epsilon", 0.6)?,
+        grid_side: args.get_or("grid-side", 32)?,
+        seed,
+    };
+    let outcome = run_dynamic_spec(
+        &instance,
+        &times,
+        &plan,
+        &config,
+        mechanism.as_ref(),
+        matcher.as_ref(),
+    )
+    .map_err(|e| e.to_string())?;
+    if args.switch("json") {
+        let m = DynamicMeasurement::from_outcome(&outcome);
+        return serde_json::to_string_pretty(&m).map_err(|e| e.to_string());
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "mechanism:        {}", mechanism.name());
+    let _ = writeln!(out, "matcher:          {}", matcher.name());
+    let _ = writeln!(out, "shift plan:       {plan_kind}");
+    let _ = writeln!(
+        out,
+        "tasks:            {num_tasks} (assigned {}, dropped {})",
+        outcome.pairs.len(),
+        outcome.dropped_tasks
+    );
+    let _ = writeln!(out, "assignment rate:  {:.4}", outcome.assignment_rate());
+    let _ = writeln!(out, "total distance:   {:.3}", outcome.total_distance);
+    let _ = writeln!(out, "peak available:   {}", outcome.peak_available);
+    Ok(out)
+}
+
 /// `pombm sweep`: competitive ratios for a `mechanism × matcher × size × ε`
 /// product, fanned across cores (deterministic in --seed for any --shards).
+/// With `--dynamic`, sweeps the dynamic-fleet
+/// `mechanism × dynamic-matcher × shift-plan × size × ε` product instead.
 pub fn sweep(args: &Args) -> Result<String, String> {
     args.check_known(&[
         "mechanisms",
@@ -345,6 +446,8 @@ pub fn sweep(args: &Args) -> Result<String, String> {
         "grid-side",
         "seed",
         "json",
+        "dynamic",
+        "shift-plans",
     ])?;
     let shards = match args.get_or("shards", 0usize)? {
         0 => std::thread::available_parallelism()
@@ -352,6 +455,12 @@ pub fn sweep(args: &Args) -> Result<String, String> {
             .unwrap_or(1),
         n => n,
     };
+    if args.switch("dynamic") {
+        return dynamic_sweep(args, shards);
+    }
+    if args.switch("shift-plans") {
+        return Err("--shift-plans only applies to `sweep --dynamic`".to_string());
+    }
     let defaults = SweepConfig::default();
     let config = SweepConfig {
         mechanisms: parse_name_list(args, "mechanisms")?,
@@ -408,6 +517,82 @@ pub fn sweep(args: &Args) -> Result<String, String> {
         report.measured().count(),
         report.failed().count(),
         report.repetitions,
+        report.seed
+    );
+    Ok(out)
+}
+
+/// `pombm sweep --dynamic`: the dynamic-fleet sweep product.
+fn dynamic_sweep(args: &Args, shards: usize) -> Result<String, String> {
+    if args.switch("reps") {
+        return Err("--reps does not apply to `sweep --dynamic` \
+                    (each cell replays one deterministic timeline)"
+            .to_string());
+    }
+    let defaults = DynamicSweepConfig::default();
+    let config = DynamicSweepConfig {
+        mechanisms: parse_name_list(args, "mechanisms")?,
+        matchers: parse_name_list(args, "matchers")?,
+        shift_plans: parse_name_list(args, "shift-plans")?,
+        sizes: parse_number_list(args, "sizes", defaults.sizes)?,
+        epsilons: parse_number_list(args, "epsilons", defaults.epsilons)?,
+        shards,
+        grid_side: args.get_or("grid-side", 32)?,
+        seed: args.get_or("seed", 0)?,
+    };
+    let report = run_dynamic_sweep(&config).map_err(|e| e.to_string())?;
+    if args.switch("json") {
+        return serde_json::to_string_pretty(&report).map_err(|e| e.to_string());
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:<11} {:<10} {:>6} {:>5} {:>8} {:>8} {:>8} {:>12} {:>6}",
+        "mechanism",
+        "matcher",
+        "plan",
+        "tasks",
+        "eps",
+        "rate",
+        "assigned",
+        "dropped",
+        "distance",
+        "peak"
+    );
+    for cell in &report.cells {
+        match (&cell.measurement, &cell.error) {
+            (Some(m), _) => {
+                let _ = writeln!(
+                    out,
+                    "{:<10} {:<11} {:<10} {:>6} {:>5.2} {:>8.4} {:>8} {:>8} {:>12.2} {:>6}",
+                    cell.mechanism,
+                    cell.matcher,
+                    cell.plan,
+                    cell.num_tasks,
+                    cell.epsilon,
+                    m.assignment_rate,
+                    m.assigned,
+                    m.dropped,
+                    m.total_distance,
+                    m.peak_available
+                );
+            }
+            (None, Some(e)) => {
+                let _ = writeln!(
+                    out,
+                    "{:<10} {:<11} {:<10} {:>6} {:>5.2} skipped: {e}",
+                    cell.mechanism, cell.matcher, cell.plan, cell.num_tasks, cell.epsilon
+                );
+            }
+            (None, None) => unreachable!("every cell has a measurement or an error"),
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{} cells measured, {} skipped (horizon {}, seed {})",
+        report.measured().count(),
+        report.failed().count(),
+        report.horizon,
         report.seed
     );
     Ok(out)
@@ -501,6 +686,7 @@ mod tests {
             "publish",
             "inspect",
             "epochs",
+            "dynamic",
             "sweep",
         ] {
             assert!(text.contains(cmd), "usage missing {cmd}");
@@ -634,6 +820,8 @@ mod tests {
             "laplace",
             "chain",
             "capacity",
+            "kd-rebuild",
+            "dynamic matchers",
         ] {
             assert!(out.contains(name), "listing missing {name}:\n{out}");
         }
@@ -715,16 +903,93 @@ mod tests {
     #[test]
     fn sweep_list_flags_without_values_are_rejected() {
         // A list flag swallowed by the next flag must error, not silently
-        // fall back to the full registry / grid defaults.
+        // fall back to the full registry / grid defaults — on both the
+        // static and the dynamic sweep axes.
         for flags in [
             "sweep --mechanisms --json",
             "sweep --matchers --json",
             "sweep --sizes --json",
             "sweep --epsilons --json",
+            "sweep --dynamic --mechanisms --json",
+            "sweep --dynamic --matchers --json",
+            "sweep --dynamic --shift-plans --json",
+            "sweep --dynamic --sizes --json",
+            "sweep --dynamic --epsilons --json",
         ] {
             let err = sweep(&args(flags)).unwrap_err();
             assert!(err.contains("needs a value"), "{flags}: {err}");
         }
+    }
+
+    #[test]
+    fn dynamic_command_runs_every_registered_matcher() {
+        for matcher in ["hst-greedy", "kd-rebuild", "random"] {
+            let out = dynamic(&args(&format!(
+                "dynamic --tasks 40 --workers 30 --plan short --matcher {matcher} \
+                 --grid-side 16 --seed 3"
+            )))
+            .unwrap();
+            assert!(
+                out.contains(&format!("matcher:          {matcher}")),
+                "{out}"
+            );
+            assert!(out.contains("assignment rate:"), "{out}");
+            assert!(out.contains("peak available:"), "{out}");
+        }
+    }
+
+    #[test]
+    fn dynamic_command_json_parses_and_is_reproducible() {
+        let flags = "dynamic --tasks 30 --workers 40 --plan always-on --mechanism laplace \
+                     --matcher kd-rebuild --grid-side 16 --seed 9 --json";
+        let a = dynamic(&args(flags)).unwrap();
+        let b = dynamic(&args(flags)).unwrap();
+        assert_eq!(a, b, "same seed, same outcome");
+        let v: serde_json::Value = serde_json::from_str(&a).unwrap();
+        assert_eq!(v["assigned"], 30, "always-on assigns everything");
+        assert_eq!(v["dropped"], 0);
+        assert_eq!(v["assignment_rate"], 1.0);
+    }
+
+    #[test]
+    fn dynamic_command_rejects_unknown_names() {
+        let err = dynamic(&args("dynamic --matcher bogus")).unwrap_err();
+        assert!(err.contains("bogus") && err.contains("kd-rebuild"), "{err}");
+        let err = dynamic(&args("dynamic --plan weekend")).unwrap_err();
+        assert!(
+            err.contains("weekend") && err.contains("always-on"),
+            "{err}"
+        );
+        let err = dynamic(&args("dynamic --mechanism bogus")).unwrap_err();
+        assert!(err.contains("bogus") && err.contains("laplace"), "{err}");
+    }
+
+    #[test]
+    fn dynamic_sweep_runs_and_is_shard_independent() {
+        let flags = "sweep --dynamic --mechanisms identity,hst --matchers hst-greedy,random \
+                     --shift-plans always-on,short --sizes 12 --grid-side 16 --seed 5 --json";
+        let one = sweep(&args(&format!("{flags} --shards 1"))).unwrap();
+        let many = sweep(&args(&format!("{flags} --shards 3"))).unwrap();
+        assert_eq!(one, many, "shard count changed the dynamic sweep output");
+        let v: serde_json::Value = serde_json::from_str(&one).unwrap();
+        assert_eq!(v["cells"].as_array().unwrap().len(), 2 * 2 * 2);
+    }
+
+    #[test]
+    fn dynamic_sweep_table_reports_rates_and_skips() {
+        let out = sweep(&args(
+            "sweep --dynamic --mechanisms blind --matchers hst-greedy,random \
+             --shift-plans always-on --sizes 10 --shards 1 --grid-side 16",
+        ))
+        .unwrap();
+        assert!(out.contains("skipped:"), "{out}");
+        assert!(out.contains("1 cells measured, 1 skipped"), "{out}");
+        let err = sweep(&args("sweep --dynamic --shift-plans weekend")).unwrap_err();
+        assert!(err.contains("weekend") && err.contains("short"), "{err}");
+        let err = sweep(&args("sweep --dynamic --reps 3")).unwrap_err();
+        assert!(err.contains("--reps"), "{err}");
+        let err = sweep(&args("sweep --shift-plans always-on")).unwrap_err();
+        assert!(err.contains("--shift-plans"), "{err}");
     }
 
     #[test]

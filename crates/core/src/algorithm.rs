@@ -378,6 +378,67 @@ pub trait AssignStrategy: Send + Sync {
     ) -> Result<Matching, PipelineError>;
 }
 
+/// A live worker pool driven by the dynamic event loop
+/// ([`crate::dynamic::run_dynamic_spec`]): stage 2 of the framework for
+/// *shifting* fleets, produced per run by a [`DynamicAssignStrategy`].
+///
+/// The driver feeds it one event at a time — insert on shift start,
+/// withdraw on shift end, assign on task arrival — in deterministic
+/// timeline order. Reports arrive in whatever kind the mechanism emits;
+/// pools convert via [`Report::into_leaf`] / [`Report::into_point`] and
+/// surface incompatibilities (e.g. blind reports into a location-aware
+/// pool) as typed errors.
+pub trait DynamicWorkerPool {
+    /// Registers a worker with its obfuscated report (shift start).
+    ///
+    /// `id`s are unique among live workers; a departed or assigned id may
+    /// be reused.
+    fn insert(&mut self, id: u64, report: Report) -> Result<(), PipelineError>;
+
+    /// Removes an unassigned worker (shift end). Returns `false` when the
+    /// worker is not present (already assigned or never inserted) — a
+    /// no-op, matching the departure semantics of the simulation.
+    fn withdraw(&mut self, id: u64) -> bool;
+
+    /// Assigns a worker to the arriving task's report and removes it from
+    /// the pool; `Ok(None)` when the pool is momentarily empty (the task is
+    /// dropped). `tie_rng` is a dedicated stream for randomized pools —
+    /// deterministic pools must not touch it.
+    fn assign(
+        &mut self,
+        report: Report,
+        tie_rng: &mut StdRng,
+    ) -> Result<Option<u64>, PipelineError>;
+
+    /// Number of present, unassigned workers.
+    fn available(&self) -> usize;
+}
+
+/// Stage 2 of the framework for dynamic fleets: a named, stateless
+/// descriptor that builds one [`DynamicWorkerPool`] per simulation run.
+///
+/// The dynamic mirror of [`AssignStrategy`]: object-safe, registered by
+/// name in [`crate::registry::registry`], and freely composable with any
+/// [`ReportMechanism`] through [`crate::dynamic::run_dynamic_spec`]. See
+/// the [`crate::dynamic`] module docs for a complete worked example of
+/// adding a custom dynamic matcher.
+pub trait DynamicAssignStrategy: Send + Sync {
+    /// Registry name (kebab-case).
+    fn name(&self) -> &'static str;
+
+    /// One-line description for `pombm algorithms`.
+    fn summary(&self) -> &'static str;
+
+    /// True when the matcher needs the server's published artifacts.
+    fn needs_server(&self) -> bool;
+
+    /// Builds an empty pool for one run.
+    fn pool<'a>(
+        &self,
+        server: Option<&'a Server>,
+    ) -> Result<Box<dyn DynamicWorkerPool + 'a>, PipelineError>;
+}
+
 // ---------------------------------------------------------------------------
 // Mechanism implementations
 // ---------------------------------------------------------------------------
@@ -878,6 +939,165 @@ impl AssignStrategy for RandomAssignStrategy {
             }
         }
         Ok(matching)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic matcher implementations
+// ---------------------------------------------------------------------------
+
+/// The paper's Alg. 4 over a shifting fleet: tree-nearest available worker
+/// via [`pombm_matching::DynamicHstGreedy`] (the `O(c·D)` mutable index).
+pub struct DynamicHstGreedyStrategy;
+
+impl DynamicAssignStrategy for DynamicHstGreedyStrategy {
+    fn name(&self) -> &'static str {
+        "hst-greedy"
+    }
+
+    fn summary(&self) -> &'static str {
+        "tree-nearest available worker over a shifting fleet (Alg. 4)"
+    }
+
+    fn needs_server(&self) -> bool {
+        true
+    }
+
+    fn pool<'a>(
+        &self,
+        server: Option<&'a Server>,
+    ) -> Result<Box<dyn DynamicWorkerPool + 'a>, PipelineError> {
+        let server = server.ok_or(PipelineError::MissingServer("hst-greedy dynamic matcher"))?;
+        struct P<'a> {
+            pool: pombm_matching::DynamicHstGreedy,
+            server: &'a Server,
+        }
+        impl DynamicWorkerPool for P<'_> {
+            fn insert(&mut self, id: u64, report: Report) -> Result<(), PipelineError> {
+                let leaf = report.into_leaf(Some(self.server), "dynamic pool")?;
+                self.pool.add(id, leaf);
+                Ok(())
+            }
+            fn withdraw(&mut self, id: u64) -> bool {
+                self.pool.withdraw(id)
+            }
+            fn assign(
+                &mut self,
+                report: Report,
+                _tie_rng: &mut StdRng,
+            ) -> Result<Option<u64>, PipelineError> {
+                let leaf = report.into_leaf(Some(self.server), "dynamic pool")?;
+                Ok(self.pool.assign(leaf))
+            }
+            fn available(&self) -> usize {
+                self.pool.available()
+            }
+        }
+        Ok(Box::new(P {
+            pool: pombm_matching::DynamicHstGreedy::new(server.hst().ctx()),
+            server,
+        }))
+    }
+}
+
+/// Euclidean nearest over planar reports via a k-d tree rebuilt lazily on
+/// pool mutation ([`pombm_matching::DynamicKdRebuild`]). Leaf reports are
+/// projected to their representative predefined points, so tree mechanisms
+/// compose too.
+pub struct DynamicKdRebuildStrategy;
+
+impl DynamicAssignStrategy for DynamicKdRebuildStrategy {
+    fn name(&self) -> &'static str {
+        "kd-rebuild"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Euclidean-nearest worker via a k-d tree rebuilt on pool mutation"
+    }
+
+    fn needs_server(&self) -> bool {
+        false
+    }
+
+    fn pool<'a>(
+        &self,
+        server: Option<&'a Server>,
+    ) -> Result<Box<dyn DynamicWorkerPool + 'a>, PipelineError> {
+        struct P<'a> {
+            pool: pombm_matching::DynamicKdRebuild,
+            server: Option<&'a Server>,
+        }
+        impl DynamicWorkerPool for P<'_> {
+            fn insert(&mut self, id: u64, report: Report) -> Result<(), PipelineError> {
+                let point = report.into_point(self.server, "kd-rebuild dynamic matcher")?;
+                self.pool.add(id, point);
+                Ok(())
+            }
+            fn withdraw(&mut self, id: u64) -> bool {
+                self.pool.withdraw(id)
+            }
+            fn assign(
+                &mut self,
+                report: Report,
+                _tie_rng: &mut StdRng,
+            ) -> Result<Option<u64>, PipelineError> {
+                let point = report.into_point(self.server, "kd-rebuild dynamic matcher")?;
+                Ok(self.pool.assign(&point))
+            }
+            fn available(&self) -> usize {
+                self.pool.available()
+            }
+        }
+        Ok(Box::new(P {
+            pool: pombm_matching::DynamicKdRebuild::new(),
+            server,
+        }))
+    }
+}
+
+/// Uniform draw from the live pool ([`pombm_matching::DynamicRandomPool`]):
+/// the location-blind sanity floor under fleet churn. Composes with every
+/// mechanism, including `blind`.
+pub struct DynamicRandomStrategy;
+
+impl DynamicAssignStrategy for DynamicRandomStrategy {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn summary(&self) -> &'static str {
+        "uniformly random live worker (location-blind floor)"
+    }
+
+    fn needs_server(&self) -> bool {
+        false
+    }
+
+    fn pool<'a>(
+        &self,
+        _server: Option<&'a Server>,
+    ) -> Result<Box<dyn DynamicWorkerPool + 'a>, PipelineError> {
+        struct P(pombm_matching::DynamicRandomPool);
+        impl DynamicWorkerPool for P {
+            fn insert(&mut self, id: u64, _report: Report) -> Result<(), PipelineError> {
+                self.0.add(id);
+                Ok(())
+            }
+            fn withdraw(&mut self, id: u64) -> bool {
+                self.0.withdraw(id)
+            }
+            fn assign(
+                &mut self,
+                _report: Report,
+                tie_rng: &mut StdRng,
+            ) -> Result<Option<u64>, PipelineError> {
+                Ok(self.0.assign(tie_rng))
+            }
+            fn available(&self) -> usize {
+                self.0.available()
+            }
+        }
+        Ok(Box::new(P(pombm_matching::DynamicRandomPool::new())))
     }
 }
 

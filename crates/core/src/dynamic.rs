@@ -3,24 +3,69 @@
 //! Extends the paper's static model (all workers registered upfront) to a
 //! timeline where workers start and end shifts while tasks stream in:
 //!
-//! * **shift start** — the worker obfuscates its current location (TBF
-//!   mechanism) and registers; one ε charge per shift;
+//! * **shift start** — the worker obfuscates its current location with the
+//!   run's [`ReportMechanism`] and registers; one ε charge per shift;
 //! * **shift end** — an unassigned worker withdraws from the pool;
 //!   a worker already assigned keeps its task (departure is a no-op);
-//! * **task arrival** — the server assigns the tree-nearest available
-//!   worker (Alg. 4 on the dynamic pool), or *drops* the task if the pool
-//!   is momentarily empty — the paper's matching-size objective shows up
-//!   here as the drop rate.
+//! * **task arrival** — the pool's [`DynamicAssignStrategy`] assigns an
+//!   available worker (Alg. 4's tree walk for `hst-greedy`), or *drops* the
+//!   task if the pool is momentarily empty — the paper's matching-size
+//!   objective shows up here as the drop rate.
 //!
 //! Events are replayed in time order with a deterministic tie order
 //! (arrivals before departures before tasks at equal timestamps, then by
 //! id) so runs are reproducible.
+//!
+//! Like the static pipeline, the dynamic pipeline is a free
+//! `mechanism × matcher` product: [`run_dynamic_spec`] drives any
+//! registered (or custom) [`ReportMechanism`] against any registered (or
+//! custom) [`DynamicAssignStrategy`] — `hst-greedy`, `kd-rebuild` and
+//! `random` ship in the [`registry`](crate::registry::registry).
+//!
+//! # Adding a custom dynamic matcher
+//!
+//! Implement one trait; the strategy builds a fresh pool per run:
+//!
+//! ```
+//! use pombm::algorithm::{
+//!     DynamicAssignStrategy, DynamicWorkerPool, PipelineError, Report,
+//! };
+//! use pombm::Server;
+//! use rand::rngs::StdRng;
+//!
+//! /// Last-in-first-out assignment: always take the newest live worker.
+//! struct Lifo;
+//! impl DynamicAssignStrategy for Lifo {
+//!     fn name(&self) -> &'static str { "lifo" }
+//!     fn summary(&self) -> &'static str { "newest live worker wins" }
+//!     fn needs_server(&self) -> bool { false }
+//!     fn pool<'a>(&self, _server: Option<&'a Server>)
+//!         -> Result<Box<dyn DynamicWorkerPool + 'a>, PipelineError>
+//!     {
+//!         struct P(Vec<u64>);
+//!         impl DynamicWorkerPool for P {
+//!             fn insert(&mut self, id: u64, _r: Report) -> Result<(), PipelineError> {
+//!                 self.0.push(id);
+//!                 Ok(())
+//!             }
+//!             fn withdraw(&mut self, id: u64) -> bool {
+//!                 let n = self.0.len();
+//!                 self.0.retain(|&w| w != id);
+//!                 self.0.len() < n
+//!             }
+//!             fn assign(&mut self, _r: Report, _rng: &mut StdRng)
+//!                 -> Result<Option<u64>, PipelineError> { Ok(self.0.pop()) }
+//!             fn available(&self) -> usize { self.0.len() }
+//!         }
+//!         Ok(Box::new(P(Vec::new())))
+//!     }
+//! }
+//! ```
 
-use crate::algorithm::{PipelineError, ReportMechanism};
+use crate::algorithm::{DynamicAssignStrategy, PipelineError, ReportMechanism};
 use crate::registry::registry;
 use crate::server::Server;
 use pombm_geom::seeded_rng;
-use pombm_matching::dynamic::DynamicHstGreedy;
 use pombm_privacy::Epsilon;
 use pombm_workload::shifts::ShiftPlan;
 use pombm_workload::Instance;
@@ -100,12 +145,47 @@ pub fn run_dynamic(
 /// [`run_dynamic`] with an explicit reporting mechanism: any registered
 /// (or custom) [`ReportMechanism`] whose reports can be interpreted on the
 /// published tree — planar reports are snapped, like the paper's Lap-HG.
+/// Stage 2 stays the paper's tree-greedy pool (`hst-greedy`).
 pub fn run_dynamic_with(
     instance: &Instance,
     task_times: &[f64],
     plan: &ShiftPlan,
     config: &DynamicConfig,
     mechanism: &dyn ReportMechanism,
+) -> Result<DynamicOutcome, PipelineError> {
+    let matcher = registry()
+        .dynamic_matcher("hst-greedy")
+        .expect("hst-greedy is registered");
+    run_dynamic_spec(
+        instance,
+        task_times,
+        plan,
+        config,
+        mechanism,
+        matcher.as_ref(),
+    )
+}
+
+/// The generic dynamic driver: replays the shift/task timeline of `plan`
+/// and `task_times` through any `mechanism × dynamic-matcher` pairing.
+///
+/// RNG discipline matches the static [`crate::run_spec`] driver: the
+/// mechanism draws from one seeded stream (so a pairing's obfuscation noise
+/// is independent of the matcher choice) and randomized matchers draw from
+/// a dedicated tie-break stream. For the `hst-greedy` matcher this is
+/// seed-for-seed identical to the pre-registry hardwired driver.
+///
+/// # Panics
+///
+/// Panics if `task_times` and the instance's task count differ, or the
+/// plan's worker count does not match the instance.
+pub fn run_dynamic_spec(
+    instance: &Instance,
+    task_times: &[f64],
+    plan: &ShiftPlan,
+    config: &DynamicConfig,
+    mechanism: &dyn ReportMechanism,
+    matcher: &dyn DynamicAssignStrategy,
 ) -> Result<DynamicOutcome, PipelineError> {
     assert_eq!(
         task_times.len(),
@@ -122,6 +202,7 @@ pub fn run_dynamic_with(
     let epsilon = Epsilon::new(config.epsilon);
     let mut reporter = mechanism.reporter(epsilon, Some(&server))?;
     let mut rng = seeded_rng(config.seed, 0xD1CE_0001);
+    let mut tie_rng = seeded_rng(config.seed, 0xD1CE_0002);
 
     // Build the unified timeline.
     let mut events: Vec<(f64, u8, usize, EventKind)> = Vec::new();
@@ -139,7 +220,7 @@ pub fn run_dynamic_with(
             .then(a.2.cmp(&b.2))
     });
 
-    let mut pool = DynamicHstGreedy::new(server.hst().ctx());
+    let mut pool = matcher.pool(Some(&server))?;
     let mut pairs = Vec::new();
     let mut dropped = 0usize;
     let mut peak = 0usize;
@@ -147,10 +228,8 @@ pub fn run_dynamic_with(
     for &(_, _, _, kind) in &events {
         match kind {
             EventKind::ShiftStart(w) => {
-                let leaf = reporter
-                    .report(&instance.workers[w], &mut rng)
-                    .into_leaf(Some(&server), "dynamic pool")?;
-                pool.add(w as u64, leaf);
+                let report = reporter.report(&instance.workers[w], &mut rng);
+                pool.insert(w as u64, report)?;
                 peak = peak.max(pool.available());
             }
             EventKind::ShiftEnd(w) => {
@@ -158,10 +237,8 @@ pub fn run_dynamic_with(
                 let _ = pool.withdraw(w as u64);
             }
             EventKind::Task(t) => {
-                let reported = reporter
-                    .report(&instance.tasks[t], &mut rng)
-                    .into_leaf(Some(&server), "dynamic pool")?;
-                match pool.assign(reported) {
+                let report = reporter.report(&instance.tasks[t], &mut rng);
+                match pool.assign(report, &mut tie_rng)? {
                     Some(w) => pairs.push((t, w as usize)),
                     None => dropped += 1,
                 }
@@ -324,5 +401,154 @@ mod tests {
         let inst = instance(10, 10, 9);
         let plan = ShiftPlan::always_on(10, 10.0);
         let _ = run_dynamic(&inst, &[1.0], &plan, &DynamicConfig::default());
+    }
+
+    #[test]
+    fn spec_driver_with_hst_greedy_matches_legacy_driver() {
+        let inst = instance(70, 50, 12);
+        let times = uniform_times(70, 300.0, 12);
+        let plan = ShiftPlan::uniform(50, 300.0, 40.0, 120.0, &mut seeded_rng(13, 0));
+        let config = DynamicConfig::default();
+        for mech_name in ["hst", "laplace", "exp", "identity"] {
+            let mechanism = registry().mechanism(mech_name).unwrap();
+            let matcher = registry().dynamic_matcher("hst-greedy").unwrap();
+            let legacy =
+                run_dynamic_with(&inst, &times, &plan, &config, mechanism.as_ref()).unwrap();
+            let spec = run_dynamic_spec(
+                &inst,
+                &times,
+                &plan,
+                &config,
+                mechanism.as_ref(),
+                matcher.as_ref(),
+            )
+            .unwrap();
+            assert_eq!(legacy.pairs, spec.pairs, "{mech_name}");
+            assert_eq!(legacy.total_distance, spec.total_distance, "{mech_name}");
+            assert_eq!(legacy.peak_available, spec.peak_available, "{mech_name}");
+        }
+    }
+
+    #[test]
+    fn every_registered_dynamic_matcher_drives_the_fleet() {
+        let inst = instance(60, 120, 4);
+        let times = uniform_times(60, 100.0, 4);
+        let plan = ShiftPlan::always_on(120, 101.0);
+        let mechanism = registry().mechanism("identity").unwrap();
+        for matcher in registry().dynamic_matchers() {
+            let out = run_dynamic_spec(
+                &inst,
+                &times,
+                &plan,
+                &DynamicConfig::default(),
+                mechanism.as_ref(),
+                matcher.as_ref(),
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", matcher.name()));
+            assert_eq!(out.dropped_tasks, 0, "{}", matcher.name());
+            assert_eq!(out.pairs.len(), 60, "{}", matcher.name());
+            assert_eq!(out.peak_available, 120, "{}", matcher.name());
+            let mut seen = std::collections::HashSet::new();
+            for &(_, w) in &out.pairs {
+                assert!(
+                    seen.insert(w),
+                    "{}: worker {w} assigned twice",
+                    matcher.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kd_rebuild_beats_the_random_floor_on_distance() {
+        let inst = instance(80, 160, 21);
+        let times = uniform_times(80, 100.0, 21);
+        let plan = ShiftPlan::always_on(160, 101.0);
+        let config = DynamicConfig::default();
+        let mechanism = registry().mechanism("identity").unwrap();
+        let dist = |name: &str| {
+            let matcher = registry().dynamic_matcher(name).unwrap();
+            run_dynamic_spec(
+                &inst,
+                &times,
+                &plan,
+                &config,
+                mechanism.as_ref(),
+                matcher.as_ref(),
+            )
+            .unwrap()
+            .total_distance
+        };
+        let kd = dist("kd-rebuild");
+        let random = dist("random");
+        assert!(
+            kd < random / 2.0,
+            "nearest-worker matching (kd {kd}) should beat the blind floor ({random}) widely"
+        );
+    }
+
+    #[test]
+    fn blind_mechanism_pairs_only_with_the_random_dynamic_matcher() {
+        let inst = instance(30, 30, 6);
+        let times = uniform_times(30, 50.0, 6);
+        let plan = ShiftPlan::always_on(30, 51.0);
+        let config = DynamicConfig::default();
+        let mechanism = registry().mechanism("blind").unwrap();
+        let random = registry().dynamic_matcher("random").unwrap();
+        let out = run_dynamic_spec(
+            &inst,
+            &times,
+            &plan,
+            &config,
+            mechanism.as_ref(),
+            random.as_ref(),
+        )
+        .unwrap();
+        assert_eq!(out.pairs.len(), 30, "blind x random is measurable");
+        for name in ["hst-greedy", "kd-rebuild"] {
+            let matcher = registry().dynamic_matcher(name).unwrap();
+            let err = run_dynamic_spec(
+                &inst,
+                &times,
+                &plan,
+                &config,
+                mechanism.as_ref(),
+                matcher.as_ref(),
+            )
+            .unwrap_err();
+            assert!(err.to_string().contains("location"), "{name}: {err}");
+        }
+    }
+
+    #[test]
+    fn random_dynamic_matcher_does_not_perturb_the_mechanism_stream() {
+        // The random pool draws from the dedicated tie stream, so the
+        // mechanism's obfuscation noise must be byte-identical to what the
+        // deterministic matchers observed under the same seed.
+        let inst = instance(40, 80, 17);
+        let times = uniform_times(40, 100.0, 17);
+        let plan = ShiftPlan::always_on(80, 101.0);
+        let config = DynamicConfig::default();
+        let mechanism = registry().mechanism("laplace").unwrap();
+        let random = registry().dynamic_matcher("random").unwrap();
+        let a = run_dynamic_spec(
+            &inst,
+            &times,
+            &plan,
+            &config,
+            mechanism.as_ref(),
+            random.as_ref(),
+        )
+        .unwrap();
+        let b = run_dynamic_spec(
+            &inst,
+            &times,
+            &plan,
+            &config,
+            mechanism.as_ref(),
+            random.as_ref(),
+        )
+        .unwrap();
+        assert_eq!(a.pairs, b.pairs, "randomized matcher must be seeded");
     }
 }

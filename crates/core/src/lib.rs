@@ -29,6 +29,13 @@
 //! setup/obfuscation/assignment timing. The [`Algorithm`] enum survives as
 //! thin aliases into the registry.
 //!
+//! The event-driven half mirrors this: shifting fleets pair any mechanism
+//! with any registered [`DynamicAssignStrategy`](algorithm::DynamicAssignStrategy)
+//! (`hst-greedy`, `kd-rebuild`, `random`) through [`run_dynamic_spec`], and
+//! [`sweep::run_dynamic_sweep`] measures the whole product under named
+//! shift plans — see the [`dynamic`] module docs for a worked example of
+//! adding a custom dynamic matcher.
+//!
 //! # Quick start
 //!
 //! ```
@@ -91,10 +98,13 @@ pub mod registry;
 pub mod server;
 pub mod sweep;
 
-pub use algorithm::{AssignStrategy, PipelineError, PointReporter, Report, ReportMechanism};
+pub use algorithm::{
+    AssignStrategy, DynamicAssignStrategy, DynamicWorkerPool, PipelineError, PointReporter, Report,
+    ReportMechanism,
+};
 pub use arrivals::{simulate_stream, ArrivalProcess, StreamReport};
 pub use case_study::{run_case_study, CaseStudyAlgorithm, CaseStudyResult};
-pub use dynamic::{run_dynamic, run_dynamic_with, DynamicConfig, DynamicOutcome};
+pub use dynamic::{run_dynamic, run_dynamic_spec, run_dynamic_with, DynamicConfig, DynamicOutcome};
 pub use epochs::{run_epochs, run_epochs_with, EpochConfig, EpochMetrics, EpochReport};
 pub use pipeline::{
     run, run_spec, run_spec_with_server, run_with_server, Algorithm, PipelineConfig, RunMetrics,
@@ -103,4 +113,7 @@ pub use pipeline::{
 pub use ratio::{empirical_competitive_ratio, offline_optimum, RatioError, RatioReport};
 pub use registry::{registry, AlgorithmSpec, Registry};
 pub use server::{Server, TreeConstruction};
-pub use sweep::{run_sweep, SweepCell, SweepConfig, SweepReport};
+pub use sweep::{
+    run_dynamic_sweep, run_sweep, DynamicMeasurement, DynamicSweepCell, DynamicSweepConfig,
+    DynamicSweepReport, SweepCell, SweepConfig, SweepReport,
+};

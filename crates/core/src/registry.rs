@@ -12,9 +12,10 @@
 //! resolving.
 
 use crate::algorithm::{
-    AssignStrategy, BlindMechanism, CapacitatedStrategy, ChainStrategy, EuclideanGreedyStrategy,
-    ExponentialReportMechanism, HstGreedyStrategy, HstWalkMechanism, IdentityMechanism,
-    KdGreedyStrategy, LaplaceMechanism, OfflineOptimalStrategy, PipelineError,
+    AssignStrategy, BlindMechanism, CapacitatedStrategy, ChainStrategy, DynamicAssignStrategy,
+    DynamicHstGreedyStrategy, DynamicKdRebuildStrategy, DynamicRandomStrategy,
+    EuclideanGreedyStrategy, ExponentialReportMechanism, HstGreedyStrategy, HstWalkMechanism,
+    IdentityMechanism, KdGreedyStrategy, LaplaceMechanism, OfflineOptimalStrategy, PipelineError,
     RandomAssignStrategy, RandomizedGreedyStrategy, ReportMechanism,
 };
 use std::sync::{Arc, OnceLock};
@@ -87,6 +88,7 @@ impl std::fmt::Debug for AlgorithmSpec {
 pub struct Registry {
     mechanisms: Vec<Arc<dyn ReportMechanism>>,
     matchers: Vec<Arc<dyn AssignStrategy>>,
+    dynamic_matchers: Vec<Arc<dyn DynamicAssignStrategy>>,
     specs: Vec<AlgorithmSpec>,
     spec_aliases: Vec<(&'static str, &'static str)>,
 }
@@ -109,6 +111,12 @@ impl Registry {
     /// All registered matchers.
     pub fn matchers(&self) -> &[Arc<dyn AssignStrategy>] {
         &self.matchers
+    }
+
+    /// All registered dynamic matchers (stage 2 of the shifting-fleet
+    /// pipeline, [`crate::dynamic::run_dynamic_spec`]).
+    pub fn dynamic_matchers(&self) -> &[Arc<dyn DynamicAssignStrategy>] {
+        &self.dynamic_matchers
     }
 
     /// Case-insensitive, alias-aware spec lookup.
@@ -142,6 +150,33 @@ impl Registry {
     pub fn matcher(&self, name: &str) -> Option<Arc<dyn AssignStrategy>> {
         let wanted = normalize(name);
         self.matchers.iter().find(|m| m.name() == wanted).cloned()
+    }
+
+    /// Case-insensitive dynamic matcher lookup.
+    pub fn dynamic_matcher(&self, name: &str) -> Option<Arc<dyn DynamicAssignStrategy>> {
+        let wanted = normalize(name);
+        self.dynamic_matchers
+            .iter()
+            .find(|m| m.name() == wanted)
+            .cloned()
+    }
+
+    /// Dynamic matcher lookup returning a listing-rich error for CLI
+    /// surfaces.
+    pub fn require_dynamic_matcher(
+        &self,
+        name: &str,
+    ) -> Result<Arc<dyn DynamicAssignStrategy>, PipelineError> {
+        self.dynamic_matcher(name)
+            .ok_or_else(|| PipelineError::UnknownName {
+                kind: "dynamic matcher",
+                name: name.to_string(),
+                known: self
+                    .dynamic_matchers
+                    .iter()
+                    .map(|m| m.name().to_string())
+                    .collect(),
+            })
     }
 
     /// Composes a free `mechanism × matcher` pairing by name.
@@ -190,6 +225,10 @@ fn build() -> Registry {
     let random: Arc<dyn AssignStrategy> = Arc::new(RandomAssignStrategy);
     let offline_opt: Arc<dyn AssignStrategy> = Arc::new(OfflineOptimalStrategy);
 
+    let dyn_hst: Arc<dyn DynamicAssignStrategy> = Arc::new(DynamicHstGreedyStrategy);
+    let dyn_kd: Arc<dyn DynamicAssignStrategy> = Arc::new(DynamicKdRebuildStrategy);
+    let dyn_random: Arc<dyn DynamicAssignStrategy> = Arc::new(DynamicRandomStrategy);
+
     let specs = vec![
         // The paper's compared algorithms (Sec. IV-A)...
         AlgorithmSpec::new("lap-gr", "Lap-GR", laplace.clone(), greedy.clone()),
@@ -221,6 +260,7 @@ fn build() -> Registry {
             random,
             offline_opt,
         ],
+        dynamic_matchers: vec![dyn_hst, dyn_kd, dyn_random],
         specs,
         spec_aliases: vec![
             ("lapgr", "lap-gr"),
@@ -292,6 +332,29 @@ mod tests {
         }
         assert_eq!(registry().mechanisms().len(), 5);
         assert_eq!(registry().matchers().len(), 8);
+    }
+
+    #[test]
+    fn dynamic_matchers_are_catalogued() {
+        let names: Vec<&str> = registry()
+            .dynamic_matchers()
+            .iter()
+            .map(|m| m.name())
+            .collect();
+        assert_eq!(names, ["hst-greedy", "kd-rebuild", "random"]);
+        let hst = registry().dynamic_matcher("HST-Greedy").expect("resolves");
+        assert!(hst.needs_server());
+        assert!(!registry()
+            .dynamic_matcher("kd-rebuild")
+            .unwrap()
+            .needs_server());
+        assert!(registry().dynamic_matcher("bogus").is_none());
+        let err = registry()
+            .require_dynamic_matcher("bogus")
+            .map(|m| m.name())
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("bogus") && msg.contains("kd-rebuild"), "{msg}");
     }
 
     #[test]

@@ -25,14 +25,29 @@
 //! zero-distance optima) do not abort the sweep: each cell records either
 //! a report or the typed error's message, so a full-registry sweep always
 //! completes.
+//!
+//! # The dynamic axis
+//!
+//! [`run_dynamic_sweep`] is the same engine pointed at the event-driven
+//! half of the codebase: a `mechanism × dynamic-matcher × shift-plan ×
+//! size × ε` product where every cell replays one deterministic
+//! shift/task timeline through [`crate::dynamic::run_dynamic_spec`] and
+//! records a [`DynamicMeasurement`] (assignment rate, total distance, peak
+//! availability). Task times and shift plans derive from `(seed, size)`
+//! and `(seed, size, plan)` alone — identical across pairings — while
+//! noise streams derive from the job index, so dynamic sweeps share the
+//! static sweep's shard-count invariance.
 
-use crate::algorithm::{AssignStrategy, PipelineError, ReportMechanism};
+use crate::algorithm::{AssignStrategy, DynamicAssignStrategy, PipelineError, ReportMechanism};
+use crate::dynamic::{run_dynamic_spec, DynamicConfig, DynamicOutcome};
 use crate::pipeline::PipelineConfig;
 use crate::ratio::{empirical_competitive_ratio, RatioReport};
 use crate::registry::{registry, AlgorithmSpec};
 use parking_lot::Mutex;
 use pombm_geom::seeded_rng;
+use pombm_workload::shifts::ShiftPlan;
 use pombm_workload::{synthetic, Instance, SyntheticParams};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -266,19 +281,29 @@ pub fn run_sweep(config: &SweepConfig) -> Result<SweepReport, PipelineError> {
         }
     }
 
-    let chunk = jobs.len().div_ceil(config.shards).max(1);
-    let out: Mutex<Vec<Option<SweepCell>>> = Mutex::new((0..jobs.len()).map(|_| None).collect());
+    let cells = fan_out(&jobs, config.shards, |job| {
+        run_job(job, &config.base, config.repetitions)
+    });
+    Ok(SweepReport {
+        seed: config.base.seed,
+        repetitions: config.repetitions,
+        cells,
+    })
+}
+
+/// Fans `jobs` over `shards` crossbeam scoped threads: shard `s` takes the
+/// `s`-th contiguous chunk, computes its results locally, and writes them
+/// back under one lock acquisition. Output order equals job order for every
+/// shard count — the shared execution core of both sweep flavours.
+fn fan_out<J: Sync, T: Send>(jobs: &[J], shards: usize, run: impl Fn(&J) -> T + Sync) -> Vec<T> {
+    let chunk = jobs.len().div_ceil(shards).max(1);
+    let out: Mutex<Vec<Option<T>>> = Mutex::new((0..jobs.len()).map(|_| None).collect());
     crossbeam::thread::scope(|scope| {
         for (s, slice) in jobs.chunks(chunk).enumerate() {
             let out = &out;
-            let base = &config.base;
-            let repetitions = config.repetitions;
+            let run = &run;
             scope.spawn(move |_| {
-                // Compute the whole chunk locally; take the lock once.
-                let local: Vec<SweepCell> = slice
-                    .iter()
-                    .map(|job| run_job(job, base, repetitions))
-                    .collect();
+                let local: Vec<T> = slice.iter().map(run).collect();
                 let mut guard = out.lock();
                 for (i, cell) in local.into_iter().enumerate() {
                     guard[s * chunk + i] = Some(cell);
@@ -287,15 +312,323 @@ pub fn run_sweep(config: &SweepConfig) -> Result<SweepReport, PipelineError> {
         }
     })
     .expect("sweep shards never panic");
-
-    let cells = out
-        .into_inner()
+    out.into_inner()
         .into_iter()
         .map(|c| c.expect("every job produces exactly one cell"))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic-fleet sweeps
+// ---------------------------------------------------------------------------
+
+/// Fixed simulation horizon of every dynamic sweep cell (seconds). Task
+/// arrival times and shift windows both live in `[0, horizon)`.
+pub const DYNAMIC_SWEEP_HORIZON: f64 = 1000.0;
+
+/// The named shift-plan shapes a dynamic sweep can replay; an empty
+/// `shift_plans` filter in [`DynamicSweepConfig`] means all of them.
+///
+/// * `always-on` — every worker present for the whole horizon (the paper's
+///   static model as a special case; nothing should drop);
+/// * `short` — uniform random shifts of 5–15% of the horizon (sparse
+///   coverage, the drop-rate stress case);
+/// * `long` — uniform random shifts of 40–80% of the horizon.
+pub const SHIFT_PLAN_KINDS: [&str; 3] = ["always-on", "short", "long"];
+
+/// The deterministic task arrival times a dynamic sweep uses for
+/// `num_tasks` tasks: sorted uniform draws over `[0, horizon)`, seeded by
+/// `(seed, num_tasks)` only — identical for every pairing and plan, so
+/// cells differ only in what they measure.
+pub fn dynamic_task_times(seed: u64, num_tasks: usize) -> Vec<f64> {
+    let stream = seed ^ (num_tasks as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut rng = seeded_rng(stream, 0xD1CE_0005);
+    let mut times: Vec<f64> = (0..num_tasks)
+        .map(|_| rng.gen::<f64>() * DYNAMIC_SWEEP_HORIZON)
         .collect();
-    Ok(SweepReport {
-        seed: config.base.seed,
-        repetitions: config.repetitions,
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    times
+}
+
+/// The deterministic shift plan a dynamic sweep uses for a
+/// `(kind, num_workers)` cell, seeded by `(seed, num_workers, kind)` only.
+/// Fails fast with a listing-rich error on an unknown kind.
+pub fn dynamic_shift_plan(
+    kind: &str,
+    num_workers: usize,
+    seed: u64,
+) -> Result<ShiftPlan, PipelineError> {
+    let stream = seed ^ (num_workers as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let h = DYNAMIC_SWEEP_HORIZON;
+    match kind {
+        // End strictly after the horizon so tasks at t < horizon always
+        // find the full fleet (departures process before same-time tasks).
+        "always-on" => Ok(ShiftPlan::always_on(num_workers, h + 1.0)),
+        "short" => Ok(ShiftPlan::uniform(
+            num_workers,
+            h,
+            0.05 * h,
+            0.15 * h,
+            &mut seeded_rng(stream, 0xD1CE_0003),
+        )),
+        "long" => Ok(ShiftPlan::uniform(
+            num_workers,
+            h,
+            0.4 * h,
+            0.8 * h,
+            &mut seeded_rng(stream, 0xD1CE_0004),
+        )),
+        other => Err(PipelineError::UnknownName {
+            kind: "shift plan",
+            name: other.to_string(),
+            known: SHIFT_PLAN_KINDS.iter().map(|s| s.to_string()).collect(),
+        }),
+    }
+}
+
+/// What the dynamic sweep runs: the pairing/plan filters, the instance/ε
+/// grid, and the execution parameters. Mirrors [`SweepConfig`], with shift
+/// plans as the extra axis and no repetitions (each cell replays one
+/// deterministic timeline).
+#[derive(Debug, Clone)]
+pub struct DynamicSweepConfig {
+    /// Mechanism names to include; empty means every registered mechanism.
+    pub mechanisms: Vec<String>,
+    /// Dynamic matcher names to include; empty means every registered
+    /// dynamic matcher.
+    pub matchers: Vec<String>,
+    /// Shift-plan kinds to replay; empty means all of
+    /// [`SHIFT_PLAN_KINDS`].
+    pub shift_plans: Vec<String>,
+    /// Instance sizes: `size` tasks and `size` workers per cell.
+    pub sizes: Vec<usize>,
+    /// Privacy budgets ε to sweep.
+    pub epsilons: Vec<f64>,
+    /// Worker threads; results are bit-identical for every value ≥ 1.
+    pub shards: usize,
+    /// Predefined-point grid side of each cell's server.
+    pub grid_side: usize,
+    /// Root seed every derived stream (instances, times, plans, noise)
+    /// descends from.
+    pub seed: u64,
+}
+
+impl Default for DynamicSweepConfig {
+    fn default() -> Self {
+        DynamicSweepConfig {
+            mechanisms: Vec::new(),
+            matchers: Vec::new(),
+            shift_plans: Vec::new(),
+            sizes: vec![48],
+            epsilons: vec![0.6],
+            shards: 1,
+            grid_side: 32,
+            seed: 0,
+        }
+    }
+}
+
+/// The measured outcome of one dynamic sweep cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DynamicMeasurement {
+    /// Tasks assigned to a worker.
+    pub assigned: usize,
+    /// Tasks that arrived while the pool was empty.
+    pub dropped: usize,
+    /// `assigned / (assigned + dropped)`; 1.0 for an empty timeline.
+    pub assignment_rate: f64,
+    /// Total true-location travel distance of the assigned pairs.
+    pub total_distance: f64,
+    /// Largest number of simultaneously available workers observed.
+    pub peak_available: usize,
+}
+
+impl DynamicMeasurement {
+    /// Summarizes a [`DynamicOutcome`] (the CLI's `--json` shape too).
+    pub fn from_outcome(out: &DynamicOutcome) -> Self {
+        DynamicMeasurement {
+            assigned: out.pairs.len(),
+            dropped: out.dropped_tasks,
+            assignment_rate: out.assignment_rate(),
+            total_distance: out.total_distance,
+            peak_available: out.peak_available,
+        }
+    }
+}
+
+/// One cell of the dynamic sweep product: exactly one of
+/// `measurement` / `error` is set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DynamicSweepCell {
+    /// Stage-1 mechanism name.
+    pub mechanism: String,
+    /// Stage-2 dynamic matcher name.
+    pub matcher: String,
+    /// Shift-plan kind replayed by this cell.
+    pub plan: String,
+    /// Tasks in this cell's instance.
+    pub num_tasks: usize,
+    /// Workers in this cell's instance.
+    pub num_workers: usize,
+    /// Privacy budget ε of this cell.
+    pub epsilon: f64,
+    /// The measured outcome, when the pairing is measurable.
+    pub measurement: Option<DynamicMeasurement>,
+    /// The typed error's message, when it is not (e.g. blind reports into
+    /// a location-aware pool).
+    pub error: Option<String>,
+}
+
+/// A completed dynamic sweep: cells in job order (mechanism-major, then
+/// matcher, plan, size, ε).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DynamicSweepReport {
+    /// Root seed every cell's streams derive from.
+    pub seed: u64,
+    /// Simulation horizon shared by all cells.
+    pub horizon: f64,
+    /// All measured cells.
+    pub cells: Vec<DynamicSweepCell>,
+}
+
+impl DynamicSweepReport {
+    /// Cells that produced a measurement.
+    pub fn measured(&self) -> impl Iterator<Item = (&DynamicSweepCell, &DynamicMeasurement)> {
+        self.cells
+            .iter()
+            .filter_map(|c| Some((c, c.measurement.as_ref()?)))
+    }
+
+    /// Cells rejected with a typed error.
+    pub fn failed(&self) -> impl Iterator<Item = &DynamicSweepCell> {
+        self.cells.iter().filter(|c| c.error.is_some())
+    }
+}
+
+struct DynamicJob {
+    mechanism: Arc<dyn ReportMechanism>,
+    matcher: Arc<dyn DynamicAssignStrategy>,
+    plan_kind: String,
+    size: usize,
+    epsilon: f64,
+    /// Seed for this job's noise streams; derived from the job's position
+    /// in the job list, never from the executing shard.
+    job_seed: u64,
+}
+
+fn resolve_dynamic_matchers(
+    names: &[String],
+) -> Result<Vec<Arc<dyn DynamicAssignStrategy>>, PipelineError> {
+    if names.is_empty() {
+        return Ok(registry().dynamic_matchers().to_vec());
+    }
+    names
+        .iter()
+        .map(|n| registry().require_dynamic_matcher(n))
+        .collect()
+}
+
+fn run_dynamic_job(job: &DynamicJob, grid_side: usize, seed: u64) -> DynamicSweepCell {
+    let instance = sweep_instance(seed, job.size);
+    let times = dynamic_task_times(seed, job.size);
+    let plan = dynamic_shift_plan(&job.plan_kind, job.size, seed)
+        .expect("plan kinds were validated before the fan-out");
+    let config = DynamicConfig {
+        epsilon: job.epsilon,
+        grid_side,
+        seed: job.job_seed,
+    };
+    let (measurement, error) = match run_dynamic_spec(
+        &instance,
+        &times,
+        &plan,
+        &config,
+        job.mechanism.as_ref(),
+        job.matcher.as_ref(),
+    ) {
+        Ok(out) => (Some(DynamicMeasurement::from_outcome(&out)), None),
+        Err(e) => (None, Some(e.to_string())),
+    };
+    DynamicSweepCell {
+        mechanism: job.mechanism.name().to_string(),
+        matcher: job.matcher.name().to_string(),
+        plan: job.plan_kind.clone(),
+        num_tasks: instance.num_tasks(),
+        num_workers: instance.num_workers(),
+        epsilon: job.epsilon,
+        measurement,
+        error,
+    }
+}
+
+/// Runs the dynamic sweep, fanning the
+/// `pairing × plan × size × ε` product over `config.shards` scoped
+/// threads. Deterministic in `config.seed` for every shard count, exactly
+/// like [`run_sweep`].
+///
+/// Fails fast on configuration errors (unknown mechanism / dynamic matcher
+/// / plan names, empty grids, zero shards); per-cell failures (e.g. the
+/// blind mechanism into a location-aware pool) are recorded in the cells.
+pub fn run_dynamic_sweep(config: &DynamicSweepConfig) -> Result<DynamicSweepReport, PipelineError> {
+    if config.shards == 0 {
+        return Err(PipelineError::InvalidConfig {
+            field: "shards",
+            why: "the sweep needs at least one shard",
+        });
+    }
+    if config.sizes.is_empty() {
+        return Err(PipelineError::InvalidConfig {
+            field: "sizes",
+            why: "the sweep needs at least one instance size",
+        });
+    }
+    if config.epsilons.is_empty() {
+        return Err(PipelineError::InvalidConfig {
+            field: "epsilons",
+            why: "the sweep needs at least one privacy budget",
+        });
+    }
+    let mechanisms = resolve_mechanisms(&config.mechanisms)?;
+    let matchers = resolve_dynamic_matchers(&config.matchers)?;
+    let plans: Vec<String> = if config.shift_plans.is_empty() {
+        SHIFT_PLAN_KINDS.iter().map(|s| s.to_string()).collect()
+    } else {
+        config.shift_plans.clone()
+    };
+    for kind in &plans {
+        // Validate every plan name upfront so the fan-out cannot panic.
+        dynamic_shift_plan(kind, 1, 0)?;
+    }
+
+    let mut jobs = Vec::new();
+    for mechanism in &mechanisms {
+        for matcher in &matchers {
+            for plan_kind in &plans {
+                for &size in &config.sizes {
+                    for &epsilon in &config.epsilons {
+                        let job_seed = config.seed.wrapping_add(
+                            (jobs.len() as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        );
+                        jobs.push(DynamicJob {
+                            mechanism: mechanism.clone(),
+                            matcher: matcher.clone(),
+                            plan_kind: plan_kind.clone(),
+                            size,
+                            epsilon,
+                            job_seed,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    let cells = fan_out(&jobs, config.shards, |job| {
+        run_dynamic_job(job, config.grid_side, config.seed)
+    });
+    Ok(DynamicSweepReport {
+        seed: config.seed,
+        horizon: DYNAMIC_SWEEP_HORIZON,
         cells,
     })
 }
@@ -418,5 +751,162 @@ mod tests {
             .as_deref()
             .unwrap()
             .contains("non-empty"));
+    }
+
+    fn small_dynamic_config() -> DynamicSweepConfig {
+        DynamicSweepConfig {
+            mechanisms: vec!["identity".into(), "hst".into()],
+            matchers: vec!["hst-greedy".into(), "kd-rebuild".into()],
+            shift_plans: vec!["always-on".into(), "short".into()],
+            sizes: vec![16],
+            epsilons: vec![0.6],
+            shards: 1,
+            grid_side: 16,
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn dynamic_sweep_covers_the_product() {
+        let report = run_dynamic_sweep(&small_dynamic_config()).unwrap();
+        assert_eq!(report.cells.len(), 2 * 2 * 2);
+        assert_eq!(report.measured().count(), 8);
+        assert_eq!(report.failed().count(), 0);
+        for (cell, m) in report.measured() {
+            assert_eq!(
+                m.assigned + m.dropped,
+                16,
+                "{}+{}",
+                cell.mechanism,
+                cell.matcher
+            );
+            if cell.plan == "always-on" {
+                assert_eq!(m.dropped, 0, "always-on never drops");
+                assert_eq!(m.assignment_rate, 1.0);
+                assert_eq!(m.peak_available, 16);
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_sweep_timelines_are_shared_across_pairings() {
+        // Task times and shift plans depend on (seed, size, plan) only, so
+        // every pairing of one cell column faces the same scenario: the
+        // identity x hst-greedy and hst x hst-greedy cells must report the
+        // same peak availability under the same plan.
+        let report = run_dynamic_sweep(&small_dynamic_config()).unwrap();
+        for plan in ["always-on", "short"] {
+            let peaks: Vec<usize> = report
+                .measured()
+                .filter(|(c, _)| c.plan == plan)
+                .map(|(_, m)| m.peak_available)
+                .collect();
+            assert!(
+                peaks.windows(2).all(|w| w[0] == w[1]),
+                "{plan}: peaks diverged {peaks:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_sweep_records_incompatible_cells_without_aborting() {
+        let config = DynamicSweepConfig {
+            mechanisms: vec!["blind".into()],
+            matchers: vec![],
+            shift_plans: vec!["always-on".into()],
+            ..small_dynamic_config()
+        };
+        let report = run_dynamic_sweep(&config).unwrap();
+        assert_eq!(report.cells.len(), registry().dynamic_matchers().len());
+        let by_matcher = |m: &str| report.cells.iter().find(|c| c.matcher == m).unwrap();
+        assert!(by_matcher("hst-greedy").error.is_some());
+        assert!(by_matcher("kd-rebuild").error.is_some());
+        assert!(by_matcher("random").measurement.is_some());
+    }
+
+    #[test]
+    fn dynamic_sweep_fails_fast_on_unknown_names_and_empty_grids() {
+        let mut config = small_dynamic_config();
+        config.matchers = vec!["bogus".into()];
+        assert!(matches!(
+            run_dynamic_sweep(&config),
+            Err(PipelineError::UnknownName {
+                kind: "dynamic matcher",
+                ..
+            })
+        ));
+        let mut config = small_dynamic_config();
+        config.shift_plans = vec!["bogus".into()];
+        assert!(matches!(
+            run_dynamic_sweep(&config),
+            Err(PipelineError::UnknownName {
+                kind: "shift plan",
+                ..
+            })
+        ));
+        for broken in [
+            DynamicSweepConfig {
+                shards: 0,
+                ..small_dynamic_config()
+            },
+            DynamicSweepConfig {
+                sizes: vec![],
+                ..small_dynamic_config()
+            },
+            DynamicSweepConfig {
+                epsilons: vec![],
+                ..small_dynamic_config()
+            },
+        ] {
+            assert!(matches!(
+                run_dynamic_sweep(&broken),
+                Err(PipelineError::InvalidConfig { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn dynamic_sweep_empty_filters_mean_the_full_registry() {
+        let config = DynamicSweepConfig {
+            mechanisms: Vec::new(),
+            matchers: Vec::new(),
+            shift_plans: Vec::new(),
+            sizes: vec![8],
+            ..small_dynamic_config()
+        };
+        let report = run_dynamic_sweep(&config).unwrap();
+        let expected = registry().mechanisms().len()
+            * registry().dynamic_matchers().len()
+            * SHIFT_PLAN_KINDS.len();
+        assert_eq!(report.cells.len(), expected);
+        // Only blind x location-aware cells fail.
+        assert_eq!(
+            report.failed().count(),
+            (registry().dynamic_matchers().len() - 1) * SHIFT_PLAN_KINDS.len()
+        );
+        for cell in report.failed() {
+            assert_eq!(cell.mechanism, "blind");
+            assert_ne!(cell.matcher, "random");
+        }
+    }
+
+    #[test]
+    fn shift_plan_kinds_generate_and_unknown_kinds_error() {
+        for kind in SHIFT_PLAN_KINDS {
+            let plan = dynamic_shift_plan(kind, 40, 3).unwrap();
+            assert_eq!(plan.shifts.len(), 40, "{kind}");
+            for s in &plan.shifts {
+                assert!(s.start < s.end, "{kind}");
+            }
+        }
+        assert!(dynamic_shift_plan("weekend", 4, 0).is_err());
+        let times = dynamic_task_times(5, 64);
+        assert_eq!(times.len(), 64);
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "times are sorted");
+        assert!(times
+            .iter()
+            .all(|&t| (0.0..DYNAMIC_SWEEP_HORIZON).contains(&t)));
+        assert_eq!(times, dynamic_task_times(5, 64), "deterministic in seed");
+        assert_ne!(times, dynamic_task_times(6, 64), "seed matters");
     }
 }

@@ -1,16 +1,27 @@
-//! Dynamic-pool HST-greedy: workers that come and go.
+//! Dynamic-pool matchers: workers that come and go.
 //!
 //! The paper's interaction model registers the full worker set upfront; a
-//! deployed platform sees drivers start and end shifts continuously. This
-//! matcher maintains the same `O(c·D)` nearest-free-worker index as
-//! [`crate::HstGreedy`]'s indexed engine but over a *mutable* pool:
-//! workers can be added (shift start, with their obfuscated leaf) and
-//! withdrawn (shift end, if not yet assigned) at any point between task
-//! arrivals. The ultrametric walk is oblivious to how the pool got its
-//! contents, so per-assignment behaviour — nearest available worker on the
-//! tree, canonical tie-break — is unchanged.
+//! deployed platform sees drivers start and end shifts continuously. The
+//! matchers in this module maintain a *mutable* pool: workers can be added
+//! (shift start, with their obfuscated report) and withdrawn (shift end, if
+//! not yet assigned) at any point between task arrivals.
+//!
+//! Three pool families cover the main design axes:
+//!
+//! * [`DynamicHstGreedy`] — the same `O(c·D)` nearest-free-worker index as
+//!   [`crate::HstGreedy`]'s indexed engine, over tree-leaf reports. The
+//!   ultrametric walk is oblivious to how the pool got its contents, so
+//!   per-assignment behaviour — nearest available worker on the tree,
+//!   canonical tie-break — is unchanged from the static matcher.
+//! * [`DynamicKdRebuild`] — Euclidean nearest over planar reports via a
+//!   k-d tree that is rebuilt lazily after pool mutations (assignments use
+//!   the tree's logical deletion, so only shift churn pays the rebuild).
+//! * [`DynamicRandomPool`] — uniform draw from the live pool, blind to all
+//!   location information: the sanity floor under fleet churn.
 
+use pombm_geom::Point;
 use pombm_hst::{CodeContext, LeafCode, SubtreeCounter};
+use rand::Rng;
 use std::collections::HashMap;
 
 /// Online greedy matcher over a mutable worker pool (see module docs).
@@ -101,6 +112,164 @@ impl DynamicHstGreedy {
         if stack.is_empty() {
             self.residents.remove(&leaf);
         }
+    }
+}
+
+/// Euclidean nearest-available matcher over a mutable pool of planar
+/// reports, backed by a [`crate::kdtree::KdTree`] that is rebuilt lazily
+/// after pool *mutations* (adds and withdrawals). Assignments themselves use
+/// the tree's logical deletion, so a burst of task arrivals between two
+/// shift events pays one rebuild, not one per task.
+///
+/// Tie-breaking is canonical — (distance, lowest id) — independent of
+/// insertion order, mirroring [`DynamicHstGreedy`].
+#[derive(Debug, Clone, Default)]
+pub struct DynamicKdRebuild {
+    /// Present, unassigned workers, sorted ascending by id (so k-d tree
+    /// index ties resolve to the lowest id).
+    live: Vec<(u64, Point)>,
+    /// Tree over the `live` snapshot at the last rebuild; entry `i` of the
+    /// snapshot is worker `snapshot[i]`.
+    tree: Option<crate::kdtree::KdTree>,
+    snapshot: Vec<u64>,
+    /// Set when `live` changed since the last rebuild.
+    dirty: bool,
+}
+
+impl DynamicKdRebuild {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of present, unassigned workers.
+    #[inline]
+    pub fn available(&self) -> usize {
+        self.live.len()
+    }
+
+    /// True iff worker `id` is present and unassigned.
+    #[inline]
+    pub fn contains(&self, id: u64) -> bool {
+        self.live.binary_search_by_key(&id, |&(w, _)| w).is_ok()
+    }
+
+    /// Adds a worker with its reported (obfuscated) planar location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is already present — ids must be unique among live
+    /// workers (a departed or assigned id may be reused).
+    pub fn add(&mut self, id: u64, location: Point) {
+        match self.live.binary_search_by_key(&id, |&(w, _)| w) {
+            Ok(_) => panic!("worker id {id} already present"),
+            Err(pos) => self.live.insert(pos, (id, location)),
+        }
+        self.dirty = true;
+    }
+
+    /// Withdraws an unassigned worker (shift end). Returns `false` if the
+    /// worker is not present (already assigned or never added).
+    pub fn withdraw(&mut self, id: u64) -> bool {
+        match self.live.binary_search_by_key(&id, |&(w, _)| w) {
+            Ok(pos) => {
+                self.live.remove(pos);
+                self.dirty = true;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Assigns the Euclidean-nearest available worker to the task location
+    /// `t` and removes it from the pool. Returns `None` when the pool is
+    /// empty.
+    pub fn assign(&mut self, t: &Point) -> Option<u64> {
+        if self.live.is_empty() {
+            return None;
+        }
+        if self.dirty || self.tree.is_none() {
+            self.snapshot = self.live.iter().map(|&(w, _)| w).collect();
+            self.tree = Some(crate::kdtree::KdTree::build(
+                self.live.iter().map(|&(_, p)| p).collect(),
+            ));
+            self.dirty = false;
+        }
+        let idx = self.tree.as_mut().expect("just built").take_nearest(t)?;
+        let id = self.snapshot[idx];
+        let pos = self
+            .live
+            .binary_search_by_key(&id, |&(w, _)| w)
+            .expect("assigned worker is live");
+        self.live.remove(pos);
+        // The tree's logical deletion keeps it consistent with `live`
+        // without a rebuild; only shift churn sets `dirty`.
+        Some(id)
+    }
+}
+
+/// Location-blind uniform assignment over a mutable pool: the dynamic
+/// counterpart of [`crate::RandomAssign`].
+#[derive(Debug, Clone, Default)]
+pub struct DynamicRandomPool {
+    /// Present, unassigned worker ids; order is an implementation detail
+    /// (draws are uniform regardless).
+    live: Vec<u64>,
+    /// Position of each live id in `live`, for O(1) withdrawal.
+    pos_of: HashMap<u64, usize>,
+}
+
+impl DynamicRandomPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of present, unassigned workers.
+    #[inline]
+    pub fn available(&self) -> usize {
+        self.live.len()
+    }
+
+    /// True iff worker `id` is present and unassigned.
+    #[inline]
+    pub fn contains(&self, id: u64) -> bool {
+        self.pos_of.contains_key(&id)
+    }
+
+    /// Adds a worker (its location report is irrelevant to this matcher).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is already present.
+    pub fn add(&mut self, id: u64) {
+        let prev = self.pos_of.insert(id, self.live.len());
+        assert!(prev.is_none(), "worker id {id} already present");
+        self.live.push(id);
+    }
+
+    /// Withdraws an unassigned worker. Returns `false` if not present.
+    pub fn withdraw(&mut self, id: u64) -> bool {
+        let Some(pos) = self.pos_of.remove(&id) else {
+            return false;
+        };
+        self.live.swap_remove(pos);
+        if let Some(&moved) = self.live.get(pos) {
+            self.pos_of.insert(moved, pos);
+        }
+        true
+    }
+
+    /// Assigns a uniformly random available worker; `None` when the pool is
+    /// empty.
+    pub fn assign<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<u64> {
+        if self.live.is_empty() {
+            return None;
+        }
+        let id = self.live[rng.gen_range(0..self.live.len())];
+        let removed = self.withdraw(id);
+        debug_assert!(removed);
+        Some(id)
     }
 }
 
@@ -204,5 +373,133 @@ mod tests {
         m.add(9, LeafCode(6));
         m.add(3, LeafCode(6));
         assert_eq!(m.assign(LeafCode(6)), Some(3));
+    }
+
+    // --- DynamicKdRebuild ---------------------------------------------
+
+    #[test]
+    fn kd_rebuild_roundtrip_and_withdraw() {
+        let mut m = DynamicKdRebuild::new();
+        assert_eq!(m.assign(&Point::new(0.0, 0.0)), None, "empty pool");
+        m.add(7, Point::new(1.0, 0.0));
+        m.add(9, Point::new(10.0, 0.0));
+        assert_eq!(m.available(), 2);
+        assert!(m.contains(7) && m.contains(9));
+        assert_eq!(m.assign(&Point::new(0.0, 0.0)), Some(7), "nearest wins");
+        assert!(!m.contains(7), "assigned worker left the pool");
+        assert!(m.withdraw(9));
+        assert!(!m.withdraw(9), "second withdraw is a no-op");
+        assert_eq!(m.assign(&Point::new(0.0, 0.0)), None);
+    }
+
+    #[test]
+    fn kd_rebuild_ties_resolve_to_lowest_id_any_insertion_order() {
+        let p = Point::new(5.0, 5.0);
+        let mut m = DynamicKdRebuild::new();
+        m.add(9, p);
+        m.add(3, p);
+        m.add(6, p);
+        assert_eq!(m.assign(&p), Some(3));
+        assert_eq!(m.assign(&p), Some(6));
+        assert_eq!(m.assign(&p), Some(9));
+    }
+
+    #[test]
+    fn kd_rebuild_interleaved_mutations_match_brute_force() {
+        // Random add/withdraw/assign churn against a linear-scan oracle.
+        let mut rng = seeded_rng(8, 0);
+        let mut m = DynamicKdRebuild::new();
+        let mut oracle: Vec<(u64, Point)> = Vec::new();
+        let mut next_id = 0u64;
+        for _ in 0..400 {
+            match rng.gen_range(0..3u32) {
+                0 => {
+                    let p = Point::new(rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0);
+                    m.add(next_id, p);
+                    oracle.push((next_id, p));
+                    next_id += 1;
+                }
+                1 => {
+                    if !oracle.is_empty() {
+                        let victim = oracle[rng.gen_range(0..oracle.len())].0;
+                        assert!(m.withdraw(victim));
+                        oracle.retain(|&(w, _)| w != victim);
+                    }
+                }
+                _ => {
+                    let t = Point::new(rng.gen::<f64>() * 100.0, rng.gen::<f64>() * 100.0);
+                    let want = oracle
+                        .iter()
+                        .min_by(|a, b| {
+                            (a.1.dist_sq(&t), a.0)
+                                .partial_cmp(&(b.1.dist_sq(&t), b.0))
+                                .unwrap()
+                        })
+                        .map(|&(w, _)| w);
+                    assert_eq!(m.assign(&t), want);
+                    if let Some(w) = want {
+                        oracle.retain(|&(o, _)| o != w);
+                    }
+                }
+            }
+            assert_eq!(m.available(), oracle.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already present")]
+    fn kd_rebuild_duplicate_live_id_panics() {
+        let mut m = DynamicKdRebuild::new();
+        m.add(1, Point::new(0.0, 0.0));
+        m.add(1, Point::new(1.0, 1.0));
+    }
+
+    // --- DynamicRandomPool --------------------------------------------
+
+    #[test]
+    fn random_pool_assigns_each_live_worker_once() {
+        let mut m = DynamicRandomPool::new();
+        for id in 0..25 {
+            m.add(id);
+        }
+        assert!(m.withdraw(13));
+        let mut rng = seeded_rng(0, 0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..24 {
+            let w = m.assign(&mut rng).unwrap();
+            assert!(seen.insert(w));
+            assert_ne!(w, 13, "withdrawn worker must never be assigned");
+        }
+        assert_eq!(m.assign(&mut rng), None);
+        assert_eq!(m.available(), 0);
+    }
+
+    #[test]
+    fn random_pool_first_pick_is_roughly_uniform() {
+        let trials = 6000;
+        let mut counts = [0usize; 4];
+        for seed in 0..trials {
+            let mut m = DynamicRandomPool::new();
+            for id in 0..4 {
+                m.add(id);
+            }
+            let mut rng = seeded_rng(seed, 1);
+            counts[m.assign(&mut rng).unwrap() as usize] += 1;
+        }
+        for (w, &c) in counts.iter().enumerate() {
+            let frac = c as f64 / trials as f64;
+            assert!(
+                (frac - 0.25).abs() < 0.03,
+                "worker {w} picked {frac}, expected ~0.25"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already present")]
+    fn random_pool_duplicate_live_id_panics() {
+        let mut m = DynamicRandomPool::new();
+        m.add(1);
+        m.add(1);
     }
 }

@@ -65,7 +65,7 @@ pub mod reachable;
 
 pub use capacity::CapacitatedGreedy;
 pub use chain::{ChainMatcher, ChainOutcome};
-pub use dynamic::DynamicHstGreedy;
+pub use dynamic::{DynamicHstGreedy, DynamicKdRebuild, DynamicRandomPool};
 pub use euclidean::EuclideanGreedy;
 pub use hst_greedy::{HstGreedy, HstGreedyEngine};
 pub use random_assign::RandomAssign;

@@ -1,0 +1,302 @@
+//! Correctness harness for the registry-driven dynamic-fleet pipeline:
+//!
+//! 1. a golden test pinning that `run_dynamic_spec` with the `hst-greedy`
+//!    dynamic matcher reproduces the pre-registry hardwired driver
+//!    seed-for-seed (fingerprints recorded from the last hardwired build,
+//!    same seeds — the same pattern as `tests/registry.rs`);
+//! 2. proptest invariants — no registered dynamic matcher ever assigns a
+//!    worker outside its shift window or the same worker twice, and the
+//!    dynamic sweep is bit-identical across shard counts `{1, 2, 7}`;
+//! 3. golden tests pinning the `DynamicSweepReport` / `DynamicSweepCell` /
+//!    `DynamicMeasurement` JSON field names, so the CLI's `--json`
+//!    contract cannot drift silently.
+
+use pombm::sweep::{run_dynamic_sweep, DynamicSweepConfig};
+use pombm::{registry, run_dynamic_spec, run_dynamic_with, ArrivalProcess, DynamicConfig};
+use pombm_geom::seeded_rng;
+use pombm_workload::shifts::ShiftPlan;
+use pombm_workload::{synthetic, Instance, SyntheticParams};
+use proptest::prelude::*;
+
+fn instance(tasks: usize, workers: usize, seed: u64) -> Instance {
+    let params = SyntheticParams {
+        num_tasks: tasks,
+        num_workers: workers,
+        ..SyntheticParams::default()
+    };
+    synthetic::generate(&params, &mut seeded_rng(seed, 0))
+}
+
+fn fnv(pairs: &[(usize, usize)]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &(t, w) in pairs {
+        for v in [t as u64, w as u64] {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+    }
+    h
+}
+
+/// The golden scenario: 80 tasks over a 500 s window, 60 workers on
+/// uniform 50–200 s shifts, `grid_side` 16, ε 0.6.
+fn golden_scenario(seed: u64) -> (Instance, Vec<f64>, ShiftPlan, DynamicConfig) {
+    let inst = instance(80, 60, seed);
+    let times =
+        ArrivalProcess::Uniform { window_secs: 500.0 }.timestamps(80, &mut seeded_rng(seed, 99));
+    let plan = ShiftPlan::uniform(60, 500.0, 50.0, 200.0, &mut seeded_rng(seed, 7));
+    let config = DynamicConfig {
+        epsilon: 0.6,
+        grid_side: 16,
+        seed,
+    };
+    (inst, times, plan, config)
+}
+
+/// Fingerprints recorded from the pre-registry dynamic driver (stage 2
+/// hardwired to `DynamicHstGreedy`): `(mechanism, seed)` →
+/// `(pair fnv, assigned, dropped, peak_available)` on [`golden_scenario`].
+const GOLDEN: [(&str, u64, u64, usize, usize, usize); 12] = [
+    ("hst", 0, 0xF3BB46DB5826EF15, 59, 21, 6),
+    ("hst", 11, 0x932CA01B98DCC727, 60, 20, 5),
+    ("hst", 42, 0x930820F94B2B5FC9, 58, 22, 7),
+    ("laplace", 0, 0x3D39867EB0D53ED5, 59, 21, 6),
+    ("laplace", 11, 0x83C0740143CF70A7, 60, 20, 5),
+    ("laplace", 42, 0x6ACF06B3D23A19F1, 59, 21, 8),
+    ("exp", 0, 0x7E4160A6F0C94495, 59, 21, 6),
+    ("exp", 11, 0x90E7F6E9C38AF627, 60, 20, 5),
+    ("exp", 42, 0x689F5BFC3F671A49, 58, 22, 7),
+    ("identity", 0, 0xF3BB46DB5826EF15, 59, 21, 6),
+    ("identity", 11, 0x932CA01B98DCC727, 60, 20, 5),
+    ("identity", 42, 0x930820F94B2B5FC9, 58, 22, 7),
+];
+
+#[test]
+fn hst_greedy_through_the_spec_driver_matches_the_hardwired_driver_exactly() {
+    let matcher = registry()
+        .dynamic_matcher("hst-greedy")
+        .expect("registered");
+    for (mech_name, seed, want_fnv, want_assigned, want_dropped, want_peak) in GOLDEN {
+        let mechanism = registry().mechanism(mech_name).expect("registered");
+        let (inst, times, plan, config) = golden_scenario(seed);
+        // The legacy entry point (now a thin delegation)...
+        let legacy = run_dynamic_with(&inst, &times, &plan, &config, mechanism.as_ref())
+            .unwrap_or_else(|e| panic!("{mech_name}/{seed}: {e}"));
+        // ...and the explicit spec-driver path.
+        let spec = run_dynamic_spec(
+            &inst,
+            &times,
+            &plan,
+            &config,
+            mechanism.as_ref(),
+            matcher.as_ref(),
+        )
+        .unwrap_or_else(|e| panic!("{mech_name}/{seed}: {e}"));
+        assert_eq!(
+            legacy.pairs, spec.pairs,
+            "{mech_name}/{seed}: legacy and spec paths diverged"
+        );
+        assert_eq!(
+            legacy.total_distance, spec.total_distance,
+            "{mech_name}/{seed}"
+        );
+        assert_eq!(
+            fnv(&spec.pairs),
+            want_fnv,
+            "{mech_name}/{seed}: drifted from the pre-registry hardwired driver"
+        );
+        assert_eq!(spec.pairs.len(), want_assigned, "{mech_name}/{seed}");
+        assert_eq!(spec.dropped_tasks, want_dropped, "{mech_name}/{seed}");
+        assert_eq!(spec.peak_available, want_peak, "{mech_name}/{seed}");
+    }
+}
+
+proptest! {
+    /// No registered dynamic matcher ever assigns a withdrawn (off-shift)
+    /// worker: every assigned pair's worker was on shift at the task's
+    /// arrival time, no worker serves twice, and reruns reproduce the
+    /// outcome bit-for-bit.
+    #[test]
+    fn no_dynamic_matcher_assigns_a_withdrawn_worker(
+        seed in 0u64..5_000,
+        tasks in 10usize..60,
+        workers in 5usize..40,
+    ) {
+        let inst = instance(tasks, workers, seed);
+        let times = ArrivalProcess::Uniform { window_secs: 300.0 }
+            .timestamps(tasks, &mut seeded_rng(seed, 99));
+        let plan = ShiftPlan::uniform(workers, 300.0, 20.0, 120.0, &mut seeded_rng(seed, 7));
+        let config = DynamicConfig { epsilon: 0.6, grid_side: 16, seed };
+        let mechanism = registry().mechanism("identity").unwrap();
+        for matcher in registry().dynamic_matchers() {
+            let out = run_dynamic_spec(
+                &inst, &times, &plan, &config, mechanism.as_ref(), matcher.as_ref(),
+            ).map_err(|e| TestCaseError::fail(format!("{}: {e}", matcher.name())))?;
+            prop_assert_eq!(out.pairs.len() + out.dropped_tasks, tasks, "{}", matcher.name());
+            let mut seen = std::collections::HashSet::new();
+            for &(t, w) in &out.pairs {
+                prop_assert!(seen.insert(w), "{}: worker {} served twice", matcher.name(), w);
+                let shift = &plan.shifts[w];
+                prop_assert!(
+                    shift.covers(times[t]),
+                    "{}: worker {} assigned at {} outside shift [{}, {})",
+                    matcher.name(), w, times[t], shift.start, shift.end
+                );
+            }
+            let again = run_dynamic_spec(
+                &inst, &times, &plan, &config, mechanism.as_ref(), matcher.as_ref(),
+            ).map_err(|e| TestCaseError::fail(e.to_string()))?;
+            prop_assert_eq!(&out.pairs, &again.pairs,
+                "{} is not reproducible", matcher.name());
+        }
+    }
+
+    /// Dynamic sweep output is a pure function of the seed: shard counts
+    /// 1, 2 and 7 serialize to byte-identical JSON (assignment rates and
+    /// all other cell fields included).
+    #[test]
+    fn dynamic_sweep_is_bit_identical_across_shard_counts(seed in 0u64..10_000) {
+        let config = |shards: usize| DynamicSweepConfig {
+            mechanisms: vec!["identity".into(), "hst".into()],
+            matchers: vec!["hst-greedy".into(), "random".into()],
+            shift_plans: vec!["always-on".into(), "short".into()],
+            sizes: vec![10, 14],
+            epsilons: vec![0.5],
+            shards,
+            grid_side: 16,
+            seed,
+        };
+        let baseline = serde_json::to_string(&run_dynamic_sweep(&config(1)).unwrap()).unwrap();
+        for shards in [2usize, 7] {
+            let sharded =
+                serde_json::to_string(&run_dynamic_sweep(&config(shards)).unwrap()).unwrap();
+            prop_assert_eq!(&baseline, &sharded, "shards = {} changed the sweep", shards);
+        }
+    }
+}
+
+/// The full `mechanism × dynamic-matcher × plan` registry product
+/// completes at one size/ε: every measurable cell accounts for all tasks,
+/// and exactly the blind × location-aware cells carry typed errors.
+#[test]
+fn full_dynamic_registry_product_sweep_completes() {
+    let config = DynamicSweepConfig {
+        mechanisms: Vec::new(),  // all 5
+        matchers: Vec::new(),    // all 3
+        shift_plans: Vec::new(), // all 3
+        sizes: vec![12],
+        epsilons: vec![0.6],
+        shards: 4,
+        grid_side: 16,
+        seed: 33,
+    };
+    let report = run_dynamic_sweep(&config).unwrap();
+    let mechanisms = registry().mechanisms().len();
+    let matchers = registry().dynamic_matchers().len();
+    assert_eq!(report.cells.len(), mechanisms * matchers * 3);
+
+    for cell in &report.cells {
+        match (&cell.measurement, &cell.error) {
+            (Some(m), None) => {
+                assert_eq!(
+                    m.assigned + m.dropped,
+                    12,
+                    "{}+{}+{}: tasks unaccounted",
+                    cell.mechanism,
+                    cell.matcher,
+                    cell.plan
+                );
+                if cell.plan == "always-on" {
+                    assert_eq!(
+                        m.assignment_rate, 1.0,
+                        "{}+{}",
+                        cell.mechanism, cell.matcher
+                    );
+                }
+            }
+            (None, Some(e)) => {
+                assert_eq!(
+                    cell.mechanism, "blind",
+                    "unexpected failure {}+{}: {e}",
+                    cell.mechanism, cell.matcher
+                );
+                assert_ne!(cell.matcher, "random", "blind+random is measurable: {e}");
+            }
+            other => panic!(
+                "{}+{}: cell must hold exactly one of measurement/error, got {other:?}",
+                cell.mechanism, cell.matcher
+            ),
+        }
+    }
+    let unmeasurable = (matchers - 1) * 3; // blind × location-aware × plans
+    assert_eq!(report.failed().count(), unmeasurable);
+    assert_eq!(
+        report.measured().count(),
+        mechanisms * matchers * 3 - unmeasurable
+    );
+}
+
+/// The `DynamicSweepReport` / `DynamicSweepCell` / `DynamicMeasurement`
+/// JSON field names are a public contract (CLI `--json`, the CI golden
+/// diff): pin them exactly, in declaration order.
+#[test]
+fn dynamic_sweep_json_fields_are_pinned() {
+    let config = DynamicSweepConfig {
+        mechanisms: vec!["identity".into()],
+        matchers: vec!["hst-greedy".into()],
+        shift_plans: vec!["always-on".into()],
+        sizes: vec![8],
+        epsilons: vec![0.6],
+        shards: 1,
+        grid_side: 16,
+        seed: 1,
+    };
+    let value = serde_json::to_value(&run_dynamic_sweep(&config).unwrap()).unwrap();
+    let keys: Vec<&str> = value
+        .as_object()
+        .expect("a report serializes as an object")
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .collect();
+    assert_eq!(keys, ["seed", "horizon", "cells"]);
+    let cell = &value["cells"].as_array().unwrap()[0];
+    let cell_keys: Vec<&str> = cell
+        .as_object()
+        .unwrap()
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .collect();
+    assert_eq!(
+        cell_keys,
+        [
+            "mechanism",
+            "matcher",
+            "plan",
+            "num_tasks",
+            "num_workers",
+            "epsilon",
+            "measurement",
+            "error",
+        ],
+        "DynamicSweepCell JSON contract drifted"
+    );
+    let m_keys: Vec<&str> = cell["measurement"]
+        .as_object()
+        .expect("always-on cell is measurable")
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .collect();
+    assert_eq!(
+        m_keys,
+        [
+            "assigned",
+            "dropped",
+            "assignment_rate",
+            "total_distance",
+            "peak_available",
+        ],
+        "DynamicMeasurement JSON contract drifted"
+    );
+}
