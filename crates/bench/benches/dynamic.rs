@@ -59,6 +59,7 @@ fn bench_dynamic_sweep_sharding(c: &mut Criterion) {
         sizes: vec![96],
         epsilons: vec![0.6],
         shards,
+        timings: false,
         grid_side: 16,
         seed: 0,
     };

@@ -59,8 +59,9 @@ fn bench_obfuscation(c: &mut Criterion) {
     group.finish();
 }
 
-/// Batch obfuscation: sequential vs crossbeam-sharded parallel (the worker
-/// registration phase of the scalability experiments).
+/// Batch obfuscation: the scalar loop vs the snapshot batch (the worker
+/// registration phase of the scalability experiments). Both paths produce
+/// bit-identical outputs; only wall-clock differs.
 fn bench_batch(c: &mut Criterion) {
     use pombm_privacy::batch;
     let mut group = c.benchmark_group("batch_obfuscation");
@@ -72,18 +73,45 @@ fn bench_batch(c: &mut Criterion) {
     let exact: Vec<_> = (0..50_000)
         .map(|i| hst.leaf_of(i % hst.num_points()))
         .collect();
-    group.bench_function("sequential_50k", |b| {
+    group.bench_function("leaves_scalar_50k", |b| {
         b.iter(|| {
-            black_box(batch::obfuscate_leaves_sequential(
-                &mech, &hst, &exact, 1, 1,
+            let mut rng = seeded_rng(7, 0);
+            black_box(batch::obfuscate_leaves_scalar(
+                &mech, &hst, &exact, &mut rng,
             ))
         })
     });
-    let shards = batch::default_shards(exact.len());
-    group.bench_function(format!("parallel_50k_x{shards}"), |b| {
+    let threads = batch::default_threads(exact.len());
+    group.bench_function(format!("leaves_snapshot_50k_x{threads}"), |b| {
         b.iter(|| {
-            black_box(batch::obfuscate_leaves_parallel(
-                &mech, &hst, &exact, 1, shards,
+            let mut rng = seeded_rng(7, 0);
+            black_box(batch::obfuscate_leaves_batch(
+                &mech, &hst, &exact, &mut rng, threads,
+            ))
+        })
+    });
+
+    // The planar Laplace batch has the cheapest advance pass (two raw
+    // draws) and the heaviest per-item math, so it scales the furthest.
+    let lap = PlanarLaplace::new(Epsilon::new(0.6));
+    let locations: Vec<Point> = {
+        let mut rng = seeded_rng(8, 0);
+        use rand::Rng;
+        (0..50_000)
+            .map(|_| Point::new(rng.gen::<f64>() * 200.0, rng.gen::<f64>() * 200.0))
+            .collect()
+    };
+    group.bench_function("points_scalar_50k", |b| {
+        b.iter(|| {
+            let mut rng = seeded_rng(9, 0);
+            black_box(batch::obfuscate_points_scalar(&lap, &locations, &mut rng))
+        })
+    });
+    group.bench_function(format!("points_snapshot_50k_x{threads}"), |b| {
+        b.iter(|| {
+            let mut rng = seeded_rng(9, 0);
+            black_box(batch::obfuscate_points_batch(
+                &lap, &locations, &mut rng, threads,
             ))
         })
     });

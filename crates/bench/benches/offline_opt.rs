@@ -1,0 +1,56 @@
+//! The Hungarian OPT hot path: pre-refactor closure-probing solver vs the
+//! blocked engine (dense/Euclid auto-crossover, SIMD fused scan) at one
+//! thread and at auto thread count.
+//!
+//! All three produce bit-identical pairs (pinned by tests); only
+//! wall-clock differs. `BENCH_PR4.json` at the repository root records the
+//! measured speedups; refresh it with the single-shot
+//! `offline_opt_baseline` bin — the `k = 8192` reference row alone runs
+//! for about a minute per iteration, so this criterion bench is a
+//! several-minute affair best run on purpose, never in CI.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pombm::sweep::sweep_instance;
+use pombm_matching::offline::OfflineOptimal;
+use std::hint::black_box;
+
+fn bench_offline_opt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline_opt");
+    group.sample_size(10);
+    for k in [512usize, 2048, 8192] {
+        let instance = sweep_instance(11, k);
+        group.bench_with_input(
+            BenchmarkId::new("reference_closure", k),
+            &instance,
+            |b, inst| {
+                b.iter(|| {
+                    black_box(OfflineOptimal::solve_reference(k, k, |t, w| {
+                        inst.tasks[t].dist(&inst.workers[w])
+                    }))
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("threads_1", k), &instance, |b, inst| {
+            b.iter(|| {
+                black_box(OfflineOptimal::solve_euclidean_with_threads(
+                    &inst.tasks,
+                    &inst.workers,
+                    1,
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("threads_auto", k), &instance, |b, inst| {
+            b.iter(|| {
+                black_box(OfflineOptimal::solve_euclidean_with_threads(
+                    &inst.tasks,
+                    &inst.workers,
+                    0,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_offline_opt);
+criterion_main!(benches);

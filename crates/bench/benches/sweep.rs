@@ -15,6 +15,7 @@ fn base_config(shards: usize) -> SweepConfig {
         epsilons: vec![0.4, 0.8],
         repetitions: 2,
         shards,
+        timings: false,
         base: PipelineConfig {
             grid_side: 16,
             ..PipelineConfig::default()

@@ -1,0 +1,87 @@
+//! Generates the checked-in `BENCH_PR4.json` baseline: single-shot
+//! wall-clock of the Hungarian OPT solver family on the standard sweep
+//! instances, plus the machine shape the numbers were recorded on.
+//!
+//! Unlike `benches/offline_opt.rs` (criterion, several iterations per
+//! configuration) this runs every configuration once — the reference
+//! solver at k = 8192 is expensive enough that a single pass is the
+//! practical way to refresh the baseline:
+//!
+//! ```text
+//! cargo run --release -p pombm_bench --bin offline_opt_baseline > BENCH_PR4.json
+//! ```
+
+use pombm::sweep::sweep_instance;
+use pombm_matching::offline::OfflineOptimal;
+use std::time::Instant;
+
+fn main() {
+    let sizes: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("sizes are integers"))
+        .collect();
+    let sizes = if sizes.is_empty() {
+        vec![512, 2048, 8192]
+    } else {
+        sizes
+    };
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+
+    println!("{{");
+    println!("  \"bench\": \"offline_opt (Hungarian OPT, PR 4 hot-path overhaul)\",");
+    println!("  \"instances\": \"sweep_instance(seed 11, k tasks x k workers)\",");
+    println!(
+        "  \"method\": \"best of 3 per configuration; single passes on shared VMs show \
+         +/-20% run-to-run variance\","
+    );
+    println!(
+        "  \"machine\": {{ \"cores\": {cores}, \"os\": \"{}\", \"arch\": \"{}\" }},",
+        std::env::consts::OS,
+        std::env::consts::ARCH
+    );
+    println!("  \"timings_ms\": [");
+    for (idx, &k) in sizes.iter().enumerate() {
+        let instance = sweep_instance(11, k);
+        let cost = |t: usize, w: usize| instance.tasks[t].dist(&instance.workers[w]);
+        let best_of = |passes: usize, solve: &dyn Fn() -> pombm_matching::Matching| {
+            let mut best_ms = f64::INFINITY;
+            let mut result = None;
+            for _ in 0..passes {
+                let start = Instant::now();
+                let m = solve();
+                best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+                result = Some(m);
+            }
+            (result.expect("at least one pass"), best_ms)
+        };
+
+        // Three passes for every configuration: single passes on a shared
+        // VM swing by +/-20%, which would swamp the speedup being
+        // recorded. At k = 8192 the reference costs about a minute per
+        // pass, so a full refresh is a coffee-length affair.
+        let (reference, reference_ms) = best_of(3, &|| OfflineOptimal::solve_reference(k, k, cost));
+
+        // The Euclidean entry point is what the ratio/sweep hot path uses.
+        let (dense, dense_ms) = best_of(3, &|| {
+            OfflineOptimal::solve_euclidean_with_threads(&instance.tasks, &instance.workers, 1)
+        });
+        let (auto, auto_ms) = best_of(3, &|| {
+            OfflineOptimal::solve_euclidean_with_threads(&instance.tasks, &instance.workers, 0)
+        });
+
+        assert_eq!(reference.pairs, dense.pairs, "k = {k}: dense drifted");
+        assert_eq!(reference.pairs, auto.pairs, "k = {k}: parallel drifted");
+
+        let comma = if idx + 1 == sizes.len() { "" } else { "," };
+        println!(
+            "    {{ \"k\": {k}, \"reference_closure\": {reference_ms:.1}, \
+             \"hungarian_threads_1\": {dense_ms:.1}, \"hungarian_threads_auto\": {auto_ms:.1}, \
+             \"speedup_auto_vs_reference\": {:.2} }}{comma}",
+            reference_ms / auto_ms
+        );
+    }
+    println!("  ]");
+    println!("}}");
+}

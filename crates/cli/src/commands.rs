@@ -29,7 +29,11 @@ COMMANDS:
               [--real [--day N]] --out FILE
   run         run one algorithm on an instance JSON and print metrics
               --input FILE (--algo NAME | --mechanism M --matcher S)
-              [--epsilon F] [--grid-side N] [--capacity N] [--seed N] [--json]
+              [--epsilon F] [--grid-side N] [--capacity N] [--seed N]
+              [--threads N] [--json]
+              --threads parallelizes batched obfuscation and the Hungarian
+              offline-opt matcher (0 = auto); results are bit-identical
+              for every thread count
               `pombm algorithms` lists every name; --algo accepts registered
               pairings (tbf, lap-gr, exp-chain, ...) while --mechanism and
               --matcher compose any mechanism x matcher product freely
@@ -51,8 +55,12 @@ COMMANDS:
   sweep       registry-wide empirical competitive-ratio sweep against the
               exact offline optimum, sharded across cores
               [--mechanisms A,B,..] [--matchers X,Y,..] [--sizes N,N,..]
-              [--epsilons F,F,..] [--reps N] [--shards N] [--grid-side N]
-              [--seed N] [--json]
+              [--epsilons F,F,..] [--reps N] [--shards N] [--threads N]
+              [--timings] [--grid-side N] [--seed N] [--json]
+              --threads parallelizes inside a cell (0 = auto), --shards
+              across cells; output is byte-identical for every combination
+              --timings adds per-cell wall_ms columns (excluded from the
+              deterministic JSON contract)
               omitting --mechanisms/--matchers sweeps the full registry
               product; `identity x offline-opt` always reports ratio 1.0
               with --dynamic: sweep the dynamic-fleet product instead
@@ -161,6 +169,7 @@ pub fn run_cmd(args: &Args) -> Result<String, String> {
         "grid-side",
         "capacity",
         "seed",
+        "threads",
         "json",
         "scan",
         "list-algorithms",
@@ -182,6 +191,7 @@ pub fn run_cmd(args: &Args) -> Result<String, String> {
         euclid_cells: 32,
         capacity: args.get_or("capacity", 1)?,
         seed: args.get_or("seed", 0)?,
+        threads: args.get_or("threads", 1)?,
     };
     let result = run_spec(&spec, &instance, &config, 0).map_err(|e| e.to_string())?;
     let m = &result.metrics;
@@ -443,6 +453,8 @@ pub fn sweep(args: &Args) -> Result<String, String> {
         "epsilons",
         "reps",
         "shards",
+        "threads",
+        "timings",
         "grid-side",
         "seed",
         "json",
@@ -455,8 +467,15 @@ pub fn sweep(args: &Args) -> Result<String, String> {
             .unwrap_or(1),
         n => n,
     };
+    let timings = args.switch("timings");
     if args.switch("dynamic") {
-        return dynamic_sweep(args, shards);
+        if args.switch("threads") {
+            return Err("--threads only applies to the static sweep: dynamic cells \
+                        replay an event-sequential timeline whose RNG schedule is \
+                        pinned by golden fingerprints"
+                .to_string());
+        }
+        return dynamic_sweep(args, shards, timings);
     }
     if args.switch("shift-plans") {
         return Err("--shift-plans only applies to `sweep --dynamic`".to_string());
@@ -469,9 +488,14 @@ pub fn sweep(args: &Args) -> Result<String, String> {
         epsilons: parse_number_list(args, "epsilons", defaults.epsilons)?,
         repetitions: args.get_or("reps", defaults.repetitions)?,
         shards,
+        timings,
         base: PipelineConfig {
             grid_side: args.get_or("grid-side", 32)?,
             seed: args.get_or("seed", 0)?,
+            // In-cell parallelism (batched obfuscation + Hungarian OPT);
+            // bit-identical for every value, so the default of 1 leaves
+            // the cores to the shard fan-out.
+            threads: args.get_or("threads", 1)?,
             ..PipelineConfig::default()
         },
     };
@@ -482,15 +506,27 @@ pub fn sweep(args: &Args) -> Result<String, String> {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<10} {:<12} {:>6} {:>6} {:>9} {:>9} {:>9} {:>12}",
-        "mechanism", "matcher", "tasks", "eps", "ratio", "min", "max", "opt_dist"
+        "{:<10} {:<12} {:>6} {:>6} {:>9} {:>9} {:>9} {:>12}{}",
+        "mechanism",
+        "matcher",
+        "tasks",
+        "eps",
+        "ratio",
+        "min",
+        "max",
+        "opt_dist",
+        if timings { "    wall_ms" } else { "" }
     );
     for cell in &report.cells {
+        let wall = cell
+            .wall_ms
+            .map(|ms| format!(" {ms:>10.2}"))
+            .unwrap_or_default();
         match (&cell.report, &cell.error) {
             (Some(r), _) => {
                 let _ = writeln!(
                     out,
-                    "{:<10} {:<12} {:>6} {:>6.2} {:>9.4} {:>9.4} {:>9.4} {:>12.2}",
+                    "{:<10} {:<12} {:>6} {:>6.2} {:>9.4} {:>9.4} {:>9.4} {:>12.2}{wall}",
                     cell.mechanism,
                     cell.matcher,
                     cell.num_tasks,
@@ -523,7 +559,7 @@ pub fn sweep(args: &Args) -> Result<String, String> {
 }
 
 /// `pombm sweep --dynamic`: the dynamic-fleet sweep product.
-fn dynamic_sweep(args: &Args, shards: usize) -> Result<String, String> {
+fn dynamic_sweep(args: &Args, shards: usize, timings: bool) -> Result<String, String> {
     if args.switch("reps") {
         return Err("--reps does not apply to `sweep --dynamic` \
                     (each cell replays one deterministic timeline)"
@@ -537,6 +573,7 @@ fn dynamic_sweep(args: &Args, shards: usize) -> Result<String, String> {
         sizes: parse_number_list(args, "sizes", defaults.sizes)?,
         epsilons: parse_number_list(args, "epsilons", defaults.epsilons)?,
         shards,
+        timings,
         grid_side: args.get_or("grid-side", 32)?,
         seed: args.get_or("seed", 0)?,
     };
@@ -547,7 +584,7 @@ fn dynamic_sweep(args: &Args, shards: usize) -> Result<String, String> {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<10} {:<11} {:<10} {:>6} {:>5} {:>8} {:>8} {:>8} {:>12} {:>6}",
+        "{:<10} {:<11} {:<10} {:>6} {:>5} {:>8} {:>8} {:>8} {:>12} {:>6}{}",
         "mechanism",
         "matcher",
         "plan",
@@ -557,14 +594,19 @@ fn dynamic_sweep(args: &Args, shards: usize) -> Result<String, String> {
         "assigned",
         "dropped",
         "distance",
-        "peak"
+        "peak",
+        if timings { "    wall_ms" } else { "" }
     );
     for cell in &report.cells {
+        let wall = cell
+            .wall_ms
+            .map(|ms| format!(" {ms:>10.2}"))
+            .unwrap_or_default();
         match (&cell.measurement, &cell.error) {
             (Some(m), _) => {
                 let _ = writeln!(
                     out,
-                    "{:<10} {:<11} {:<10} {:>6} {:>5.2} {:>8.4} {:>8} {:>8} {:>12.2} {:>6}",
+                    "{:<10} {:<11} {:<10} {:>6} {:>5.2} {:>8.4} {:>8} {:>8} {:>12.2} {:>6}{wall}",
                     cell.mechanism,
                     cell.matcher,
                     cell.plan,
@@ -996,5 +1038,65 @@ mod tests {
     fn typo_flags_are_rejected() {
         let err = run_cmd(&args("run --inptu x.json --algo tbf")).unwrap_err();
         assert!(err.contains("--inptu"));
+    }
+
+    #[test]
+    fn threads_never_change_run_or_sweep_output() {
+        // In-cell parallelism (batched obfuscation + Hungarian OPT) is
+        // contractually invisible in the output at any thread count.
+        let path = tmp("threads.json");
+        gen(&args(&format!(
+            "gen --tasks 30 --workers 40 --seed 4 --out {}",
+            path.display()
+        )))
+        .unwrap();
+        let run_flags = |threads: &str| {
+            format!(
+                "run --input {} --algo lap-gr --grid-side 16 --json{threads}",
+                path.display()
+            )
+        };
+        let baseline = run_cmd(&args(&run_flags(""))).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&baseline).unwrap();
+        let distance = v["total_distance"].clone();
+        for threads in ["--threads 2", "--threads 0"] {
+            let out = run_cmd(&args(&run_flags(&format!(" {threads}")))).unwrap();
+            let w: serde_json::Value = serde_json::from_str(&out).unwrap();
+            assert_eq!(w["total_distance"], distance, "{threads}");
+        }
+        let sweep_flags = "sweep --mechanisms identity,hst --matchers offline-opt,greedy \
+                           --sizes 12 --reps 2 --shards 1 --grid-side 16 --seed 5 --json";
+        let one = sweep(&args(&format!("{sweep_flags} --threads 1"))).unwrap();
+        let many = sweep(&args(&format!("{sweep_flags} --threads 3"))).unwrap();
+        assert_eq!(one, many, "--threads changed the sweep output");
+    }
+
+    #[test]
+    fn timings_flag_adds_wall_ms_and_stays_out_of_plain_output() {
+        let flags = "sweep --mechanisms identity --matchers greedy --sizes 10 --reps 1 \
+                     --shards 1 --grid-side 16";
+        let plain = sweep(&args(flags)).unwrap();
+        assert!(!plain.contains("wall_ms"), "{plain}");
+        let timed = sweep(&args(&format!("{flags} --timings"))).unwrap();
+        assert!(timed.contains("wall_ms"), "{timed}");
+        let timed_json = sweep(&args(&format!("{flags} --timings --json"))).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&timed_json).unwrap();
+        let cell = &v["cells"].as_array().unwrap()[0];
+        assert!(cell["wall_ms"].as_f64().is_some_and(|ms| ms >= 0.0));
+        let plain_json = sweep(&args(&format!("{flags} --json"))).unwrap();
+        assert!(!plain_json.contains("wall_ms"), "{plain_json}");
+        // The dynamic flavour carries the same column.
+        let dynamic_timed = sweep(&args(
+            "sweep --dynamic --mechanisms identity --matchers random \
+             --shift-plans always-on --sizes 8 --shards 1 --grid-side 16 --timings",
+        ))
+        .unwrap();
+        assert!(dynamic_timed.contains("wall_ms"), "{dynamic_timed}");
+    }
+
+    #[test]
+    fn dynamic_sweep_rejects_threads() {
+        let err = sweep(&args("sweep --dynamic --threads 2")).unwrap_err();
+        assert!(err.contains("--threads"), "{err}");
     }
 }

@@ -334,6 +334,47 @@ pub trait ReportMechanism: Send + Sync {
         epsilon: Epsilon,
         server: Option<&'a Server>,
     ) -> Result<Box<dyn PointReporter + 'a>, PipelineError>;
+
+    /// Obfuscates a whole batch, continuing `rng` exactly as the scalar
+    /// loop `locations.iter().map(|p| reporter.report(p, rng))` would.
+    ///
+    /// **Contract:** output and final `rng` state are bit-identical to
+    /// that scalar loop for every `threads` value (`0` = auto-size from
+    /// the batch, `1` = scalar) — `threads` trades wall-clock for cores,
+    /// never results. The generic driver ([`crate::run_spec`]) dispatches
+    /// every mechanism through this entry point, which is why golden
+    /// fingerprints recorded against the scalar driver stay valid.
+    ///
+    /// The default implementation is the scalar loop itself (correct for
+    /// any mechanism, including custom ones with cross-report reporter
+    /// state). The planar-Laplace and HST mechanisms override it to
+    /// dispatch into [`pombm_privacy::batch`], whose snapshot pass gives
+    /// each item its own RNG stream so the expensive sampling parallelizes
+    /// without perturbing the shared stream.
+    fn report_batch(
+        &self,
+        epsilon: Epsilon,
+        server: Option<&Server>,
+        locations: &[Point],
+        rng: &mut StdRng,
+        threads: usize,
+    ) -> Result<Vec<Report>, PipelineError> {
+        // The scalar loop is what every thread count must reproduce, so
+        // the default implementation is thread-count independent.
+        let _ = threads;
+        let mut reporter = self.reporter(epsilon, server)?;
+        Ok(locations.iter().map(|p| reporter.report(p, rng)).collect())
+    }
+}
+
+/// Resolves a [`ReportMechanism::report_batch`] thread request: `0` sizes
+/// the pool from the batch (one thread per ~4096 items, capped by cores).
+fn batch_threads(threads: usize, batch_len: usize) -> usize {
+    if threads == 0 {
+        pombm_privacy::batch::default_threads(batch_len)
+    } else {
+        threads
+    }
 }
 
 /// Mutable context handed to [`AssignStrategy::assign`].
@@ -472,6 +513,24 @@ impl ReportMechanism for LaplaceMechanism {
         }
         Ok(Box::new(R(PlanarLaplace::new(epsilon))))
     }
+
+    fn report_batch(
+        &self,
+        epsilon: Epsilon,
+        _server: Option<&Server>,
+        locations: &[Point],
+        rng: &mut StdRng,
+        threads: usize,
+    ) -> Result<Vec<Report>, PipelineError> {
+        let mechanism = PlanarLaplace::new(epsilon);
+        let threads = batch_threads(threads, locations.len());
+        Ok(
+            pombm_privacy::batch::obfuscate_points_batch(&mechanism, locations, rng, threads)
+                .into_iter()
+                .map(Report::Planar)
+                .collect(),
+        )
+    }
 }
 
 /// The paper's mechanism (Alg. 3): snap to the tree, random-walk the leaf.
@@ -510,6 +569,32 @@ impl ReportMechanism for HstWalkMechanism {
             mechanism: HstMechanism::new(server.hst(), epsilon),
             server,
         }))
+    }
+
+    fn report_batch(
+        &self,
+        epsilon: Epsilon,
+        server: Option<&Server>,
+        locations: &[Point],
+        rng: &mut StdRng,
+        threads: usize,
+    ) -> Result<Vec<Report>, PipelineError> {
+        let server = server.ok_or(PipelineError::MissingServer("hst mechanism"))?;
+        let mechanism = HstMechanism::new(server.hst(), epsilon);
+        // Snapping draws no randomness, so it commutes with the walk's
+        // stream; the walks themselves go through the snapshot batch.
+        let exact: Vec<_> = locations.iter().map(|p| server.snap(p)).collect();
+        let threads = batch_threads(threads, locations.len());
+        Ok(pombm_privacy::batch::obfuscate_leaves_batch(
+            &mechanism,
+            server.hst(),
+            &exact,
+            rng,
+            threads,
+        )
+        .into_iter()
+        .map(Report::Leaf)
+        .collect())
     }
 }
 
@@ -898,9 +983,10 @@ impl AssignStrategy for OfflineOptimalStrategy {
         let tasks = reports
             .tasks
             .into_points(ctx.server, "offline-opt matcher")?;
-        let mut matching = OfflineOptimal::solve(tasks.len(), workers.len(), |t, w| {
-            tasks[t].dist(&workers[w])
-        });
+        // Bit-identical for every thread count (see `pombm_matching::offline`),
+        // so `config.threads` only trades wall-clock for cores.
+        let mut matching =
+            OfflineOptimal::solve_euclidean_with_threads(&tasks, &workers, ctx.config.threads);
         // Canonical worker-index order: worker indices never change when the
         // task arrival order is reshuffled, so the float summation order of
         // `total_distance` — and hence the identity × offline-opt ratio of

@@ -16,6 +16,16 @@
 //! (arrivals before departures before tasks at equal timestamps, then by
 //! id) so runs are reproducible.
 //!
+//! Unlike the static driver, the dynamic driver does **not** use the
+//! batched obfuscation path
+//! ([`ReportMechanism::report_batch`](crate::algorithm::ReportMechanism::report_batch)):
+//! reports are interleaved with pool mutations on one event-ordered RNG
+//! stream, and that schedule is frozen by the golden fingerprints in
+//! `tests/dynamic.rs` — batching across events would reorder draws and
+//! change every pinned outcome. Dynamic cells therefore stay
+//! event-sequential by contract; dynamic *sweeps* parallelize across
+//! cells (`--shards`) instead.
+//!
 //! Like the static pipeline, the dynamic pipeline is a free
 //! `mechanism × matcher` product: [`run_dynamic_spec`] drives any
 //! registered (or custom) [`ReportMechanism`] against any registered (or

@@ -126,6 +126,12 @@ pub struct PipelineConfig {
     /// Base seed; mechanisms, tree construction and arrival shuffling derive
     /// independent streams from it.
     pub seed: u64,
+    /// Worker threads for the in-run hot paths — batched obfuscation
+    /// ([`crate::algorithm::ReportMechanism::report_batch`]) and the
+    /// Hungarian `offline-opt` matcher. `0` = auto-size (one per core /
+    /// batch-proportional), `1` = sequential. Results are bit-identical
+    /// for every value: threads trade wall-clock for cores, never output.
+    pub threads: usize,
 }
 
 impl Default for PipelineConfig {
@@ -137,6 +143,7 @@ impl Default for PipelineConfig {
             euclid_cells: 0,
             capacity: 1,
             seed: 0,
+            threads: 1,
         }
     }
 }
@@ -226,20 +233,20 @@ pub fn run_spec_with_server(
 
     // Stage 1: obfuscation. Workers report first (step 2 of the paper's
     // workflow), then tasks in arrival order (step 3), all on one RNG
-    // stream so runs are reproducible per (seed, repetition).
+    // stream so runs are reproducible per (seed, repetition). The batched
+    // entry point is contractually bit-identical to the scalar report loop
+    // at every `config.threads`, so parallelism never moves a report.
+    // One concatenated batch, split afterwards: a custom mechanism whose
+    // reporter carries cross-report state sees the same single
+    // worker-then-task stream the pre-batch driver fed it.
     let obf_start = Instant::now();
-    let mut reporter = spec.mechanism.reporter(epsilon, server)?;
-    let worker_reports: Vec<Report> = instance
-        .workers
-        .iter()
-        .map(|w| reporter.report(w, &mut mech_rng))
-        .collect();
-    let task_reports: Vec<Report> = instance
-        .tasks
-        .iter()
-        .map(|t| reporter.report(t, &mut mech_rng))
-        .collect();
-    drop(reporter);
+    let mut locations = Vec::with_capacity(instance.num_workers() + instance.num_tasks());
+    locations.extend_from_slice(&instance.workers);
+    locations.extend_from_slice(&instance.tasks);
+    let mut worker_reports: Vec<Report> =
+        spec.mechanism
+            .report_batch(epsilon, server, &locations, &mut mech_rng, config.threads)?;
+    let task_reports: Vec<Report> = worker_reports.split_off(instance.num_workers());
     let mechanism_name = spec.mechanism.name();
     let reports = ReportSet {
         workers: Reports::collect(worker_reports, mechanism_name)?,

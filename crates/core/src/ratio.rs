@@ -131,13 +131,24 @@ pub struct RatioReport {
 /// (crate::algorithm::OfflineOptimalStrategy) runs) does not depend on the
 /// arrival permutation.
 pub fn offline_optimum(instance: &Instance) -> Result<f64, RatioError> {
+    offline_optimum_with_threads(instance, 1)
+}
+
+/// [`offline_optimum`] with the Hungarian solve sharded over `threads`
+/// scoped threads (`0` = auto). Bit-identical to the sequential path at
+/// every thread count, so ratio denominators never depend on the machine.
+pub fn offline_optimum_with_threads(
+    instance: &Instance,
+    threads: usize,
+) -> Result<f64, RatioError> {
     if instance.k() == 0 {
         return Err(RatioError::EmptyInstance {
             num_tasks: instance.num_tasks(),
             num_workers: instance.num_workers(),
         });
     }
-    let mut opt = OfflineOptimal::solve_euclidean(&instance.tasks, &instance.workers);
+    let mut opt =
+        OfflineOptimal::solve_euclidean_with_threads(&instance.tasks, &instance.workers, threads);
     opt.pairs.sort_unstable_by_key(|&(_, w)| w);
     let distance = opt.total_distance(&instance.tasks, &instance.workers);
     if distance <= 0.0 {
@@ -160,7 +171,7 @@ pub fn empirical_competitive_ratio(
     if repetitions == 0 {
         return Err(RatioError::ZeroRepetitions);
     }
-    let opt = offline_optimum(instance)?;
+    let opt = offline_optimum_with_threads(instance, config.threads)?;
 
     let mut distances = Vec::with_capacity(repetitions as usize);
     for rep in 0..repetitions {

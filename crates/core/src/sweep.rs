@@ -15,10 +15,19 @@
 //! over `crossbeam` scoped threads, mirroring [`pombm_privacy::batch`]:
 //! shard `s` takes the `s`-th contiguous chunk of jobs and writes results
 //! through a `parking_lot`-protected output vector, one lock acquisition
-//! per shard. Unlike the batch obfuscator, every job derives its RNG seeds
-//! from its *position in the job list*, never from the shard that happens
-//! to execute it, so sweep output is bit-identical for every shard count:
-//! deterministic in `seed` alone, not just in `(seed, num_shards)`.
+//! per shard. Every job derives its RNG seeds from its *position in the
+//! job list*, never from the shard that happens to execute it, so sweep
+//! output is bit-identical for every shard count: deterministic in `seed`
+//! alone.
+//!
+//! Cells can additionally parallelize *within* themselves via
+//! [`PipelineConfig::threads`] — the batched obfuscation of
+//! [`crate::algorithm::ReportMechanism::report_batch`] and the blocked
+//! Hungarian behind `offline-opt` and the OPT denominator — without
+//! changing a single output byte, and [`SweepConfig::timings`] records
+//! per-cell wall-clock into a `wall_ms` column that is entirely absent
+//! (not `null`) from the JSON when off, keeping golden byte-compares
+//! exact.
 //!
 //! Incompatible pairings (e.g. the `blind` mechanism with any
 //! location-aware matcher) and degenerate measurements (empty instances,
@@ -69,8 +78,16 @@ pub struct SweepConfig {
     /// Worker threads to fan the job list over. Results are bit-identical
     /// for every value ≥ 1; this only trades wall-clock for cores.
     pub shards: usize,
+    /// Record per-cell wall-clock into [`SweepCell::wall_ms`]. Off by
+    /// default: timings are inherently machine-dependent, so the golden
+    /// JSON byte-compares and the shard/thread-invariance checks run with
+    /// timings disabled (the column is then absent from the JSON, not
+    /// `null`).
+    pub timings: bool,
     /// Base pipeline configuration: `seed` roots every derived RNG stream,
-    /// `epsilon` is overridden per cell by the ε grid.
+    /// `epsilon` is overridden per cell by the ε grid, and `threads`
+    /// parallelizes *within* a cell (batched obfuscation + the Hungarian
+    /// `offline-opt`/OPT solves) without changing any output.
     pub base: PipelineConfig,
 }
 
@@ -83,6 +100,7 @@ impl Default for SweepConfig {
             epsilons: vec![0.6],
             repetitions: 3,
             shards: 1,
+            timings: false,
             base: PipelineConfig::default(),
         }
     }
@@ -106,6 +124,12 @@ pub struct SweepCell {
     /// The typed error's message, when it is not (incompatible reports,
     /// degenerate optimum, ...).
     pub error: Option<String>,
+    /// Wall-clock of this cell's measurement in milliseconds; present only
+    /// when the sweep ran with [`SweepConfig::timings`] (and absent — not
+    /// `null` — from the JSON otherwise, keeping golden byte-compares
+    /// exact).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub wall_ms: Option<f64>,
 }
 
 /// A completed sweep: the cell list in job order (mechanism-major, then
@@ -201,7 +225,8 @@ fn resolve_matchers(names: &[String]) -> Result<Vec<Arc<dyn AssignStrategy>>, Pi
         .collect()
 }
 
-fn run_job(job: &Job, base: &PipelineConfig, repetitions: u64) -> SweepCell {
+fn run_job(job: &Job, base: &PipelineConfig, repetitions: u64, timings: bool) -> SweepCell {
+    let started = timings.then(std::time::Instant::now);
     let instance = sweep_instance(base.seed, job.size);
     let config = PipelineConfig {
         epsilon: job.epsilon,
@@ -221,6 +246,7 @@ fn run_job(job: &Job, base: &PipelineConfig, repetitions: u64) -> SweepCell {
         epsilon: job.epsilon,
         report,
         error,
+        wall_ms: started.map(|s| s.elapsed().as_secs_f64() * 1e3),
     }
 }
 
@@ -282,7 +308,7 @@ pub fn run_sweep(config: &SweepConfig) -> Result<SweepReport, PipelineError> {
     }
 
     let cells = fan_out(&jobs, config.shards, |job| {
-        run_job(job, &config.base, config.repetitions)
+        run_job(job, &config.base, config.repetitions, config.timings)
     });
     Ok(SweepReport {
         seed: config.base.seed,
@@ -406,6 +432,9 @@ pub struct DynamicSweepConfig {
     pub epsilons: Vec<f64>,
     /// Worker threads; results are bit-identical for every value ≥ 1.
     pub shards: usize,
+    /// Record per-cell wall-clock into [`DynamicSweepCell::wall_ms`]; same
+    /// golden-exclusion semantics as [`SweepConfig::timings`].
+    pub timings: bool,
     /// Predefined-point grid side of each cell's server.
     pub grid_side: usize,
     /// Root seed every derived stream (instances, times, plans, noise)
@@ -422,6 +451,7 @@ impl Default for DynamicSweepConfig {
             sizes: vec![48],
             epsilons: vec![0.6],
             shards: 1,
+            timings: false,
             grid_side: 32,
             seed: 0,
         }
@@ -477,6 +507,10 @@ pub struct DynamicSweepCell {
     /// The typed error's message, when it is not (e.g. blind reports into
     /// a location-aware pool).
     pub error: Option<String>,
+    /// Wall-clock of this cell's replay in milliseconds; present only
+    /// when the sweep ran with [`DynamicSweepConfig::timings`].
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub wall_ms: Option<f64>,
 }
 
 /// A completed dynamic sweep: cells in job order (mechanism-major, then
@@ -528,7 +562,13 @@ fn resolve_dynamic_matchers(
         .collect()
 }
 
-fn run_dynamic_job(job: &DynamicJob, grid_side: usize, seed: u64) -> DynamicSweepCell {
+fn run_dynamic_job(
+    job: &DynamicJob,
+    grid_side: usize,
+    seed: u64,
+    timings: bool,
+) -> DynamicSweepCell {
+    let started = timings.then(std::time::Instant::now);
     let instance = sweep_instance(seed, job.size);
     let times = dynamic_task_times(seed, job.size);
     let plan = dynamic_shift_plan(&job.plan_kind, job.size, seed)
@@ -558,6 +598,7 @@ fn run_dynamic_job(job: &DynamicJob, grid_side: usize, seed: u64) -> DynamicSwee
         epsilon: job.epsilon,
         measurement,
         error,
+        wall_ms: started.map(|s| s.elapsed().as_secs_f64() * 1e3),
     }
 }
 
@@ -624,7 +665,7 @@ pub fn run_dynamic_sweep(config: &DynamicSweepConfig) -> Result<DynamicSweepRepo
     }
 
     let cells = fan_out(&jobs, config.shards, |job| {
-        run_dynamic_job(job, config.grid_side, config.seed)
+        run_dynamic_job(job, config.grid_side, config.seed, config.timings)
     });
     Ok(DynamicSweepReport {
         seed: config.seed,
@@ -645,6 +686,7 @@ mod tests {
             epsilons: vec![0.6],
             repetitions: 2,
             shards: 1,
+            timings: false,
             base: PipelineConfig {
                 grid_side: 16,
                 ..PipelineConfig::default()
@@ -761,6 +803,7 @@ mod tests {
             sizes: vec![16],
             epsilons: vec![0.6],
             shards: 1,
+            timings: false,
             grid_side: 16,
             seed: 0,
         }

@@ -1,26 +1,39 @@
-//! Parallel batch obfuscation.
+//! Parallel batch obfuscation, bit-identical to the scalar loop.
 //!
 //! The paper's workflow obfuscates every *registered worker* before any task
 //! arrives (step 2 of Fig. 1) — an embarrassingly parallel batch that
 //! dominates setup latency at the 10⁵ scale of the scalability experiments.
-//! This module shards a batch over `crossbeam` scoped threads, giving each
-//! shard an independent RNG stream (so results are deterministic in
-//! `(seed, num_shards)` and never depend on thread scheduling), and collects
-//! results through a `parking_lot`-protected output vector.
 //!
-//! Obfuscating one leaf is `O(D)` (Alg. 3), so the batch is compute-bound
-//! and scales nearly linearly with cores until memory bandwidth interferes;
-//! `benches/mechanism.rs` measures the crossover.
+//! # Determinism contract
+//!
+//! Historically this module was deterministic only in `(seed, shards)`:
+//! each shard owned a derived RNG stream, so changing the shard count
+//! changed the output. The contract is now **shard-invariant per-item RNG
+//! streams**: a cheap sequential pass advances the caller's stream exactly
+//! as the scalar loop would (each mechanism exposes the matching
+//! `advance_obfuscate`), snapshotting the 32-byte generator state at every
+//! item boundary; the expensive sampling then replays each item from its
+//! own snapshot on whatever thread owns it. The result — and the state the
+//! caller's RNG is left in — is **bit-identical to the scalar loop for
+//! every thread count**, which is what lets the generic pipeline driver
+//! dispatch here without disturbing any golden fingerprint.
+//!
+//! The split pays off because the sequential pass is draw-replay only: two
+//! `next_u64` calls per planar-Laplace item (the trigonometry, `exp` and
+//! Lambert-W work all happen in the parallel pass) and the `O(D)` coin
+//! flips of the HST walk (the descent arithmetic and leaf validation move
+//! off the critical path). `benches/mechanism.rs` measures the crossover.
 
 use crate::hst_mechanism::HstMechanism;
 use crate::laplace::PlanarLaplace;
 use parking_lot::Mutex;
-use pombm_geom::{seeded_rng, Point};
+use pombm_geom::Point;
 use pombm_hst::{Hst, LeafCode};
+use rand::rngs::StdRng;
 
-/// Number of worker threads to use for a batch of `n` items: one shard per
-/// ~4096 items, capped by available parallelism.
-pub fn default_shards(n: usize) -> usize {
+/// Number of worker threads to use for a batch of `n` items: one thread
+/// per ~4096 items, capped by available parallelism.
+pub fn default_threads(n: usize) -> usize {
     let by_size = n.div_ceil(4096).max(1);
     let by_cores = std::thread::available_parallelism()
         .map(|c| c.get())
@@ -28,106 +41,135 @@ pub fn default_shards(n: usize) -> usize {
     by_size.min(by_cores)
 }
 
-/// Obfuscates a batch of HST leaves in parallel with Alg. 3.
-///
-/// Deterministic in `(seed, shards)`: shard `s` handles the contiguous range
-/// `[s·ceil(n/shards), …)` with RNG stream `s`, so the output is a pure
-/// function of the inputs regardless of scheduling.
-pub fn obfuscate_leaves_parallel(
-    mechanism: &HstMechanism,
-    hst: &Hst,
-    exact: &[LeafCode],
-    seed: u64,
-    shards: usize,
-) -> Vec<LeafCode> {
-    assert!(shards > 0, "need at least one shard");
-    let n = exact.len();
+/// Runs the two-pass snapshot batch: `advance` replays item `i`'s draw
+/// schedule on the shared stream (recording where it starts), `sample`
+/// computes item `i`'s output from its recorded starting state.
+fn snapshot_batch<T, A, S>(
+    n: usize,
+    rng: &mut StdRng,
+    threads: usize,
+    mut advance: A,
+    sample: S,
+    zero: T,
+) -> Vec<T>
+where
+    T: Copy + Send,
+    A: FnMut(&mut StdRng),
+    S: Fn(usize, &mut StdRng) -> T + Sync,
+{
+    assert!(threads > 0, "need at least one thread");
     if n == 0 {
         return Vec::new();
     }
-    let chunk = n.div_ceil(shards);
-    let out = Mutex::new(vec![LeafCode(0); n]);
+    // Pass 1 (sequential): snapshot the stream at every item boundary.
+    let mut states = Vec::with_capacity(n);
+    for _ in 0..n {
+        states.push(rng.clone());
+        advance(rng);
+    }
+    // Pass 2 (parallel): replay every item from its own snapshot.
+    let chunk = n.div_ceil(threads);
+    let out = Mutex::new(vec![zero; n]);
     crossbeam::thread::scope(|scope| {
-        for (s, slice) in exact.chunks(chunk).enumerate() {
+        for (s, slice) in states.chunks(chunk).enumerate() {
             let out = &out;
+            let sample = &sample;
             scope.spawn(move |_| {
-                let mut rng = seeded_rng(seed, 0xBA7C_0000 + s as u64);
-                // Compute into a local buffer; take the lock once per shard.
-                let local: Vec<LeafCode> = slice
+                // Compute into a local buffer; take the lock once per chunk.
+                let local: Vec<T> = slice
                     .iter()
-                    .map(|&x| mechanism.obfuscate(hst, x, &mut rng))
+                    .enumerate()
+                    .map(|(k, state)| sample(s * chunk + k, &mut state.clone()))
                     .collect();
                 let mut guard = out.lock();
                 guard[s * chunk..s * chunk + local.len()].copy_from_slice(&local);
             });
         }
     })
-    .expect("obfuscation shards never panic");
+    .expect("obfuscation threads never panic");
     out.into_inner()
 }
 
-/// Sequential reference with the identical sharded RNG schedule; used by
-/// tests and as the fallback for tiny batches.
-pub fn obfuscate_leaves_sequential(
+/// Obfuscates a batch of HST leaves with Alg. 3, continuing the caller's
+/// RNG stream exactly as the scalar loop
+/// `exact.iter().map(|&x| mechanism.obfuscate(hst, x, rng))` would.
+///
+/// Output and final stream state are bit-identical for every `threads ≥ 1`.
+pub fn obfuscate_leaves_batch(
     mechanism: &HstMechanism,
     hst: &Hst,
     exact: &[LeafCode],
-    seed: u64,
-    shards: usize,
+    rng: &mut StdRng,
+    threads: usize,
 ) -> Vec<LeafCode> {
-    assert!(shards > 0, "need at least one shard");
-    let n = exact.len();
-    if n == 0 {
-        return Vec::new();
+    if threads == 1 {
+        return obfuscate_leaves_scalar(mechanism, hst, exact, rng);
     }
-    let chunk = n.div_ceil(shards);
-    let mut out = Vec::with_capacity(n);
-    for (s, slice) in exact.chunks(chunk).enumerate() {
-        let mut rng = seeded_rng(seed, 0xBA7C_0000 + s as u64);
-        out.extend(slice.iter().map(|&x| mechanism.obfuscate(hst, x, &mut rng)));
-    }
-    out
+    let depth = hst.depth();
+    snapshot_batch(
+        exact.len(),
+        rng,
+        threads,
+        |rng| mechanism.advance_obfuscate(depth, rng),
+        |i, rng| mechanism.obfuscate(hst, exact[i], rng),
+        LeafCode(0),
+    )
 }
 
-/// Obfuscates a batch of Euclidean locations in parallel with the planar
-/// Laplace mechanism; same determinism contract as
-/// [`obfuscate_leaves_parallel`].
-pub fn obfuscate_points_parallel(
+/// The scalar reference loop for [`obfuscate_leaves_batch`]; also the
+/// `threads = 1` fast path (no snapshots, no spawns).
+pub fn obfuscate_leaves_scalar(
+    mechanism: &HstMechanism,
+    hst: &Hst,
+    exact: &[LeafCode],
+    rng: &mut StdRng,
+) -> Vec<LeafCode> {
+    exact
+        .iter()
+        .map(|&x| mechanism.obfuscate(hst, x, rng))
+        .collect()
+}
+
+/// Obfuscates a batch of Euclidean locations with the planar Laplace
+/// mechanism; same contract as [`obfuscate_leaves_batch`].
+pub fn obfuscate_points_batch(
     mechanism: &PlanarLaplace,
     locations: &[Point],
-    seed: u64,
-    shards: usize,
+    rng: &mut StdRng,
+    threads: usize,
 ) -> Vec<Point> {
-    assert!(shards > 0, "need at least one shard");
-    let n = locations.len();
-    if n == 0 {
-        return Vec::new();
+    if threads == 1 {
+        return obfuscate_points_scalar(mechanism, locations, rng);
     }
-    let chunk = n.div_ceil(shards);
-    let out = Mutex::new(vec![Point::ORIGIN; n]);
-    crossbeam::thread::scope(|scope| {
-        for (s, slice) in locations.chunks(chunk).enumerate() {
-            let out = &out;
-            scope.spawn(move |_| {
-                let mut rng = seeded_rng(seed, 0xBA7C_8000 + s as u64);
-                let local: Vec<Point> = slice
-                    .iter()
-                    .map(|p| mechanism.obfuscate(p, &mut rng))
-                    .collect();
-                let mut guard = out.lock();
-                guard[s * chunk..s * chunk + local.len()].copy_from_slice(&local);
-            });
-        }
-    })
-    .expect("obfuscation shards never panic");
-    out.into_inner()
+    snapshot_batch(
+        locations.len(),
+        rng,
+        threads,
+        |rng| mechanism.advance_obfuscate(rng),
+        |i, rng| mechanism.obfuscate(&locations[i], rng),
+        Point::ORIGIN,
+    )
+}
+
+/// The scalar reference loop for [`obfuscate_points_batch`]; also the
+/// `threads = 1` fast path.
+pub fn obfuscate_points_scalar(
+    mechanism: &PlanarLaplace,
+    locations: &[Point],
+    rng: &mut StdRng,
+) -> Vec<Point> {
+    locations
+        .iter()
+        .map(|p| mechanism.obfuscate(p, rng))
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::Epsilon;
-    use pombm_geom::{Grid, Rect};
+    use pombm_geom::{seeded_rng, Grid, Rect};
+    use rand::Rng;
 
     fn setup() -> (Hst, HstMechanism) {
         let grid = Grid::square(Rect::square(200.0), 16);
@@ -138,13 +180,58 @@ mod tests {
     }
 
     #[test]
-    fn parallel_equals_sequential_reference() {
+    fn leaf_batch_equals_scalar_loop_at_every_thread_count() {
         let (hst, mech) = setup();
         let exact: Vec<LeafCode> = (0..1000).map(|i| hst.leaf_of(i % 256)).collect();
-        for shards in [1, 2, 3, 7] {
-            let par = obfuscate_leaves_parallel(&mech, &hst, &exact, 9, shards);
-            let seq = obfuscate_leaves_sequential(&mech, &hst, &exact, 9, shards);
-            assert_eq!(par, seq, "shards = {shards}");
+        let mut scalar_rng = seeded_rng(9, 0);
+        let scalar = obfuscate_leaves_scalar(&mech, &hst, &exact, &mut scalar_rng);
+        for threads in [1, 2, 3, 7] {
+            let mut rng = seeded_rng(9, 0);
+            let par = obfuscate_leaves_batch(&mech, &hst, &exact, &mut rng, threads);
+            assert_eq!(par, scalar, "threads = {threads}");
+            assert_eq!(
+                rng, scalar_rng,
+                "threads = {threads}: stream left in a different state"
+            );
+        }
+    }
+
+    #[test]
+    fn point_batch_equals_scalar_loop_at_every_thread_count() {
+        let lap = PlanarLaplace::new(Epsilon::new(0.7));
+        let mut loc_rng = seeded_rng(2, 7);
+        let locations: Vec<Point> = (0..800)
+            .map(|_| Point::new(loc_rng.gen::<f64>() * 100.0, loc_rng.gen::<f64>() * 100.0))
+            .collect();
+        let mut scalar_rng = seeded_rng(3, 0);
+        let scalar = obfuscate_points_scalar(&lap, &locations, &mut scalar_rng);
+        for threads in [1, 2, 5, 8] {
+            let mut rng = seeded_rng(3, 0);
+            let par = obfuscate_points_batch(&lap, &locations, &mut rng, threads);
+            assert_eq!(par, scalar, "threads = {threads}");
+            assert_eq!(rng, scalar_rng, "threads = {threads}: stream drifted");
+        }
+    }
+
+    #[test]
+    fn advance_consumes_exactly_the_obfuscation_draws() {
+        // The advance replays must stay in lock step with the full
+        // samplers draw-for-draw, or the snapshot batch silently drifts.
+        let (hst, mech) = setup();
+        let mut walked = seeded_rng(11, 0);
+        let mut advanced = seeded_rng(11, 0);
+        for i in 0..500 {
+            let x = hst.leaf_of(i % hst.num_points());
+            let _ = mech.obfuscate(&hst, x, &mut walked);
+            mech.advance_obfuscate(hst.depth(), &mut advanced);
+            assert_eq!(walked, advanced, "hst walk drifted at item {i}");
+        }
+        let lap = PlanarLaplace::new(Epsilon::new(0.5));
+        let p = Point::new(4.0, 2.0);
+        for i in 0..500 {
+            let _ = lap.obfuscate(&p, &mut walked);
+            lap.advance_obfuscate(&mut advanced);
+            assert_eq!(walked, advanced, "laplace drifted at item {i}");
         }
     }
 
@@ -152,8 +239,8 @@ mod tests {
     fn determinism_across_runs() {
         let (hst, mech) = setup();
         let exact: Vec<LeafCode> = (0..500).map(|i| hst.leaf_of(i % 200)).collect();
-        let a = obfuscate_leaves_parallel(&mech, &hst, &exact, 3, 4);
-        let b = obfuscate_leaves_parallel(&mech, &hst, &exact, 3, 4);
+        let a = obfuscate_leaves_batch(&mech, &hst, &exact, &mut seeded_rng(3, 0), 4);
+        let b = obfuscate_leaves_batch(&mech, &hst, &exact, &mut seeded_rng(3, 0), 4);
         assert_eq!(a, b);
     }
 
@@ -161,8 +248,8 @@ mod tests {
     fn different_seeds_differ() {
         let (hst, mech) = setup();
         let exact: Vec<LeafCode> = (0..500).map(|i| hst.leaf_of(i % 200)).collect();
-        let a = obfuscate_leaves_parallel(&mech, &hst, &exact, 3, 4);
-        let b = obfuscate_leaves_parallel(&mech, &hst, &exact, 4, 4);
+        let a = obfuscate_leaves_batch(&mech, &hst, &exact, &mut seeded_rng(3, 0), 4);
+        let b = obfuscate_leaves_batch(&mech, &hst, &exact, &mut seeded_rng(4, 0), 4);
         assert_ne!(a, b);
     }
 
@@ -170,7 +257,7 @@ mod tests {
     fn outputs_belong_to_tree() {
         let (hst, mech) = setup();
         let exact: Vec<LeafCode> = (0..300).map(|i| hst.leaf_of(i % 100)).collect();
-        for z in obfuscate_leaves_parallel(&mech, &hst, &exact, 5, 3) {
+        for z in obfuscate_leaves_batch(&mech, &hst, &exact, &mut seeded_rng(5, 0), 3) {
             assert!(hst.ctx().contains(z));
         }
     }
@@ -178,9 +265,9 @@ mod tests {
     #[test]
     fn empty_batch_is_fine() {
         let (hst, mech) = setup();
-        assert!(obfuscate_leaves_parallel(&mech, &hst, &[], 0, 4).is_empty());
+        assert!(obfuscate_leaves_batch(&mech, &hst, &[], &mut seeded_rng(0, 0), 4).is_empty());
         let lap = PlanarLaplace::new(Epsilon::new(1.0));
-        assert!(obfuscate_points_parallel(&lap, &[], 0, 2).is_empty());
+        assert!(obfuscate_points_batch(&lap, &[], &mut seeded_rng(0, 0), 2).is_empty());
     }
 
     #[test]
@@ -189,7 +276,7 @@ mod tests {
         let eps = 0.5;
         let lap = PlanarLaplace::new(Epsilon::new(eps));
         let origin = vec![Point::new(50.0, 50.0); 40_000];
-        let noisy = obfuscate_points_parallel(&lap, &origin, 7, 8);
+        let noisy = obfuscate_points_batch(&lap, &origin, &mut seeded_rng(7, 0), 8);
         let mean: f64 = noisy
             .iter()
             .zip(&origin)
@@ -200,16 +287,16 @@ mod tests {
     }
 
     #[test]
-    fn default_shards_is_sane() {
-        assert_eq!(default_shards(0), 1);
-        assert!(default_shards(1) >= 1);
-        assert!(default_shards(1 << 20) >= 1);
+    fn default_threads_is_sane() {
+        assert_eq!(default_threads(0), 1);
+        assert!(default_threads(1) >= 1);
+        assert!(default_threads(1 << 20) >= 1);
     }
 
     #[test]
-    #[should_panic(expected = "at least one shard")]
-    fn zero_shards_rejected() {
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
         let (hst, mech) = setup();
-        let _ = obfuscate_leaves_parallel(&mech, &hst, &[hst.leaf_of(0)], 0, 0);
+        let _ = obfuscate_leaves_batch(&mech, &hst, &[hst.leaf_of(0)], &mut seeded_rng(0, 0), 0);
     }
 }

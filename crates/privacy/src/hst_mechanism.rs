@@ -138,6 +138,30 @@ impl HstMechanism {
         debug_assert!(ctx.contains(LeafCode(prefix)));
         LeafCode(prefix)
     }
+
+    /// Advances `rng` exactly as one [`HstMechanism::obfuscate`] call on a
+    /// depth-`depth` tree would, skipping the descent arithmetic.
+    ///
+    /// The walk's draw schedule depends only on the stopping level, never
+    /// on the exact leaf: the upward phase draws one coin per level until
+    /// it stops, and a stop at level `s ≥ 1` consumes one sibling pick
+    /// plus `s − 1` descent draws. Replaying just that schedule is the
+    /// cheap sequential pass of
+    /// [`batch::obfuscate_leaves_batch`](crate::batch::obfuscate_leaves_batch);
+    /// it must consume exactly as many draws as `obfuscate` (pinned by a
+    /// test).
+    pub fn advance_obfuscate<R: Rng + ?Sized>(&self, depth: u32, rng: &mut R) {
+        let mut stop_level = depth;
+        for i in 0..depth {
+            if rng.gen::<f64>() >= self.table.pu(i) {
+                stop_level = i;
+                break;
+            }
+        }
+        for _ in 0..stop_level {
+            let _ = rng.next_u64();
+        }
+    }
 }
 
 #[cfg(test)]

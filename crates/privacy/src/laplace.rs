@@ -69,6 +69,21 @@ impl PlanarLaplace {
         let r = self.sample_radius(rng);
         Point::new(location.x + r * theta.cos(), location.y + r * theta.sin())
     }
+
+    /// Advances `rng` exactly as one [`PlanarLaplace::obfuscate`] call
+    /// would — one draw for the angle, one for the radius — without the
+    /// trigonometry and Lambert-W work.
+    ///
+    /// This is the cheap sequential pass of
+    /// [`batch::obfuscate_points_batch`](crate::batch::obfuscate_points_batch):
+    /// it records where each item's draws start so the expensive sampling
+    /// can run on any thread while reproducing the scalar stream
+    /// bit-for-bit. Must consume exactly as many draws as `obfuscate`
+    /// (pinned by a test).
+    pub fn advance_obfuscate<R: Rng + ?Sized>(&self, rng: &mut R) {
+        let _ = rng.gen::<f64>();
+        let _ = rng.gen::<f64>();
+    }
 }
 
 /// The `W₋₁` branch of the Lambert W function on `[−1/e, 0)`.

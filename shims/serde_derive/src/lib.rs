@@ -3,9 +3,16 @@
 //! Supports the type shapes this workspace derives — named-field structs,
 //! newtype/tuple structs, and enums whose variants are unit, newtype,
 //! tuple or struct-like — with serde's externally-tagged representation.
-//! Generic type parameters and `#[serde(...)]` attributes are not
-//! supported (nothing in the workspace uses them); encountering either is
-//! a compile-time panic rather than silent misbehavior.
+//! Generic type parameters are not supported (nothing in the workspace
+//! uses them); encountering them is a compile-time panic rather than
+//! silent misbehavior.
+//!
+//! One field attribute is honored, on named struct fields only:
+//! `#[serde(skip_serializing_if = "Option::is_none")]` omits the field
+//! from the serialized object when it is `None` (deserialization of a
+//! missing field already yields `None` through `Deserialize::missing`).
+//! Optional columns — e.g. the sweep engine's `--timings` wall-clock —
+//! can then ride on golden-pinned JSON shapes without perturbing them.
 //!
 //! Implementation note: without `syn`/`quote` (the container is offline),
 //! the input item is parsed directly from the `proc_macro` token stream
@@ -14,9 +21,16 @@
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[derive(Debug)]
+struct Field {
+    name: String,
+    /// `#[serde(skip_serializing_if = "Option::is_none")]` was present.
+    skip_if_none: bool,
+}
+
+#[derive(Debug)]
 enum Shape {
     /// `struct S { f1: T1, ... }`
-    NamedStruct { name: String, fields: Vec<String> },
+    NamedStruct { name: String, fields: Vec<Field> },
     /// `struct S(T1, ...);` with the given arity.
     TupleStruct { name: String, arity: usize },
     /// `enum E { ... }`
@@ -40,7 +54,7 @@ struct Variant {
 }
 
 /// Derives `serde::Serialize` (the shim's `to_value`).
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let shape = parse_item(input);
     gen_serialize(&shape)
@@ -49,7 +63,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives `serde::Deserialize` (the shim's `from_value`).
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let shape = parse_item(input);
     gen_deserialize(&shape)
@@ -82,7 +96,7 @@ fn parse_item(input: TokenStream) -> Shape {
         "struct" => match tokens.get(i) {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
                 name,
-                fields: parse_named_fields(g.stream()),
+                fields: parse_struct_fields(g.stream()),
             },
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
                 Shape::TupleStruct {
@@ -123,7 +137,73 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
     }
 }
 
-/// Parses `f1: T1, f2: T2, ...` returning the field names.
+/// Like [`skip_attrs_and_vis`], but reports whether one of the skipped
+/// attributes is the supported
+/// `#[serde(skip_serializing_if = "Option::is_none")]`. Any other
+/// `skip_serializing_if` predicate is a compile-time panic: the shim can
+/// only test `Option`s.
+fn skip_attrs_capturing(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip_if_none = false;
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    let text = g.stream().to_string();
+                    if text.contains("skip_serializing_if") {
+                        assert!(
+                            text.contains("Option :: is_none") || text.contains("Option::is_none"),
+                            "serde shim derive: only skip_serializing_if = \
+                             \"Option::is_none\" is supported, got `{text}`"
+                        );
+                        skip_if_none = true;
+                    }
+                }
+                *i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return skip_if_none,
+        }
+    }
+}
+
+/// Parses `f1: T1, f2: T2, ...` of a named struct, capturing the
+/// supported field attributes.
+fn parse_struct_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let skip_if_none = skip_attrs_capturing(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: expected field name, found {other:?}"),
+        };
+        i += 1;
+        assert!(
+            matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "serde shim derive: expected `:` after field `{name}`"
+        );
+        i += 1;
+        skip_type(&tokens, &mut i);
+        fields.push(Field { name, skip_if_none });
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Parses `f1: T1, f2: T2, ...` returning the field names (enum variant
+/// fields; attributes are skipped, not honored).
 fn parse_named_fields(stream: TokenStream) -> Vec<String> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut fields = Vec::new();
@@ -236,10 +316,19 @@ fn gen_serialize(shape: &Shape) -> String {
             let pushes: String = fields
                 .iter()
                 .map(|f| {
-                    format!(
-                        "__fields.push((\"{f}\".to_string(), \
-                         ::serde::Serialize::to_value(&self.{f})));"
-                    )
+                    let f_name = &f.name;
+                    if f.skip_if_none {
+                        format!(
+                            "if let Some(__x) = &self.{f_name} {{ \
+                             __fields.push((\"{f_name}\".to_string(), \
+                             ::serde::Serialize::to_value(__x))); }}"
+                        )
+                    } else {
+                        format!(
+                            "__fields.push((\"{f_name}\".to_string(), \
+                             ::serde::Serialize::to_value(&self.{f_name})));"
+                        )
+                    }
                 })
                 .collect();
             format!(
@@ -333,7 +422,7 @@ fn gen_deserialize(shape: &Shape) -> String {
         Shape::NamedStruct { name, fields } => {
             let inits: Vec<String> = fields
                 .iter()
-                .map(|f| format!("{f}: ::serde::field(__obj, \"{f}\")?"))
+                .map(|f| format!("{0}: ::serde::field(__obj, \"{0}\")?", f.name))
                 .collect();
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\

@@ -165,6 +165,7 @@ proptest! {
             sizes: vec![10, 14],
             epsilons: vec![0.5],
             shards,
+            timings: false,
             grid_side: 16,
             seed,
         };
@@ -189,6 +190,7 @@ fn full_dynamic_registry_product_sweep_completes() {
         sizes: vec![12],
         epsilons: vec![0.6],
         shards: 4,
+        timings: false,
         grid_side: 16,
         seed: 33,
     };
@@ -250,6 +252,7 @@ fn dynamic_sweep_json_fields_are_pinned() {
         sizes: vec![8],
         epsilons: vec![0.6],
         shards: 1,
+        timings: false,
         grid_side: 16,
         seed: 1,
     };

@@ -91,6 +91,7 @@ proptest! {
             epsilons: vec![0.5],
             repetitions: 2,
             shards,
+            timings: false,
             base: fast_config(seed),
         };
         let baseline = serde_json::to_string(&run_sweep(&config(1)).unwrap()).unwrap();
@@ -114,6 +115,7 @@ fn full_registry_product_sweep_completes() {
         epsilons: vec![0.6],
         repetitions: 2,
         shards: 4,
+        timings: false,
         base: fast_config(33),
     };
     let report = run_sweep(&config).unwrap();
@@ -245,6 +247,7 @@ fn golden_three_pairing_sweep_json() {
         epsilons: vec![0.8],
         repetitions: 2,
         shards: 2,
+        timings: false,
         base: fast_config(7),
     };
     let json = serde_json::to_string(&run_sweep(&config).unwrap()).unwrap();
