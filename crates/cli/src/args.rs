@@ -1,24 +1,26 @@
 //! A tiny dependency-free flag parser for the `pombm` binary.
 //!
-//! Grammar: `pombm <command> [--flag value]... [--switch]...`. A token
-//! starting with `--` is a flag; it consumes the next token as its value
-//! unless that token also starts with `--` (then it is a boolean switch).
+//! Grammar: `pombm <command> [positional]... [--flag value]...
+//! [--switch]...`. A token starting with `--` is a flag; it consumes the
+//! next token as its value unless that token also starts with `--` (then
+//! it is a boolean switch). Non-flag tokens after the command are
+//! collected as positionals (`pombm merge a.json b.json`); commands that
+//! take none reject them via [`Args::check_no_positionals`].
 
 use std::collections::HashMap;
 use std::str::FromStr;
 
-/// Parsed command line: one command word plus flags.
+/// Parsed command line: one command word, positionals, and flags.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     /// The leading non-flag token, e.g. `run`.
     pub command: Option<String>,
+    positionals: Vec<String>,
     flags: HashMap<String, Option<String>>,
 }
 
 impl Args {
     /// Parses raw tokens (without the program name).
-    ///
-    /// Returns an error for stray positional arguments after the command.
     pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Self, String> {
         let mut args = Args::default();
         let mut it = tokens.into_iter().peekable();
@@ -37,10 +39,23 @@ impl Args {
             } else if args.command.is_none() {
                 args.command = Some(tok);
             } else {
-                return Err(format!("unexpected positional argument `{tok}`"));
+                args.positionals.push(tok);
             }
         }
         Ok(args)
+    }
+
+    /// Positional arguments after the command word, in order.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// Rejects positional arguments (for commands that take only flags).
+    pub fn check_no_positionals(&self) -> Result<(), String> {
+        match self.positionals.first() {
+            None => Ok(()),
+            Some(tok) => Err(format!("unexpected positional argument `{tok}`")),
+        }
     }
 
     /// True iff the flag was present (with or without a value).
@@ -127,8 +142,12 @@ mod tests {
     }
 
     #[test]
-    fn stray_positional_rejected() {
-        assert!(parse("run extra").unwrap_err().contains("unexpected"));
+    fn positionals_collected_and_rejectable() {
+        let a = parse("merge a.json b.json --json").unwrap();
+        assert_eq!(a.positionals(), ["a.json", "b.json"]);
+        assert!(a.switch("json"));
+        assert!(a.check_no_positionals().unwrap_err().contains("a.json"));
+        assert!(parse("run").unwrap().check_no_positionals().is_ok());
     }
 
     #[test]

@@ -5,17 +5,20 @@
 //! is unit-testable without spawning processes.
 
 use crate::args::Args;
-use pombm::sweep::{dynamic_shift_plan, dynamic_task_times};
+use pombm::sweep::{dynamic_shift_plan, dynamic_task_times, DYNAMIC_FLAVOR, STATIC_FLAVOR};
 use pombm::{
-    registry, run_dynamic_spec, run_dynamic_sweep, run_spec, run_sweep, AlgorithmSpec,
-    DynamicConfig, DynamicMeasurement, DynamicSweepConfig, EpochConfig, PipelineConfig,
-    SweepConfig,
+    merge_dynamic, merge_static, registry, run_dynamic_spec, run_dynamic_sweep,
+    run_dynamic_sweep_partition, run_spec, run_sweep, run_sweep_partition, AlgorithmSpec,
+    DynamicConfig, DynamicMeasurement, DynamicPartialSweepReport, DynamicSweepConfig,
+    DynamicSweepReport, EpochConfig, PartialRunStats, PartialSweepReport, PartitionPlan,
+    PartitionRun, PipelineConfig, SweepConfig, SweepReport,
 };
 use pombm_geom::{seeded_rng, Point};
 use pombm_hst::wire;
 use pombm_workload::{chengdu, synthetic, Instance, SyntheticParams};
+use serde::Deserialize as _;
 use std::fmt::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -57,6 +60,7 @@ COMMANDS:
               [--mechanisms A,B,..] [--matchers X,Y,..] [--sizes N,N,..]
               [--epsilons F,F,..] [--reps N] [--shards N] [--threads N]
               [--timings] [--grid-side N] [--seed N] [--json]
+              [--partition i/N] [--checkpoint DIR] [--max-cells N]
               --threads parallelizes inside a cell (0 = auto), --shards
               across cells; output is byte-identical for every combination
               --timings adds per-cell wall_ms columns (excluded from the
@@ -66,11 +70,26 @@ COMMANDS:
               with --dynamic: sweep the dynamic-fleet product instead
               (--matchers then names dynamic matchers; extra axis
               [--shift-plans always-on,short,long]; no --reps)
+              --partition i/N (1-based) computes one contiguous slice of
+              the job space into a self-describing partial report for
+              `pombm merge`; --checkpoint DIR appends finished cells to a
+              resumable fingerprint-keyed log (re-runs skip them, logged
+              to stderr); --max-cells N stops a checkpointed run after N
+              fresh cells (exit nonzero; re-run to resume)
+  merge       validate partitioned sweep partials (disjoint full coverage,
+              identical config fingerprints) and reassemble the
+              single-process report — with --json, byte-identical to the
+              `pombm sweep --json` of the same config
+              <partials..> [--json]    (static or dynamic, not mixed)
   help        this text
 ";
 
 /// Dispatches a parsed command line.
 pub fn dispatch(args: &Args) -> Result<String, String> {
+    if args.command.as_deref() != Some("merge") {
+        // Only `merge` takes positional arguments (the partial files).
+        args.check_no_positionals()?;
+    }
     match args.command.as_deref() {
         Some("gen") => gen(args),
         Some("run") => run_cmd(args),
@@ -81,6 +100,7 @@ pub fn dispatch(args: &Args) -> Result<String, String> {
         Some("epochs") => epochs(args),
         Some("dynamic") => dynamic(args),
         Some("sweep") => sweep(args),
+        Some("merge") => merge_cmd(args),
         Some("help") | None => Ok(USAGE.to_string()),
         Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     }
@@ -445,6 +465,9 @@ pub fn dynamic(args: &Args) -> Result<String, String> {
 /// product, fanned across cores (deterministic in --seed for any --shards).
 /// With `--dynamic`, sweeps the dynamic-fleet
 /// `mechanism × dynamic-matcher × shift-plan × size × ε` product instead.
+/// With `--partition i/N`, computes one slice into a partial report for
+/// `pombm merge`; `--checkpoint DIR` makes any run resumable (the resume
+/// statistics are logged to stderr, keeping stdout a pure report).
 pub fn sweep(args: &Args) -> Result<String, String> {
     args.check_known(&[
         "mechanisms",
@@ -460,6 +483,9 @@ pub fn sweep(args: &Args) -> Result<String, String> {
         "json",
         "dynamic",
         "shift-plans",
+        "partition",
+        "checkpoint",
+        "max-cells",
     ])?;
     let shards = match args.get_or("shards", 0usize)? {
         0 => std::thread::available_parallelism()
@@ -468,6 +494,7 @@ pub fn sweep(args: &Args) -> Result<String, String> {
         n => n,
     };
     let timings = args.switch("timings");
+    let partitioning = partition_opts(args)?;
     if args.switch("dynamic") {
         if args.switch("threads") {
             return Err("--threads only applies to the static sweep: dynamic cells \
@@ -475,7 +502,7 @@ pub fn sweep(args: &Args) -> Result<String, String> {
                         pinned by golden fingerprints"
                 .to_string());
         }
-        return dynamic_sweep(args, shards, timings);
+        return dynamic_sweep(args, shards, timings, partitioning);
     }
     if args.switch("shift-plans") {
         return Err("--shift-plans only applies to `sweep --dynamic`".to_string());
@@ -499,10 +526,129 @@ pub fn sweep(args: &Args) -> Result<String, String> {
             ..PipelineConfig::default()
         },
     };
-    let report = run_sweep(&config).map_err(|e| e.to_string())?;
+    let Some(partitioning) = partitioning else {
+        let report = run_sweep(&config).map_err(|e| e.to_string())?;
+        if args.switch("json") {
+            return serde_json::to_string_pretty(&report).map_err(|e| e.to_string());
+        }
+        return Ok(render_static_report(&report));
+    };
+    let (partial, stats) =
+        run_sweep_partition(&config, &partitioning).map_err(|e| e.to_string())?;
+    log_checkpoint(&partitioning, stats);
+    if args.switch("partition") {
+        if args.switch("json") {
+            return serde_json::to_string_pretty(&partial).map_err(|e| e.to_string());
+        }
+        return Ok(render_static_partial(&partial));
+    }
+    // --checkpoint without --partition: a resumable full run whose output
+    // is exactly the ordinary sweep report.
+    let report = SweepReport {
+        seed: partial.seed,
+        repetitions: partial.repetitions,
+        cells: partial.cells,
+    };
     if args.switch("json") {
         return serde_json::to_string_pretty(&report).map_err(|e| e.to_string());
     }
+    Ok(render_static_report(&report))
+}
+
+/// `pombm sweep --dynamic`: the dynamic-fleet sweep product.
+fn dynamic_sweep(
+    args: &Args,
+    shards: usize,
+    timings: bool,
+    partitioning: Option<PartitionRun>,
+) -> Result<String, String> {
+    if args.switch("reps") {
+        return Err("--reps does not apply to `sweep --dynamic` \
+                    (each cell replays one deterministic timeline)"
+            .to_string());
+    }
+    let defaults = DynamicSweepConfig::default();
+    let config = DynamicSweepConfig {
+        mechanisms: parse_name_list(args, "mechanisms")?,
+        matchers: parse_name_list(args, "matchers")?,
+        shift_plans: parse_name_list(args, "shift-plans")?,
+        sizes: parse_number_list(args, "sizes", defaults.sizes)?,
+        epsilons: parse_number_list(args, "epsilons", defaults.epsilons)?,
+        shards,
+        timings,
+        grid_side: args.get_or("grid-side", 32)?,
+        seed: args.get_or("seed", 0)?,
+    };
+    let Some(partitioning) = partitioning else {
+        let report = run_dynamic_sweep(&config).map_err(|e| e.to_string())?;
+        if args.switch("json") {
+            return serde_json::to_string_pretty(&report).map_err(|e| e.to_string());
+        }
+        return Ok(render_dynamic_report(&report));
+    };
+    let (partial, stats) =
+        run_dynamic_sweep_partition(&config, &partitioning).map_err(|e| e.to_string())?;
+    log_checkpoint(&partitioning, stats);
+    if args.switch("partition") {
+        if args.switch("json") {
+            return serde_json::to_string_pretty(&partial).map_err(|e| e.to_string());
+        }
+        return Ok(render_dynamic_partial(&partial));
+    }
+    let report = DynamicSweepReport {
+        seed: partial.seed,
+        horizon: partial.horizon,
+        cells: partial.cells,
+    };
+    if args.switch("json") {
+        return serde_json::to_string_pretty(&report).map_err(|e| e.to_string());
+    }
+    Ok(render_dynamic_report(&report))
+}
+
+/// Resolves the `--partition` / `--checkpoint` / `--max-cells` trio into
+/// a [`PartitionRun`]; `None` when none of them was given (the ordinary
+/// single-process path).
+fn partition_opts(args: &Args) -> Result<Option<PartitionRun>, String> {
+    let plan = match list_flag(args, "partition")? {
+        Some(v) => Some(PartitionPlan::parse(v).map_err(|e| e.to_string())?),
+        None => None,
+    };
+    let checkpoint = list_flag(args, "checkpoint")?.map(PathBuf::from);
+    let max_cells = match list_flag(args, "max-cells")? {
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| format!("flag --max-cells: cannot parse `{v}`"))?,
+        ),
+        None => None,
+    };
+    if plan.is_none() && checkpoint.is_none() && max_cells.is_none() {
+        return Ok(None);
+    }
+    Ok(Some(PartitionRun {
+        plan: plan.unwrap_or_default(),
+        checkpoint,
+        max_cells,
+    }))
+}
+
+/// Reports checkpoint resume statistics on stderr (stdout stays a pure
+/// report so `--json > file` pipelines are unaffected).
+fn log_checkpoint(run: &PartitionRun, stats: PartialRunStats) {
+    if let Some(dir) = &run.checkpoint {
+        eprintln!(
+            "checkpoint {}: {} cells resumed (skipped recomputation), {} computed",
+            dir.display(),
+            stats.resumed,
+            stats.computed
+        );
+    }
+}
+
+/// The static sweep cell table (shared by `sweep` and `merge` output);
+/// the `wall_ms` column appears iff any cell carries a timing.
+fn static_cell_table(cells: &[pombm::SweepCell]) -> String {
+    let timings = cells.iter().any(|c| c.wall_ms.is_some());
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -517,7 +663,7 @@ pub fn sweep(args: &Args) -> Result<String, String> {
         "opt_dist",
         if timings { "    wall_ms" } else { "" }
     );
-    for cell in &report.cells {
+    for cell in cells {
         let wall = cell
             .wall_ms
             .map(|ms| format!(" {ms:>10.2}"))
@@ -547,6 +693,12 @@ pub fn sweep(args: &Args) -> Result<String, String> {
             (None, None) => unreachable!("every cell has a report or an error"),
         }
     }
+    out
+}
+
+/// The full static sweep console report: table plus summary footer.
+fn render_static_report(report: &SweepReport) -> String {
+    let mut out = static_cell_table(&report.cells);
     let _ = writeln!(
         out,
         "{} cells measured, {} skipped ({} reps each, seed {})",
@@ -555,32 +707,35 @@ pub fn sweep(args: &Args) -> Result<String, String> {
         report.repetitions,
         report.seed
     );
-    Ok(out)
+    out
 }
 
-/// `pombm sweep --dynamic`: the dynamic-fleet sweep product.
-fn dynamic_sweep(args: &Args, shards: usize, timings: bool) -> Result<String, String> {
-    if args.switch("reps") {
-        return Err("--reps does not apply to `sweep --dynamic` \
-                    (each cell replays one deterministic timeline)"
-            .to_string());
-    }
-    let defaults = DynamicSweepConfig::default();
-    let config = DynamicSweepConfig {
-        mechanisms: parse_name_list(args, "mechanisms")?,
-        matchers: parse_name_list(args, "matchers")?,
-        shift_plans: parse_name_list(args, "shift-plans")?,
-        sizes: parse_number_list(args, "sizes", defaults.sizes)?,
-        epsilons: parse_number_list(args, "epsilons", defaults.epsilons)?,
-        shards,
-        timings,
-        grid_side: args.get_or("grid-side", 32)?,
-        seed: args.get_or("seed", 0)?,
-    };
-    let report = run_dynamic_sweep(&config).map_err(|e| e.to_string())?;
-    if args.switch("json") {
-        return serde_json::to_string_pretty(&report).map_err(|e| e.to_string());
-    }
+/// Console rendering of one static partition's partial report.
+fn render_static_partial(partial: &PartialSweepReport) -> String {
+    let covers = partial.covers();
+    let mut out = format!(
+        "partition {}/{} (static sweep): jobs {}..{} of {}, fingerprint {}\n",
+        partial.partition_index,
+        partial.partition_count,
+        covers.start,
+        covers.end,
+        partial.total_jobs,
+        partial.fingerprint
+    );
+    out.push_str(&static_cell_table(&partial.cells));
+    let _ = writeln!(
+        out,
+        "{} cells covered ({} reps each, seed {}); merge with `pombm merge`",
+        partial.cells.len(),
+        partial.repetitions,
+        partial.seed
+    );
+    out
+}
+
+/// The dynamic sweep cell table (shared by `sweep --dynamic` and `merge`).
+fn dynamic_cell_table(cells: &[pombm::DynamicSweepCell]) -> String {
+    let timings = cells.iter().any(|c| c.wall_ms.is_some());
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -597,7 +752,7 @@ fn dynamic_sweep(args: &Args, shards: usize, timings: bool) -> Result<String, St
         "peak",
         if timings { "    wall_ms" } else { "" }
     );
-    for cell in &report.cells {
+    for cell in cells {
         let wall = cell
             .wall_ms
             .map(|ms| format!(" {ms:>10.2}"))
@@ -629,6 +784,12 @@ fn dynamic_sweep(args: &Args, shards: usize, timings: bool) -> Result<String, St
             (None, None) => unreachable!("every cell has a measurement or an error"),
         }
     }
+    out
+}
+
+/// The full dynamic sweep console report: table plus summary footer.
+fn render_dynamic_report(report: &DynamicSweepReport) -> String {
+    let mut out = dynamic_cell_table(&report.cells);
     let _ = writeln!(
         out,
         "{} cells measured, {} skipped (horizon {}, seed {})",
@@ -637,7 +798,99 @@ fn dynamic_sweep(args: &Args, shards: usize, timings: bool) -> Result<String, St
         report.horizon,
         report.seed
     );
-    Ok(out)
+    out
+}
+
+/// Console rendering of one dynamic partition's partial report.
+fn render_dynamic_partial(partial: &DynamicPartialSweepReport) -> String {
+    let covers = partial.covers();
+    let mut out = format!(
+        "partition {}/{} (dynamic sweep): jobs {}..{} of {}, fingerprint {}\n",
+        partial.partition_index,
+        partial.partition_count,
+        covers.start,
+        covers.end,
+        partial.total_jobs,
+        partial.fingerprint
+    );
+    out.push_str(&dynamic_cell_table(&partial.cells));
+    let _ = writeln!(
+        out,
+        "{} cells covered (seed {}); merge with `pombm merge`",
+        partial.cells.len(),
+        partial.seed
+    );
+    out
+}
+
+/// `pombm merge <partials..> [--json]`: validate partial reports from
+/// `pombm sweep --partition` (any order, static or dynamic but not mixed)
+/// and reassemble the single-process report. With `--json` the output is
+/// byte-identical to `pombm sweep --json` of the same configuration (any
+/// machine-dependent `wall_ms` columns are stripped).
+pub fn merge_cmd(args: &Args) -> Result<String, String> {
+    args.check_known(&["json"])?;
+    let files = args.positionals();
+    if files.is_empty() {
+        return Err("merge needs at least one partial-report file \
+                    (produce them with `pombm sweep --partition i/N --json`)"
+            .to_string());
+    }
+    let mut parsed = Vec::new();
+    for file in files {
+        let text = std::fs::read_to_string(file).map_err(|e| format!("read {file}: {e}"))?;
+        let value: serde_json::Value =
+            serde_json::from_str(&text).map_err(|e| format!("parse {file}: {e}"))?;
+        let flavor = value["flavor"]
+            .as_str()
+            .ok_or_else(|| format!("{file}: not a partial sweep report (missing `flavor` field)"))?
+            .to_string();
+        parsed.push((file, value, flavor));
+    }
+    let flavor = parsed[0].2.clone();
+    if let Some((file, _, other)) = parsed.iter().find(|(_, _, f)| *f != flavor) {
+        return Err(format!(
+            "cannot merge mixed flavours: {} is `{}` but {file} is `{other}` \
+             (merge static and dynamic partials separately)",
+            parsed[0].0, flavor
+        ));
+    }
+    match flavor.as_str() {
+        f if f == STATIC_FLAVOR => {
+            let partials: Vec<PartialSweepReport> = parsed
+                .iter()
+                .map(|(file, value, _)| {
+                    PartialSweepReport::from_value(value).map_err(|e| format!("parse {file}: {e}"))
+                })
+                .collect::<Result<_, _>>()?;
+            let report = merge_static(&partials).map_err(|e| e.to_string())?;
+            if args.switch("json") {
+                serde_json::to_string_pretty(&report).map_err(|e| e.to_string())
+            } else {
+                Ok(render_static_report(&report))
+            }
+        }
+        f if f == DYNAMIC_FLAVOR => {
+            let partials: Vec<DynamicPartialSweepReport> = parsed
+                .iter()
+                .map(|(file, value, _)| {
+                    DynamicPartialSweepReport::from_value(value)
+                        .map_err(|e| format!("parse {file}: {e}"))
+                })
+                .collect::<Result<_, _>>()?;
+            let report = merge_dynamic(&partials).map_err(|e| e.to_string())?;
+            if args.switch("json") {
+                serde_json::to_string_pretty(&report).map_err(|e| e.to_string())
+            } else {
+                Ok(render_dynamic_report(&report))
+            }
+        }
+        other => Err(format!(
+            "{}: unknown partial flavour `{other}` (expected `{STATIC_FLAVOR}` or \
+             `{DYNAMIC_FLAVOR}`)",
+            parsed[0].0
+        )),
+    }
 }
 
 /// The flag's comma-separated value, requiring a value when the flag is
@@ -650,18 +903,28 @@ fn list_flag<'a>(args: &'a Args, name: &str) -> Result<Option<&'a str>, String> 
     }
 }
 
+/// Splits a comma-separated list value, rejecting empty values and empty
+/// entries (`--mechanisms ""` and `--sizes 12,,16` must error, not
+/// silently shrink to the defaults) — the same typed errors on the static
+/// and dynamic axes.
+fn split_list<'a>(name: &str, value: &'a str) -> Result<Vec<&'a str>, String> {
+    let items: Vec<&str> = value.split(',').map(str::trim).collect();
+    if items.iter().all(|s| s.is_empty()) {
+        return Err(format!("flag --{name} needs a value"));
+    }
+    if items.iter().any(|s| s.is_empty()) {
+        return Err(format!("flag --{name}: empty entry in `{value}`"));
+    }
+    Ok(items)
+}
+
 /// Splits a comma-separated name list; an absent flag means "all
 /// registered" (the empty `SweepConfig` filter).
 fn parse_name_list(args: &Args, name: &str) -> Result<Vec<String>, String> {
-    Ok(list_flag(args, name)?
-        .map(|v| {
-            v.split(',')
-                .map(str::trim)
-                .filter(|s| !s.is_empty())
-                .map(String::from)
-                .collect()
-        })
-        .unwrap_or_default())
+    match list_flag(args, name)? {
+        None => Ok(Vec::new()),
+        Some(v) => Ok(split_list(name, v)?.into_iter().map(String::from).collect()),
+    }
 }
 
 /// Parses a comma-separated numeric flag into `Vec<T>`, with a default.
@@ -672,10 +935,8 @@ fn parse_number_list<T: std::str::FromStr>(
 ) -> Result<Vec<T>, String> {
     match list_flag(args, name)? {
         None => Ok(default),
-        Some(v) => v
-            .split(',')
-            .map(str::trim)
-            .filter(|s| !s.is_empty())
+        Some(v) => split_list(name, v)?
+            .into_iter()
             .map(|s| {
                 s.parse()
                     .map_err(|_| format!("flag --{name}: cannot parse `{s}`"))
@@ -961,6 +1222,175 @@ mod tests {
             let err = sweep(&args(flags)).unwrap_err();
             assert!(err.contains("needs a value"), "{flags}: {err}");
         }
+    }
+
+    /// Builds `Args` from explicit tokens (the whitespace-splitting helper
+    /// cannot express empty string values).
+    fn argv(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|t| t.to_string())).unwrap()
+    }
+
+    #[test]
+    fn sweep_list_flags_reject_empty_values_and_entries() {
+        // `--mechanisms ""` / `--sizes 12,,16` must error on both axes,
+        // never silently shrink to the registry/grid defaults.
+        for name in ["mechanisms", "matchers", "sizes", "epsilons"] {
+            let flag = format!("--{name}");
+            for dynamic in [false, true] {
+                let mut tokens = vec!["sweep"];
+                if dynamic {
+                    tokens.push("--dynamic");
+                }
+                let err = sweep(&argv(&[&tokens[..], &[&flag, ""]].concat())).unwrap_err();
+                assert!(
+                    err.contains("needs a value"),
+                    "{flag} dynamic={dynamic}: {err}"
+                );
+                let err = sweep(&argv(&[&tokens[..], &[&flag, ","]].concat())).unwrap_err();
+                assert!(
+                    err.contains("needs a value"),
+                    "{flag} dynamic={dynamic}: {err}"
+                );
+                let err = sweep(&argv(&[&tokens[..], &[&flag, "a,,b"]].concat())).unwrap_err();
+                assert!(
+                    err.contains("empty entry"),
+                    "{flag} dynamic={dynamic}: {err}"
+                );
+            }
+        }
+        let err = sweep(&argv(&["sweep", "--dynamic", "--shift-plans", ",,"])).unwrap_err();
+        assert!(err.contains("needs a value"), "{err}");
+        // Trailing commas are empty entries too.
+        let err = sweep(&argv(&["sweep", "--sizes", "12,"])).unwrap_err();
+        assert!(err.contains("empty entry"), "{err}");
+    }
+
+    #[test]
+    fn partition_flag_is_validated() {
+        for bad in ["0/3", "4/3", "3", "a/b", "1/0", "/"] {
+            let err = sweep(&args(&format!(
+                "sweep --mechanisms identity --matchers greedy --sizes 8 --partition {bad}"
+            )))
+            .unwrap_err();
+            assert!(err.contains("partition"), "{bad}: {err}");
+        }
+        let err = sweep(&args("sweep --partition --json")).unwrap_err();
+        assert!(err.contains("needs a value"), "{err}");
+        let err = sweep(&args("sweep --max-cells 3")).unwrap_err();
+        assert!(err.contains("--checkpoint"), "{err}");
+    }
+
+    #[test]
+    fn partitioned_sweep_merges_back_to_the_single_process_report() {
+        let flags = "--mechanisms identity,laplace --matchers greedy,offline-opt \
+                     --sizes 10 --epsilons 0.5,1.0 --reps 1 --shards 2 --grid-side 16 --seed 3";
+        let full = sweep(&args(&format!("sweep {flags} --json"))).unwrap();
+        let dir = tmp("partials");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut files = Vec::new();
+        for i in 1..=3 {
+            let partial = sweep(&args(&format!("sweep {flags} --partition {i}/3 --json"))).unwrap();
+            let path = dir.join(format!("static-{i}.json"));
+            std::fs::write(&path, partial).unwrap();
+            files.push(path.display().to_string());
+        }
+        let merged = merge_cmd(&argv(
+            &[
+                &["merge"],
+                files
+                    .iter()
+                    .map(String::as_str)
+                    .collect::<Vec<_>>()
+                    .as_slice(),
+                &["--json"],
+            ]
+            .concat(),
+        ))
+        .unwrap();
+        assert_eq!(
+            full, merged,
+            "merge is not byte-identical to the full sweep"
+        );
+
+        // The dynamic flavour holds the same contract.
+        let dflags = "--dynamic --mechanisms identity,hst --matchers hst-greedy,random \
+                      --shift-plans always-on,short --sizes 10 --grid-side 16 --seed 3";
+        let dfull = sweep(&args(&format!("sweep {dflags} --json"))).unwrap();
+        let mut dfiles = Vec::new();
+        for i in 1..=2 {
+            let partial =
+                sweep(&args(&format!("sweep {dflags} --partition {i}/2 --json"))).unwrap();
+            let path = dir.join(format!("dynamic-{i}.json"));
+            std::fs::write(&path, partial).unwrap();
+            dfiles.push(path.display().to_string());
+        }
+        let dmerged = merge_cmd(&argv(
+            &[
+                &["merge"],
+                dfiles
+                    .iter()
+                    .map(String::as_str)
+                    .collect::<Vec<_>>()
+                    .as_slice(),
+                &["--json"],
+            ]
+            .concat(),
+        ))
+        .unwrap();
+        assert_eq!(dfull, dmerged, "dynamic merge is not byte-identical");
+
+        // Mixing the two flavours is a clean error, as is an empty call.
+        let err = merge_cmd(&argv(&["merge", &files[0], &dfiles[0]])).unwrap_err();
+        assert!(err.contains("mixed"), "{err}");
+        let err = merge_cmd(&argv(&["merge"])).unwrap_err();
+        assert!(err.contains("at least one"), "{err}");
+        // An incomplete set is a typed gap, not silent cell loss.
+        let err = merge_cmd(&argv(&["merge", &files[0], "--json"])).unwrap_err();
+        assert!(err.contains("covered by no partial"), "{err}");
+        // Garbage input names the file.
+        let garbage = dir.join("garbage.json");
+        std::fs::write(&garbage, "{\"flavor\":17}").unwrap();
+        let err = merge_cmd(&argv(&["merge", &garbage.display().to_string()])).unwrap_err();
+        assert!(err.contains("garbage.json"), "{err}");
+    }
+
+    #[test]
+    fn partial_report_text_output_names_the_partition() {
+        let out = sweep(&args(
+            "sweep --mechanisms identity --matchers greedy,offline-opt --sizes 8 \
+             --reps 1 --shards 1 --grid-side 16 --partition 2/2",
+        ))
+        .unwrap();
+        assert!(out.contains("partition 2/2"), "{out}");
+        assert!(out.contains("fingerprint"), "{out}");
+        assert!(out.contains("pombm merge"), "{out}");
+    }
+
+    #[test]
+    fn checkpointed_sweep_resumes_byte_identically() {
+        let dir = tmp("checkpoint-cli");
+        let _ = std::fs::remove_dir_all(&dir);
+        let flags = format!(
+            "sweep --mechanisms identity --matchers greedy,offline-opt --sizes 8,10 \
+             --reps 1 --shards 2 --grid-side 16 --seed 9 --json --checkpoint {}",
+            dir.display()
+        );
+        let fresh = sweep(&args(
+            "sweep --mechanisms identity --matchers greedy,offline-opt --sizes 8,10 \
+             --reps 1 --shards 2 --grid-side 16 --seed 9 --json",
+        ))
+        .unwrap();
+        // A capped run stops early with a resumable error...
+        let err = sweep(&args(&format!("{flags} --max-cells 1"))).unwrap_err();
+        assert!(err.contains("--max-cells"), "{err}");
+        assert!(err.contains("resume"), "{err}");
+        // ...and the re-run resumes the surviving cell, finishing with
+        // output byte-identical to an uncheckpointed sweep.
+        let resumed = sweep(&args(&flags)).unwrap();
+        assert_eq!(fresh, resumed);
+        // A third run resumes everything and still matches.
+        let resumed_all = sweep(&args(&flags)).unwrap();
+        assert_eq!(fresh, resumed_all);
     }
 
     #[test]

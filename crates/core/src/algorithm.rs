@@ -103,6 +103,20 @@ pub enum PipelineError {
         /// The valid names, for the error message.
         known: Vec<String>,
     },
+    /// The sweep checkpoint store could not be opened or written.
+    Checkpoint {
+        /// The checkpoint file involved.
+        path: String,
+        /// The underlying I/O or encoding failure.
+        why: String,
+    },
+    /// A checkpointed sweep stopped early because it reached its
+    /// `--max-cells` cap; the completed cells survive in the checkpoint
+    /// and a re-run with the same `--checkpoint` directory resumes.
+    CellCap {
+        /// Cells freshly computed (and persisted) before stopping.
+        computed: usize,
+    },
 }
 
 impl std::fmt::Display for PipelineError {
@@ -128,6 +142,16 @@ impl std::fmt::Display for PipelineError {
                     f,
                     "unknown {kind} `{name}`; expected one of: {}",
                     known.join(" ")
+                )
+            }
+            PipelineError::Checkpoint { path, why } => {
+                write!(f, "checkpoint `{path}`: {why}")
+            }
+            PipelineError::CellCap { computed } => {
+                write!(
+                    f,
+                    "stopped after {computed} freshly computed cells (--max-cells cap); \
+                     re-run with the same --checkpoint directory to resume"
                 )
             }
         }

@@ -86,12 +86,22 @@
 //!     .find(|(c, _)| c.matcher == "offline-opt").unwrap();
 //! assert_eq!(oracle.ratio, 1.0); // identity × offline-opt reproduces OPT
 //! ```
+//!
+//! Sweeps also scale past one process: [`sweep::run_sweep_partition`]
+//! computes an `i/N` slice of the job-index space into a self-describing
+//! [`PartialSweepReport`] (optionally checkpointed so an interrupted run
+//! resumes instead of recomputing), and [`merge::merge_static`] /
+//! [`merge::merge_dynamic`] validate a partial set (identical config
+//! fingerprints, disjoint full coverage) and reassemble JSON
+//! byte-identical to a single-process run — `pombm sweep --partition i/N
+//! [--checkpoint DIR]` and `pombm merge <partials..>` on the CLI.
 
 pub mod algorithm;
 pub mod arrivals;
 pub mod case_study;
 pub mod dynamic;
 pub mod epochs;
+pub mod merge;
 pub mod pipeline;
 pub mod ratio;
 pub mod registry;
@@ -106,6 +116,7 @@ pub use arrivals::{simulate_stream, ArrivalProcess, StreamReport};
 pub use case_study::{run_case_study, CaseStudyAlgorithm, CaseStudyResult};
 pub use dynamic::{run_dynamic, run_dynamic_spec, run_dynamic_with, DynamicConfig, DynamicOutcome};
 pub use epochs::{run_epochs, run_epochs_with, EpochConfig, EpochMetrics, EpochReport};
+pub use merge::{merge_dynamic, merge_static, MergeError};
 pub use pipeline::{
     run, run_spec, run_spec_with_server, run_with_server, Algorithm, PipelineConfig, RunMetrics,
     RunResult,
@@ -114,6 +125,8 @@ pub use ratio::{empirical_competitive_ratio, offline_optimum, RatioError, RatioR
 pub use registry::{registry, AlgorithmSpec, Registry};
 pub use server::{Server, TreeConstruction};
 pub use sweep::{
-    run_dynamic_sweep, run_sweep, DynamicMeasurement, DynamicSweepCell, DynamicSweepConfig,
-    DynamicSweepReport, SweepCell, SweepConfig, SweepReport,
+    run_dynamic_sweep, run_dynamic_sweep_partition, run_sweep, run_sweep_partition,
+    DynamicMeasurement, DynamicPartialSweepReport, DynamicSweepCell, DynamicSweepConfig,
+    DynamicSweepReport, PartialRunStats, PartialSweepReport, PartitionPlan, PartitionRun,
+    SweepCell, SweepConfig, SweepReport,
 };

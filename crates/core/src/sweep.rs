@@ -46,6 +46,27 @@
 //! and `(seed, size, plan)` alone — identical across pairings — while
 //! noise streams derive from the job index, so dynamic sweeps share the
 //! static sweep's shard-count invariance.
+//!
+//! # Partitioned execution and checkpoints
+//!
+//! Because the job list is a pure function of the configuration, the same
+//! invariance extends across *process* boundaries: a [`PartitionPlan`]
+//! (`i/N`) names a contiguous slice of the job-index space, and
+//! [`run_sweep_partition`] / [`run_dynamic_sweep_partition`] compute just
+//! that slice into a self-describing [`PartialSweepReport`] /
+//! [`DynamicPartialSweepReport`] — partition coordinates, a config
+//! [fingerprint](sweep_fingerprint), the covered index range, and the
+//! cells. The [`crate::merge`] module validates a set of partials
+//! (identical fingerprints, disjoint full coverage) and reassembles them
+//! in job-index order into JSON byte-identical to a single-process run,
+//! so scheduling partitions on different machines is just transport.
+//!
+//! Partitioned runs can also checkpoint: with a checkpoint directory,
+//! every completed cell is appended to a fingerprint-keyed JSONL log as
+//! it finishes, and a re-run (same flavour + fingerprint, any partition
+//! spec) resumes from the surviving entries instead of recomputing them.
+//! Resumed output is byte-identical to a fresh run because cells are
+//! deterministic and the JSON encoding round-trips `f64`s exactly.
 
 use crate::algorithm::{AssignStrategy, DynamicAssignStrategy, PipelineError, ReportMechanism};
 use crate::dynamic::{run_dynamic_spec, DynamicConfig, DynamicOutcome};
@@ -54,10 +75,16 @@ use crate::ratio::{empirical_competitive_ratio, RatioReport};
 use crate::registry::{registry, AlgorithmSpec};
 use parking_lot::Mutex;
 use pombm_geom::seeded_rng;
+use pombm_matching::HstGreedyEngine;
 use pombm_workload::shifts::ShiftPlan;
 use pombm_workload::{synthetic, Instance, SyntheticParams};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// What to sweep: the pairing filter, the instance/ε grid, and the
@@ -250,13 +277,10 @@ fn run_job(job: &Job, base: &PipelineConfig, repetitions: u64, timings: bool) ->
     }
 }
 
-/// Runs the sweep, fanning the `pairing × size × ε` product over
-/// `config.shards` scoped threads.
-///
-/// Fails fast on configuration errors (unknown names, empty grids, zero
-/// shards/repetitions); per-cell measurement failures are recorded in the
-/// cells, not returned.
-pub fn run_sweep(config: &SweepConfig) -> Result<SweepReport, PipelineError> {
+/// Validates the static grid shape and resolves names into the full job
+/// list: the `pairing × size × ε` product in mechanism-major order, each
+/// job carrying a seed derived from its index alone.
+fn build_jobs(config: &SweepConfig) -> Result<Vec<Job>, PipelineError> {
     if config.shards == 0 {
         return Err(PipelineError::InvalidConfig {
             field: "shards",
@@ -306,10 +330,28 @@ pub fn run_sweep(config: &SweepConfig) -> Result<SweepReport, PipelineError> {
             }
         }
     }
+    Ok(jobs)
+}
 
-    let cells = fan_out(&jobs, config.shards, |job| {
+/// Number of jobs (cells) the static sweep grid expands to — the space a
+/// [`PartitionPlan`] slices. Fails on the same configuration errors as
+/// [`run_sweep`].
+pub fn sweep_job_count(config: &SweepConfig) -> Result<usize, PipelineError> {
+    Ok(build_jobs(config)?.len())
+}
+
+/// Runs the sweep, fanning the `pairing × size × ε` product over
+/// `config.shards` scoped threads.
+///
+/// Fails fast on configuration errors (unknown names, empty grids, zero
+/// shards/repetitions); per-cell measurement failures are recorded in the
+/// cells, not returned.
+pub fn run_sweep(config: &SweepConfig) -> Result<SweepReport, PipelineError> {
+    let jobs = build_jobs(config)?;
+    let range = 0..jobs.len();
+    let cells = execute(&jobs, range, config.shards, None, |job| {
         run_job(job, &config.base, config.repetitions, config.timings)
-    });
+    })?;
     Ok(SweepReport {
         seed: config.base.seed,
         repetitions: config.repetitions,
@@ -317,31 +359,587 @@ pub fn run_sweep(config: &SweepConfig) -> Result<SweepReport, PipelineError> {
     })
 }
 
-/// Fans `jobs` over `shards` crossbeam scoped threads: shard `s` takes the
-/// `s`-th contiguous chunk, computes its results locally, and writes them
-/// back under one lock acquisition. Output order equals job order for every
-/// shard count — the shared execution core of both sweep flavours.
-fn fan_out<J: Sync, T: Send>(jobs: &[J], shards: usize, run: impl Fn(&J) -> T + Sync) -> Vec<T> {
-    let chunk = jobs.len().div_ceil(shards).max(1);
-    let out: Mutex<Vec<Option<T>>> = Mutex::new((0..jobs.len()).map(|_| None).collect());
+// ---------------------------------------------------------------------------
+// Partitioned execution
+// ---------------------------------------------------------------------------
+
+/// Flavour tag static partial reports carry in their `flavor` field.
+pub const STATIC_FLAVOR: &str = "static";
+/// Flavour tag dynamic partial reports carry in their `flavor` field.
+pub const DYNAMIC_FLAVOR: &str = "dynamic";
+
+/// A named contiguous `i/N` slice of a sweep's job-index space
+/// (1-based: `1/3`, `2/3`, `3/3`).
+///
+/// The job list is a pure function of the [`SweepConfig`] /
+/// [`DynamicSweepConfig`], so every process that agrees on the
+/// configuration agrees on the job order; a plan only selects *which*
+/// contiguous indices a process computes. Slices are balanced: `total`
+/// jobs split into `N` runs whose lengths differ by at most one, with the
+/// earlier partitions taking the longer runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionPlan {
+    /// 1-based partition number.
+    index: usize,
+    /// Total partitions the job space is split into.
+    count: usize,
+}
+
+impl Default for PartitionPlan {
+    fn default() -> Self {
+        PartitionPlan::full()
+    }
+}
+
+impl PartitionPlan {
+    /// The trivial plan covering the whole job space (`1/1`).
+    pub fn full() -> Self {
+        PartitionPlan { index: 1, count: 1 }
+    }
+
+    /// Plan for partition `index` of `count` (1-based, `1 ≤ index ≤ count`).
+    pub fn new(index: usize, count: usize) -> Result<Self, PipelineError> {
+        if count == 0 || index == 0 || index > count {
+            return Err(PipelineError::InvalidConfig {
+                field: "partition",
+                why: "expected `i/N` with 1 <= i <= N (partitions are 1-based)",
+            });
+        }
+        Ok(PartitionPlan { index, count })
+    }
+
+    /// Parses the CLI form `i/N` (e.g. `2/3`).
+    pub fn parse(s: &str) -> Result<Self, PipelineError> {
+        let parse = || -> Option<(usize, usize)> {
+            let (i, n) = s.split_once('/')?;
+            Some((i.trim().parse().ok()?, n.trim().parse().ok()?))
+        };
+        let Some((index, count)) = parse() else {
+            return Err(PipelineError::InvalidConfig {
+                field: "partition",
+                why: "expected the form `i/N` (e.g. `2/3`)",
+            });
+        };
+        PartitionPlan::new(index, count)
+    }
+
+    /// 1-based partition number.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Total partitions.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The contiguous job-index range this plan covers out of `total`
+    /// jobs. Empty for partitions beyond the job count (`total < N`).
+    pub fn slice(&self, total: usize) -> Range<usize> {
+        let base = total / self.count;
+        let rem = total % self.count;
+        let i = self.index - 1;
+        let start = i * base + i.min(rem);
+        let len = base + usize::from(i < rem);
+        start..start + len
+    }
+}
+
+impl std::fmt::Display for PartitionPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// 64-bit FNV-1a over length-delimited parts; stable across runs and
+/// platforms (unlike `DefaultHasher`, whose output is unspecified).
+fn fingerprint_of(parts: &[String]) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for part in parts {
+        eat(part.as_bytes());
+        eat(&[0xff]); // part delimiter, not valid UTF-8 inside a part
+    }
+    format!("{hash:016x}")
+}
+
+fn pipeline_fingerprint_parts(base: &PipelineConfig) -> Vec<String> {
+    vec![
+        format!("seed={}", base.seed),
+        format!("grid={}", base.grid_side),
+        format!(
+            "engine={}",
+            match base.engine {
+                HstGreedyEngine::Scan => "scan",
+                HstGreedyEngine::Indexed => "indexed",
+            }
+        ),
+        format!("euclid={}", base.euclid_cells),
+        format!("capacity={}", base.capacity),
+        // `threads`, `shards` and `timings` are deliberately absent: they
+        // never change deterministic cell content, so partials produced at
+        // different parallelism levels must merge.
+    ]
+}
+
+fn epsilon_bits(epsilons: &[f64]) -> String {
+    epsilons
+        .iter()
+        .map(|e| format!("{:016x}", e.to_bits()))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Deterministic fingerprint of everything that shapes a static sweep's
+/// job list and cell content: resolved mechanism/matcher names, the
+/// size/ε grids, repetitions, and the output-relevant [`PipelineConfig`]
+/// fields. Two configs with equal fingerprints produce byte-identical
+/// cells for the same job indices; [`crate::merge`] refuses to combine
+/// partials whose fingerprints differ.
+pub fn sweep_fingerprint(config: &SweepConfig) -> Result<String, PipelineError> {
+    let mechanisms = resolve_mechanisms(&config.mechanisms)?;
+    let matchers = resolve_matchers(&config.matchers)?;
+    let mut parts = vec![
+        STATIC_FLAVOR.to_string(),
+        mechanisms
+            .iter()
+            .map(|m| m.name())
+            .collect::<Vec<_>>()
+            .join(","),
+        matchers
+            .iter()
+            .map(|m| m.name())
+            .collect::<Vec<_>>()
+            .join(","),
+        config
+            .sizes
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+        epsilon_bits(&config.epsilons),
+        format!("reps={}", config.repetitions),
+    ];
+    parts.extend(pipeline_fingerprint_parts(&config.base));
+    Ok(fingerprint_of(&parts))
+}
+
+/// Deterministic fingerprint of a dynamic sweep's job list and cell
+/// content; the dynamic counterpart of [`sweep_fingerprint`].
+pub fn dynamic_sweep_fingerprint(config: &DynamicSweepConfig) -> Result<String, PipelineError> {
+    let mechanisms = resolve_mechanisms(&config.mechanisms)?;
+    let matchers = resolve_dynamic_matchers(&config.matchers)?;
+    let plans = resolve_plan_kinds(config)?;
+    let parts = vec![
+        DYNAMIC_FLAVOR.to_string(),
+        mechanisms
+            .iter()
+            .map(|m| m.name())
+            .collect::<Vec<_>>()
+            .join(","),
+        matchers
+            .iter()
+            .map(|m| m.name())
+            .collect::<Vec<_>>()
+            .join(","),
+        plans.join(","),
+        config
+            .sizes
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+        epsilon_bits(&config.epsilons),
+        format!("grid={}", config.grid_side),
+        format!("seed={}", config.seed),
+        format!("horizon={:016x}", DYNAMIC_SWEEP_HORIZON.to_bits()),
+    ];
+    Ok(fingerprint_of(&parts))
+}
+
+/// One partition's worth of a static sweep: self-describing enough for
+/// [`crate::merge::merge_static`] to validate and reassemble a full
+/// [`SweepReport`] from a set of these.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PartialSweepReport {
+    /// Always [`STATIC_FLAVOR`]; lets `pombm merge` sniff mixed inputs.
+    pub flavor: String,
+    /// [`sweep_fingerprint`] of the producing configuration.
+    pub fingerprint: String,
+    /// 1-based partition number, or `0` for a custom
+    /// [`run_sweep_range`] slice.
+    pub partition_index: usize,
+    /// Total partitions, or `0` for a custom slice.
+    pub partition_count: usize,
+    /// Size of the full job-index space this partial was cut from.
+    pub total_jobs: usize,
+    /// First (global) job index this partial covers; it covers
+    /// `start..start + cells.len()`.
+    pub start: usize,
+    /// Root seed of the producing configuration.
+    pub seed: u64,
+    /// Repetitions per cell of the producing configuration.
+    pub repetitions: u64,
+    /// The covered cells, in job-index order.
+    pub cells: Vec<SweepCell>,
+}
+
+impl PartialSweepReport {
+    /// The global job-index range this partial covers.
+    pub fn covers(&self) -> Range<usize> {
+        self.start..self.start + self.cells.len()
+    }
+}
+
+/// One partition's worth of a dynamic sweep; the
+/// [`crate::merge::merge_dynamic`] input mirroring [`PartialSweepReport`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DynamicPartialSweepReport {
+    /// Always [`DYNAMIC_FLAVOR`].
+    pub flavor: String,
+    /// [`dynamic_sweep_fingerprint`] of the producing configuration.
+    pub fingerprint: String,
+    /// 1-based partition number, or `0` for a custom slice.
+    pub partition_index: usize,
+    /// Total partitions, or `0` for a custom slice.
+    pub partition_count: usize,
+    /// Size of the full job-index space this partial was cut from.
+    pub total_jobs: usize,
+    /// First (global) job index this partial covers.
+    pub start: usize,
+    /// Root seed of the producing configuration.
+    pub seed: u64,
+    /// Simulation horizon shared by all cells.
+    pub horizon: f64,
+    /// The covered cells, in job-index order.
+    pub cells: Vec<DynamicSweepCell>,
+}
+
+impl DynamicPartialSweepReport {
+    /// The global job-index range this partial covers.
+    pub fn covers(&self) -> Range<usize> {
+        self.start..self.start + self.cells.len()
+    }
+}
+
+/// How to execute one partition: which slice, and optionally where to
+/// checkpoint completed cells and when to stop early.
+#[derive(Debug, Clone, Default)]
+pub struct PartitionRun {
+    /// The `i/N` slice to compute (default: the full `1/1` space).
+    pub plan: PartitionPlan,
+    /// Checkpoint directory: completed cells are appended to a
+    /// fingerprint-keyed JSONL log as they finish, and cells already in
+    /// the log are resumed instead of recomputed.
+    pub checkpoint: Option<PathBuf>,
+    /// Stop (with [`PipelineError::CellCap`]) after this many *freshly
+    /// computed* cells; requires `checkpoint` so the work survives.
+    pub max_cells: Option<usize>,
+}
+
+/// How a partitioned run's cells were obtained — the resume log the CLI
+/// reports to stderr.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PartialRunStats {
+    /// Cells served from the checkpoint log instead of recomputed.
+    pub resumed: usize,
+    /// Cells freshly computed this run.
+    pub computed: usize,
+}
+
+/// Append-only JSONL store of completed cells, keyed by flavour +
+/// config fingerprint so runs of a different configuration can share one
+/// directory without ever resuming each other's cells. Each line is
+/// `[global_job_index, cell]`; a kill can truncate only the final line,
+/// which (like any unparseable line) is simply recomputed on resume.
+struct CheckpointStore<T> {
+    path: PathBuf,
+    file: Mutex<std::fs::File>,
+    resumed: Mutex<HashMap<usize, T>>,
+}
+
+impl<T: Serialize + Deserialize> CheckpointStore<T> {
+    fn open(dir: &Path, flavor: &str, fingerprint: &str) -> Result<Self, PipelineError> {
+        let err = |path: &Path, why: String| PipelineError::Checkpoint {
+            path: path.display().to_string(),
+            why,
+        };
+        std::fs::create_dir_all(dir).map_err(|e| err(dir, e.to_string()))?;
+        let path = dir.join(format!("{flavor}-{fingerprint}.jsonl"));
+        let mut resumed = HashMap::new();
+        if path.exists() {
+            let text = std::fs::read_to_string(&path).map_err(|e| err(&path, e.to_string()))?;
+            for line in text.lines() {
+                let Ok(entry) = serde_json::from_str::<serde::Value>(line) else {
+                    continue;
+                };
+                let Some(items) = entry.as_array() else {
+                    continue;
+                };
+                if items.len() != 2 {
+                    continue;
+                }
+                let (Some(index), Ok(cell)) = (items[0].as_u64(), T::from_value(&items[1])) else {
+                    continue;
+                };
+                resumed.insert(index as usize, cell);
+            }
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| err(&path, e.to_string()))?;
+        Ok(CheckpointStore {
+            path,
+            file: Mutex::new(file),
+            resumed: Mutex::new(resumed),
+        })
+    }
+
+    fn take(&self, index: usize) -> Option<T> {
+        self.resumed.lock().remove(&index)
+    }
+
+    fn append(&self, index: usize, cell: &T) -> Result<(), PipelineError> {
+        let entry = serde::Value::Array(vec![serde::Value::UInt(index as u64), cell.to_value()]);
+        let mut line = serde_json::to_string(&entry).map_err(|e| PipelineError::Checkpoint {
+            path: self.path.display().to_string(),
+            why: e.to_string(),
+        })?;
+        // One write for payload + newline: with O_APPEND a whole-line write
+        // cannot interleave with another process appending to the same log.
+        line.push('\n');
+        let mut file = self.file.lock();
+        file.write_all(line.as_bytes())
+            .and_then(|_| file.flush())
+            .map_err(|e| PipelineError::Checkpoint {
+                path: self.path.display().to_string(),
+                why: e.to_string(),
+            })
+    }
+}
+
+/// Checkpoint context threaded through [`execute`]: the store, the
+/// fresh-cell cap, and the resume counters.
+struct Checkpointing<T> {
+    store: CheckpointStore<T>,
+    max_cells: Option<usize>,
+    resumed: AtomicUsize,
+    computed: AtomicUsize,
+}
+
+impl<T> Checkpointing<T> {
+    fn stats(&self) -> PartialRunStats {
+        PartialRunStats {
+            resumed: self.resumed.load(Ordering::SeqCst),
+            computed: self.computed.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// Fans `jobs[range]` over `shards` scoped threads: shard `s` takes the
+/// `s`-th contiguous chunk of the slice and computes (or resumes from the
+/// checkpoint) one cell per job, appending fresh cells to the checkpoint
+/// as they finish. Output order equals job order for every shard count —
+/// the shared execution core of both sweep flavours and their partitioned
+/// variants. Checkpoint entries are keyed by *global* job index, so a log
+/// written under one partition spec resumes under any other.
+fn execute<J: Sync, T: Send + Serialize + Deserialize>(
+    jobs: &[J],
+    range: Range<usize>,
+    shards: usize,
+    ckpt: Option<&Checkpointing<T>>,
+    run: impl Fn(&J) -> T + Sync,
+) -> Result<Vec<T>, PipelineError> {
+    let slice = &jobs[range.clone()];
+    let chunk = slice.len().div_ceil(shards).max(1);
+    let out: Mutex<Vec<Option<T>>> = Mutex::new((0..slice.len()).map(|_| None).collect());
+    let fail: Mutex<Option<PipelineError>> = Mutex::new(None);
+    let capped = AtomicBool::new(false);
     crossbeam::thread::scope(|scope| {
-        for (s, slice) in jobs.chunks(chunk).enumerate() {
+        for (s, shard_jobs) in slice.chunks(chunk).enumerate() {
             let out = &out;
+            let fail = &fail;
+            let capped = &capped;
             let run = &run;
+            let start = range.start;
             scope.spawn(move |_| {
-                let local: Vec<T> = slice.iter().map(run).collect();
-                let mut guard = out.lock();
-                for (i, cell) in local.into_iter().enumerate() {
-                    guard[s * chunk + i] = Some(cell);
+                for (i, job) in shard_jobs.iter().enumerate() {
+                    if capped.load(Ordering::SeqCst) || fail.lock().is_some() {
+                        return;
+                    }
+                    let local = s * chunk + i;
+                    let global = start + local;
+                    let cell = match ckpt.and_then(|c| c.store.take(global)) {
+                        Some(resumed) => {
+                            ckpt.expect("take came from ckpt")
+                                .resumed
+                                .fetch_add(1, Ordering::SeqCst);
+                            resumed
+                        }
+                        None => {
+                            if let Some(c) = ckpt {
+                                // Tickets, not a compare: exactly `cap`
+                                // fresh cells get computed even when
+                                // several shards race for the last one.
+                                let ticket = c.computed.fetch_add(1, Ordering::SeqCst);
+                                if c.max_cells.is_some_and(|cap| ticket >= cap) {
+                                    c.computed.fetch_sub(1, Ordering::SeqCst);
+                                    capped.store(true, Ordering::SeqCst);
+                                    return;
+                                }
+                            }
+                            let cell = run(job);
+                            if let Some(c) = ckpt {
+                                if let Err(e) = c.store.append(global, &cell) {
+                                    *fail.lock() = Some(e);
+                                    return;
+                                }
+                            }
+                            cell
+                        }
+                    };
+                    out.lock()[local] = Some(cell);
                 }
             });
         }
     })
     .expect("sweep shards never panic");
-    out.into_inner()
+    if let Some(e) = fail.into_inner() {
+        return Err(e);
+    }
+    if capped.load(Ordering::SeqCst) {
+        return Err(PipelineError::CellCap {
+            computed: ckpt.map_or(0, |c| c.computed.load(Ordering::SeqCst)),
+        });
+    }
+    Ok(out
+        .into_inner()
         .into_iter()
         .map(|c| c.expect("every job produces exactly one cell"))
-        .collect()
+        .collect())
+}
+
+/// Validates a custom slice against the job space and the
+/// checkpoint/cap pairing rules shared by both flavours.
+fn check_slice(
+    range: &Range<usize>,
+    total: usize,
+    checkpoint: Option<&Path>,
+    max_cells: Option<usize>,
+) -> Result<(), PipelineError> {
+    if range.start > range.end || range.end > total {
+        return Err(PipelineError::InvalidConfig {
+            field: "partition",
+            why: "the covered range must lie inside the job-index space",
+        });
+    }
+    if max_cells.is_some() && checkpoint.is_none() {
+        return Err(PipelineError::InvalidConfig {
+            field: "max-cells",
+            why: "--max-cells requires --checkpoint (capped work must survive to be resumed)",
+        });
+    }
+    if max_cells == Some(0) {
+        return Err(PipelineError::InvalidConfig {
+            field: "max-cells",
+            why: "--max-cells must be at least 1 (a zero-cell cap can never make progress)",
+        });
+    }
+    Ok(())
+}
+
+/// `slice_of` maps the job-space size to the covered range, so callers
+/// with an `i/N` plan never build the job list twice just to learn its
+/// length.
+fn run_static_slice(
+    config: &SweepConfig,
+    slice_of: impl FnOnce(usize) -> Range<usize>,
+    partition_index: usize,
+    partition_count: usize,
+    checkpoint: Option<&Path>,
+    max_cells: Option<usize>,
+) -> Result<(PartialSweepReport, PartialRunStats), PipelineError> {
+    let jobs = build_jobs(config)?;
+    let range = slice_of(jobs.len());
+    check_slice(&range, jobs.len(), checkpoint, max_cells)?;
+    let fingerprint = sweep_fingerprint(config)?;
+    let ckpt = checkpoint
+        .map(|dir| -> Result<Checkpointing<SweepCell>, PipelineError> {
+            Ok(Checkpointing {
+                store: CheckpointStore::open(dir, STATIC_FLAVOR, &fingerprint)?,
+                max_cells,
+                resumed: AtomicUsize::new(0),
+                computed: AtomicUsize::new(0),
+            })
+        })
+        .transpose()?;
+    let mut cells = execute(&jobs, range.clone(), config.shards, ckpt.as_ref(), |job| {
+        run_job(job, &config.base, config.repetitions, config.timings)
+    })?;
+    if !config.timings {
+        // Resumed cells may carry `wall_ms` from a `--timings` run of the
+        // same fingerprint; normalize so resumed output stays
+        // byte-identical to a fresh timings-off run.
+        for cell in &mut cells {
+            cell.wall_ms = None;
+        }
+    }
+    let stats = ckpt.map_or(
+        PartialRunStats {
+            resumed: 0,
+            computed: cells.len(),
+        },
+        |c| c.stats(),
+    );
+    Ok((
+        PartialSweepReport {
+            flavor: STATIC_FLAVOR.to_string(),
+            fingerprint,
+            partition_index,
+            partition_count,
+            total_jobs: jobs.len(),
+            start: range.start,
+            seed: config.base.seed,
+            repetitions: config.repetitions,
+            cells,
+        },
+        stats,
+    ))
+}
+
+/// Runs one partition of the static sweep (optionally checkpointed),
+/// returning the self-describing partial report plus resume statistics.
+/// Deterministic like [`run_sweep`]: the same `(config, plan)` produces
+/// byte-identical partials at any shard count, fresh or resumed.
+pub fn run_sweep_partition(
+    config: &SweepConfig,
+    run: &PartitionRun,
+) -> Result<(PartialSweepReport, PartialRunStats), PipelineError> {
+    run_static_slice(
+        config,
+        |total| run.plan.slice(total),
+        run.plan.index(),
+        run.plan.count(),
+        run.checkpoint.as_deref(),
+        run.max_cells,
+    )
+}
+
+/// Runs an arbitrary contiguous job-index slice of the static sweep —
+/// the building block for custom (ragged) schedulers; `partition_index` /
+/// `partition_count` are recorded as `0` ("custom slice").
+pub fn run_sweep_range(
+    config: &SweepConfig,
+    range: Range<usize>,
+) -> Result<PartialSweepReport, PipelineError> {
+    run_static_slice(config, move |_| range, 0, 0, None, None).map(|(partial, _)| partial)
 }
 
 // ---------------------------------------------------------------------------
@@ -602,15 +1200,25 @@ fn run_dynamic_job(
     }
 }
 
-/// Runs the dynamic sweep, fanning the
-/// `pairing × plan × size × ε` product over `config.shards` scoped
-/// threads. Deterministic in `config.seed` for every shard count, exactly
-/// like [`run_sweep`].
-///
-/// Fails fast on configuration errors (unknown mechanism / dynamic matcher
-/// / plan names, empty grids, zero shards); per-cell failures (e.g. the
-/// blind mechanism into a location-aware pool) are recorded in the cells.
-pub fn run_dynamic_sweep(config: &DynamicSweepConfig) -> Result<DynamicSweepReport, PipelineError> {
+/// The shift-plan kinds a dynamic sweep replays: the explicit filter, or
+/// all of [`SHIFT_PLAN_KINDS`] when empty — validated upfront so the
+/// fan-out cannot panic.
+fn resolve_plan_kinds(config: &DynamicSweepConfig) -> Result<Vec<String>, PipelineError> {
+    let plans: Vec<String> = if config.shift_plans.is_empty() {
+        SHIFT_PLAN_KINDS.iter().map(|s| s.to_string()).collect()
+    } else {
+        config.shift_plans.clone()
+    };
+    for kind in &plans {
+        dynamic_shift_plan(kind, 1, 0)?;
+    }
+    Ok(plans)
+}
+
+/// Validates the dynamic grid shape and resolves names into the full job
+/// list (mechanism-major, then matcher, plan, size, ε), each job seeded
+/// by its index alone.
+fn build_dynamic_jobs(config: &DynamicSweepConfig) -> Result<Vec<DynamicJob>, PipelineError> {
     if config.shards == 0 {
         return Err(PipelineError::InvalidConfig {
             field: "shards",
@@ -631,15 +1239,7 @@ pub fn run_dynamic_sweep(config: &DynamicSweepConfig) -> Result<DynamicSweepRepo
     }
     let mechanisms = resolve_mechanisms(&config.mechanisms)?;
     let matchers = resolve_dynamic_matchers(&config.matchers)?;
-    let plans: Vec<String> = if config.shift_plans.is_empty() {
-        SHIFT_PLAN_KINDS.iter().map(|s| s.to_string()).collect()
-    } else {
-        config.shift_plans.clone()
-    };
-    for kind in &plans {
-        // Validate every plan name upfront so the fan-out cannot panic.
-        dynamic_shift_plan(kind, 1, 0)?;
-    }
+    let plans = resolve_plan_kinds(config)?;
 
     let mut jobs = Vec::new();
     for mechanism in &mechanisms {
@@ -663,15 +1263,118 @@ pub fn run_dynamic_sweep(config: &DynamicSweepConfig) -> Result<DynamicSweepRepo
             }
         }
     }
+    Ok(jobs)
+}
 
-    let cells = fan_out(&jobs, config.shards, |job| {
+/// Number of jobs (cells) the dynamic sweep grid expands to.
+pub fn dynamic_sweep_job_count(config: &DynamicSweepConfig) -> Result<usize, PipelineError> {
+    Ok(build_dynamic_jobs(config)?.len())
+}
+
+/// Runs the dynamic sweep, fanning the
+/// `pairing × plan × size × ε` product over `config.shards` scoped
+/// threads. Deterministic in `config.seed` for every shard count, exactly
+/// like [`run_sweep`].
+///
+/// Fails fast on configuration errors (unknown mechanism / dynamic matcher
+/// / plan names, empty grids, zero shards); per-cell failures (e.g. the
+/// blind mechanism into a location-aware pool) are recorded in the cells.
+pub fn run_dynamic_sweep(config: &DynamicSweepConfig) -> Result<DynamicSweepReport, PipelineError> {
+    let jobs = build_dynamic_jobs(config)?;
+    let range = 0..jobs.len();
+    let cells = execute(&jobs, range, config.shards, None, |job| {
         run_dynamic_job(job, config.grid_side, config.seed, config.timings)
-    });
+    })?;
     Ok(DynamicSweepReport {
         seed: config.seed,
         horizon: DYNAMIC_SWEEP_HORIZON,
         cells,
     })
+}
+
+/// `slice_of` maps the job-space size to the covered range, mirroring
+/// [`run_static_slice`].
+fn run_dynamic_slice(
+    config: &DynamicSweepConfig,
+    slice_of: impl FnOnce(usize) -> Range<usize>,
+    partition_index: usize,
+    partition_count: usize,
+    checkpoint: Option<&Path>,
+    max_cells: Option<usize>,
+) -> Result<(DynamicPartialSweepReport, PartialRunStats), PipelineError> {
+    let jobs = build_dynamic_jobs(config)?;
+    let range = slice_of(jobs.len());
+    check_slice(&range, jobs.len(), checkpoint, max_cells)?;
+    let fingerprint = dynamic_sweep_fingerprint(config)?;
+    let ckpt = checkpoint
+        .map(
+            |dir| -> Result<Checkpointing<DynamicSweepCell>, PipelineError> {
+                Ok(Checkpointing {
+                    store: CheckpointStore::open(dir, DYNAMIC_FLAVOR, &fingerprint)?,
+                    max_cells,
+                    resumed: AtomicUsize::new(0),
+                    computed: AtomicUsize::new(0),
+                })
+            },
+        )
+        .transpose()?;
+    let mut cells = execute(&jobs, range.clone(), config.shards, ckpt.as_ref(), |job| {
+        run_dynamic_job(job, config.grid_side, config.seed, config.timings)
+    })?;
+    if !config.timings {
+        // Resumed cells may carry `wall_ms` from a `--timings` run of the
+        // same fingerprint; normalize so resumed output stays
+        // byte-identical to a fresh timings-off run.
+        for cell in &mut cells {
+            cell.wall_ms = None;
+        }
+    }
+    let stats = ckpt.map_or(
+        PartialRunStats {
+            resumed: 0,
+            computed: cells.len(),
+        },
+        |c| c.stats(),
+    );
+    Ok((
+        DynamicPartialSweepReport {
+            flavor: DYNAMIC_FLAVOR.to_string(),
+            fingerprint,
+            partition_index,
+            partition_count,
+            total_jobs: jobs.len(),
+            start: range.start,
+            seed: config.seed,
+            horizon: DYNAMIC_SWEEP_HORIZON,
+            cells,
+        },
+        stats,
+    ))
+}
+
+/// Runs one partition of the dynamic sweep (optionally checkpointed); the
+/// dynamic counterpart of [`run_sweep_partition`].
+pub fn run_dynamic_sweep_partition(
+    config: &DynamicSweepConfig,
+    run: &PartitionRun,
+) -> Result<(DynamicPartialSweepReport, PartialRunStats), PipelineError> {
+    run_dynamic_slice(
+        config,
+        |total| run.plan.slice(total),
+        run.plan.index(),
+        run.plan.count(),
+        run.checkpoint.as_deref(),
+        run.max_cells,
+    )
+}
+
+/// Runs an arbitrary contiguous job-index slice of the dynamic sweep; the
+/// dynamic counterpart of [`run_sweep_range`].
+pub fn run_dynamic_sweep_range(
+    config: &DynamicSweepConfig,
+    range: Range<usize>,
+) -> Result<DynamicPartialSweepReport, PipelineError> {
+    run_dynamic_slice(config, move |_| range, 0, 0, None, None).map(|(partial, _)| partial)
 }
 
 #[cfg(test)]
