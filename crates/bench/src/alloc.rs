@@ -26,7 +26,9 @@ pub struct CountingAllocator;
 // SAFETY: delegates directly to `System`; the counter updates do not
 // allocate and are async-signal-safe atomics.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: contract — same as `GlobalAlloc::alloc` (nonzero layout).
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: `layout` is forwarded unchanged from our own contract.
         let p = unsafe { System.alloc(layout) };
         if !p.is_null() {
             let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
@@ -35,12 +37,18 @@ unsafe impl GlobalAlloc for CountingAllocator {
         p
     }
 
+    // SAFETY: contract — `ptr` came from this allocator with `layout`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: our caller guarantees `ptr`/`layout` match an earlier
+        // `alloc`, which we delegated to `System`.
         unsafe { System.dealloc(ptr, layout) };
         LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
     }
 
+    // SAFETY: contract — same as `GlobalAlloc::realloc`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // SAFETY: `ptr`/`layout`/`new_size` are forwarded unchanged from
+        // our own contract, and the underlying blocks live in `System`.
         let p = unsafe { System.realloc(ptr, layout, new_size) };
         if !p.is_null() {
             if new_size >= layout.size() {

@@ -38,6 +38,7 @@ impl Report {
     }
 
     /// Appends a row.
+    // One argument per report column; a row struct would just rename them.
     #[allow(clippy::too_many_arguments)]
     pub fn push(
         &mut self,

@@ -7,16 +7,20 @@
 //! collected as positionals (`pombm merge a.json b.json`); commands that
 //! take none reject them via [`Args::check_no_positionals`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::str::FromStr;
 
 /// Parsed command line: one command word, positionals, and flags.
+///
+/// Flags live in a `BTreeMap` so that [`Args::check_known`] reports the
+/// alphabetically first unknown flag regardless of hash seeding — error
+/// messages are part of the deterministic surface too.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     /// The leading non-flag token, e.g. `run`.
     pub command: Option<String>,
     positionals: Vec<String>,
-    flags: HashMap<String, Option<String>>,
+    flags: BTreeMap<String, Option<String>>,
 }
 
 impl Args {

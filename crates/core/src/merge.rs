@@ -149,6 +149,7 @@ impl std::error::Error for MergeError {}
 /// The accessor-per-field shape (rather than a trait) keeps the two
 /// partial types plain serializable structs; the argument count is the
 /// cost of that.
+// One accessor argument per compared field — see the doc note above.
 #[allow(clippy::too_many_arguments)]
 fn assemble<'a, P, C>(
     partials: &'a [P],

@@ -204,6 +204,8 @@ pub fn run_spec(
     config: &PipelineConfig,
     repetition: u64,
 ) -> Result<RunResult, PipelineError> {
+    // lint: allow(DET-TIME) — stage timing for RunMetrics.wall_ms, which
+    // the sweep strips before fingerprinting.
     let setup_start = Instant::now();
     let server = spec.needs_server().then(|| {
         Server::new(
@@ -239,6 +241,8 @@ pub fn run_spec_with_server(
     // One concatenated batch, split afterwards: a custom mechanism whose
     // reporter carries cross-report state sees the same single
     // worker-then-task stream the pre-batch driver fed it.
+    // lint: allow(DET-TIME) — stage timing for RunMetrics.wall_ms, which
+    // the sweep strips before fingerprinting.
     let obf_start = Instant::now();
     let mut locations = Vec::with_capacity(instance.num_workers() + instance.num_tasks());
     locations.extend_from_slice(&instance.workers);
@@ -263,6 +267,8 @@ pub fn run_spec_with_server(
         mech_rng: &mut mech_rng,
         tie_rng: &mut tie_rng,
     };
+    // lint: allow(DET-TIME) — stage timing for RunMetrics.wall_ms, which
+    // the sweep strips before fingerprinting.
     let assign_start = Instant::now();
     let matching = spec.matcher.assign(reports, &mut ctx)?;
     let assign_time = assign_start.elapsed();
@@ -291,6 +297,7 @@ pub fn run_spec_with_server(
 /// Tasks must be unique always; workers only for non-capacitated matchers.
 fn valid_for(matching: &Matching, reuses_workers: bool) -> bool {
     if reuses_workers {
+        // lint: allow(DET-HASH) — membership test only; never iterated.
         let mut tasks = std::collections::HashSet::new();
         matching.pairs.iter().all(|&(t, _)| tasks.insert(t))
     } else {

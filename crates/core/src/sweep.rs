@@ -253,6 +253,8 @@ fn resolve_matchers(names: &[String]) -> Result<Vec<Arc<dyn AssignStrategy>>, Pi
 }
 
 fn run_job(job: &Job, base: &PipelineConfig, repetitions: u64, timings: bool) -> SweepCell {
+    // lint: allow(DET-TIME) — the timings-gated wall_ms path itself; the
+    // merge strips wall_ms before fingerprinting.
     let started = timings.then(std::time::Instant::now);
     let instance = sweep_instance(base.seed, job.size);
     let config = PipelineConfig {
@@ -660,6 +662,8 @@ pub struct PartialRunStats {
 struct CheckpointStore<T> {
     path: PathBuf,
     file: Mutex<std::fs::File>,
+    // lint: allow(DET-HASH) — keyed lookups via remove(&index) only; cells
+    // are re-emitted in job order, never in map order.
     resumed: Mutex<HashMap<usize, T>>,
 }
 
@@ -671,6 +675,7 @@ impl<T: Serialize + Deserialize> CheckpointStore<T> {
         };
         std::fs::create_dir_all(dir).map_err(|e| err(dir, e.to_string()))?;
         let path = dir.join(format!("{flavor}-{fingerprint}.jsonl"));
+        // lint: allow(DET-HASH) — see the field note: lookups only.
         let mut resumed = HashMap::new();
         if path.exists() {
             let text = std::fs::read_to_string(&path).map_err(|e| err(&path, e.to_string()))?;
@@ -1166,6 +1171,8 @@ fn run_dynamic_job(
     seed: u64,
     timings: bool,
 ) -> DynamicSweepCell {
+    // lint: allow(DET-TIME) — the timings-gated wall_ms path itself; the
+    // merge strips wall_ms before fingerprinting.
     let started = timings.then(std::time::Instant::now);
     let instance = sweep_instance(seed, job.size);
     let times = dynamic_task_times(seed, job.size);

@@ -21,6 +21,8 @@ use std::collections::HashMap;
 pub struct SubtreeCounter {
     ctx: CodeContext,
     /// Occupancy count per visited virtual node, keyed by (level, prefix).
+    // lint: allow(DET-HASH) — per-key lookups on the hot assign path; the
+    // map is never iterated.
     counts: HashMap<(u32, u64), u32>,
     /// Total number of leaves currently in the multiset (with multiplicity).
     len: usize,
@@ -31,6 +33,7 @@ impl SubtreeCounter {
     pub fn new(ctx: CodeContext) -> Self {
         SubtreeCounter {
             ctx,
+            // lint: allow(DET-HASH) — see the field note: lookups only.
             counts: HashMap::new(),
             len: 0,
         }

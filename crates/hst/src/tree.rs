@@ -42,9 +42,11 @@ pub struct Hst {
     /// `leaf_code[p]` is the complete-tree code of point `p`'s leaf.
     leaf_code: Vec<LeafCode>,
     /// Inverse mapping for real leaves.
+    // lint: allow(DET-HASH) — code-to-point lookups only; never iterated.
     point_of: HashMap<LeafCode, PointId>,
     /// Representative real point per occupied virtual node, keyed by
     /// `(level, prefix)`: the lowest-id point whose leaf lies beneath.
+    // lint: allow(DET-HASH) — per-node lookups only; never iterated.
     representative: HashMap<(u32, u64), PointId>,
 }
 
@@ -96,6 +98,7 @@ impl Hst {
         // A real leaf's code concatenates the child indices on the
         // root-to-leaf path, most significant digit first.
         let mut leaf_code = vec![LeafCode(0); points.len()];
+        // lint: allow(DET-HASH) — see the field note: lookups only.
         let mut point_of = HashMap::with_capacity(points.len());
         for (p, code) in leaf_code.iter_mut().enumerate() {
             let mut digits = vec![0u32; raw.depth as usize];
@@ -119,6 +122,7 @@ impl Hst {
         // Representatives: for every ancestor prefix of every real leaf,
         // remember the lowest-id resident point. Fake leaves inherit the
         // representative of their lowest ancestor that contains real leaves.
+        // lint: allow(DET-HASH) — see the field note: lookups only.
         let mut representative: HashMap<(u32, u64), PointId> = HashMap::new();
         for (p, &code) in leaf_code.iter().enumerate() {
             for level in 0..=ctx.depth {

@@ -155,6 +155,7 @@ pub fn decode(mut data: Bytes) -> Result<PublishedHst, DecodeError> {
 
     let mut points = Vec::with_capacity(n);
     let mut leaf_codes = Vec::with_capacity(n);
+    // lint: allow(DET-HASH) — duplicate-code check only; never iterated.
     let mut seen = std::collections::HashSet::with_capacity(n);
     for _ in 0..n {
         let x = data.get_f64();

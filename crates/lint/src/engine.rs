@@ -1,0 +1,327 @@
+//! Workspace orchestration: file discovery, the rule pipeline, the
+//! unsafe census with its ratcheted baseline, and report rendering
+//! (human and `--json`) with deterministic, path/line-sorted output.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use serde_json::Value;
+
+use crate::rules::{
+    check_allow_attrs, check_det_rules, check_tf_reach, check_unsafe_safety, collect_tf_defs,
+    unsafe_sites, Diagnostic, FileCtx, UNSAFE_BASELINE,
+};
+
+/// One input file: repo-relative path (forward slashes) plus contents.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Repo-relative path, e.g. `crates/matching/src/offline.rs`.
+    pub path: String,
+    /// Full source text.
+    pub src: String,
+}
+
+/// The set of files to audit.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    /// Files in sorted path order.
+    pub files: Vec<SourceFile>,
+}
+
+/// The outcome of one lint run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// All findings, sorted by `(path, line, col, rule)`.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Per-crate `unsafe` keyword counts (key: `crates/<name>` or
+    /// `shims/<name>`), only crates with a nonzero count.
+    pub unsafe_census: BTreeMap<String, usize>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of waiver pragmas parsed across the workspace.
+    pub waivers: usize,
+}
+
+impl Workspace {
+    /// Walks `<root>/crates` and `<root>/shims` for `.rs` files, skipping
+    /// any directory named `target`. Paths are stored relative to `root`.
+    pub fn load(root: &Path) -> Result<Workspace, String> {
+        let mut files = Vec::new();
+        let mut found_any_dir = false;
+        for top in ["crates", "shims"] {
+            let dir = root.join(top);
+            if !dir.is_dir() {
+                continue;
+            }
+            found_any_dir = true;
+            let mut paths = Vec::new();
+            collect_rs_files(&dir, &mut paths)?;
+            for p in paths {
+                let rel = p
+                    .strip_prefix(root)
+                    .unwrap_or(&p)
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                let src = std::fs::read_to_string(&p)
+                    .map_err(|e| format!("cannot read {}: {e}", p.display()))?;
+                files.push(SourceFile { path: rel, src });
+            }
+        }
+        if !found_any_dir {
+            return Err(format!(
+                "no `crates/` or `shims/` directory under {}",
+                root.display()
+            ));
+        }
+        files.sort_by(|a, b| a.path.cmp(&b.path));
+        Ok(Workspace { files })
+    }
+
+    /// Builds a workspace from in-memory `(path, source)` pairs — the
+    /// test entry point.
+    pub fn from_files(files: Vec<(&str, &str)>) -> Workspace {
+        let mut files: Vec<SourceFile> = files
+            .into_iter()
+            .map(|(p, s)| SourceFile {
+                path: p.to_string(),
+                src: s.to_string(),
+            })
+            .collect();
+        files.sort_by(|a, b| a.path.cmp(&b.path));
+        Workspace { files }
+    }
+
+    /// Runs every rule over every file and assembles the report.
+    pub fn lint(&self) -> Report {
+        let mut diags: Vec<Diagnostic> = Vec::new();
+        let ctxs: Vec<FileCtx> = self
+            .files
+            .iter()
+            .map(|f| FileCtx::build(f.path.clone(), f.src.clone(), &mut diags))
+            .collect();
+
+        let mut census: BTreeMap<String, usize> = BTreeMap::new();
+        let mut all_defs = Vec::new();
+        for (idx, ctx) in ctxs.iter().enumerate() {
+            check_unsafe_safety(ctx, &mut diags);
+            check_det_rules(ctx, &mut diags);
+            check_allow_attrs(ctx, &mut diags);
+            all_defs.extend(collect_tf_defs(ctx, idx, &mut diags));
+            let n = unsafe_sites(ctx).len();
+            if n > 0 {
+                *census.entry(crate_key(&ctx.path)).or_insert(0) += n;
+            }
+        }
+        for idx in 0..ctxs.len() {
+            check_tf_reach(&ctxs, &all_defs, idx, &mut diags);
+        }
+
+        diags.sort_by(|a, b| {
+            (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+        });
+        diags.dedup();
+        Report {
+            diagnostics: diags,
+            unsafe_census: census,
+            files_scanned: ctxs.len(),
+            waivers: ctxs.iter().map(|c| c.waivers.len()).sum(),
+        }
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+    let mut entries: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The census key for a file: its first two path components
+/// (`crates/matching`), or the first for files directly under the root.
+pub fn crate_key(path: &str) -> String {
+    let mut parts = path.split('/');
+    match (parts.next(), parts.next()) {
+        (Some(a), Some(b)) if b.contains('.') => a.to_string(),
+        (Some(a), Some(b)) => format!("{a}/{b}"),
+        (Some(a), None) => a.to_string(),
+        _ => path.to_string(),
+    }
+}
+
+impl Report {
+    /// True when no rule fired.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Diffs the census against a baseline file's contents, appending an
+    /// [`UNSAFE_BASELINE`] diagnostic per drifted crate. The ratchet is
+    /// two-sided: growth means new unaudited `unsafe`; shrinkage means the
+    /// baseline overstates the audit surface and must be ratcheted down.
+    pub fn check_baseline(
+        &mut self,
+        baseline_json: &str,
+        baseline_path: &str,
+    ) -> Result<(), String> {
+        let value: Value = serde_json::from_str(baseline_json)
+            .map_err(|e| format!("cannot parse baseline {baseline_path}: {e:?}"))?;
+        let Value::Object(top) = &value else {
+            return Err(format!("baseline {baseline_path}: expected a JSON object"));
+        };
+        let counts = top
+            .iter()
+            .find(|(k, _)| k == "unsafe")
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("baseline {baseline_path}: missing `unsafe` object"))?;
+        let Value::Object(pairs) = counts else {
+            return Err(format!(
+                "baseline {baseline_path}: `unsafe` must be an object"
+            ));
+        };
+        let mut baseline: BTreeMap<String, usize> = BTreeMap::new();
+        for (k, v) in pairs {
+            let n = match v {
+                Value::UInt(n) => *n as usize,
+                Value::Int(n) if *n >= 0 => *n as usize,
+                _ => return Err(format!("baseline {baseline_path}: `{k}` must be a count")),
+            };
+            baseline.insert(k.clone(), n);
+        }
+        let mut drifted: Vec<Diagnostic> = Vec::new();
+        for (key, &have) in &self.unsafe_census {
+            let want = baseline.get(key).copied().unwrap_or(0);
+            if have > want {
+                drifted.push(Diagnostic {
+                    rule: UNSAFE_BASELINE,
+                    path: key.clone(),
+                    line: 0,
+                    col: 0,
+                    message: format!(
+                        "unsafe count grew {want} -> {have}: audit the new sites \
+                         (SAFETY comments), then regenerate {baseline_path} with \
+                         --update-baseline"
+                    ),
+                });
+            } else if have < want {
+                drifted.push(Diagnostic {
+                    rule: UNSAFE_BASELINE,
+                    path: key.clone(),
+                    line: 0,
+                    col: 0,
+                    message: format!(
+                        "unsafe count shrank {want} -> {have}: ratchet the baseline \
+                         down with --update-baseline"
+                    ),
+                });
+            }
+        }
+        for (key, &want) in &baseline {
+            if want > 0 && !self.unsafe_census.contains_key(key) {
+                drifted.push(Diagnostic {
+                    rule: UNSAFE_BASELINE,
+                    path: key.clone(),
+                    line: 0,
+                    col: 0,
+                    message: format!(
+                        "unsafe count shrank {want} -> 0: ratchet the baseline down \
+                         with --update-baseline"
+                    ),
+                });
+            }
+        }
+        self.diagnostics.extend(drifted);
+        self.diagnostics.sort_by(|a, b| {
+            (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+        });
+        Ok(())
+    }
+
+    /// Serializes the census in the baseline file format.
+    pub fn baseline_json(&self) -> String {
+        let pairs: Vec<(String, Value)> = self
+            .unsafe_census
+            .iter()
+            .map(|(k, &v)| (k.clone(), Value::UInt(v as u64)))
+            .collect();
+        let top = Value::Object(vec![
+            ("version".to_string(), Value::UInt(1)),
+            ("unsafe".to_string(), Value::Object(pairs)),
+        ]);
+        let mut s = serde_json::to_string_pretty(&top).expect("baseline JSON is finite");
+        s.push('\n');
+        s
+    }
+
+    /// The full machine-readable report (stable field order, sorted
+    /// diagnostics — byte-identical across runs).
+    pub fn to_json(&self) -> String {
+        let diags: Vec<Value> = self
+            .diagnostics
+            .iter()
+            .map(|d| {
+                Value::Object(vec![
+                    ("rule".to_string(), Value::Str(d.rule.to_string())),
+                    ("path".to_string(), Value::Str(d.path.clone())),
+                    ("line".to_string(), Value::UInt(d.line as u64)),
+                    ("col".to_string(), Value::UInt(d.col as u64)),
+                    ("message".to_string(), Value::Str(d.message.clone())),
+                ])
+            })
+            .collect();
+        let census: Vec<(String, Value)> = self
+            .unsafe_census
+            .iter()
+            .map(|(k, &v)| (k.clone(), Value::UInt(v as u64)))
+            .collect();
+        let top = Value::Object(vec![
+            ("version".to_string(), Value::UInt(1)),
+            (
+                "files_scanned".to_string(),
+                Value::UInt(self.files_scanned as u64),
+            ),
+            ("waivers".to_string(), Value::UInt(self.waivers as u64)),
+            ("diagnostics".to_string(), Value::Array(diags)),
+            ("unsafe_census".to_string(), Value::Object(census)),
+        ]);
+        serde_json::to_string(&top).expect("report JSON is finite")
+    }
+
+    /// Human-readable rendering: one `path:line:col: RULE: message` line
+    /// per finding plus a summary trailer.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!(
+                "{}:{}:{}: {}: {}\n",
+                d.path, d.line, d.col, d.rule, d.message
+            ));
+        }
+        let total_unsafe: usize = self.unsafe_census.values().sum();
+        if self.diagnostics.is_empty() {
+            out.push_str(&format!(
+                "pombm-lint: clean ({} files, {} waivers, {} unsafe sites)\n",
+                self.files_scanned, self.waivers, total_unsafe
+            ));
+        } else {
+            out.push_str(&format!(
+                "pombm-lint: {} diagnostic(s) in {} file(s) scanned\n",
+                self.diagnostics.len(),
+                self.files_scanned
+            ));
+        }
+        out
+    }
+}

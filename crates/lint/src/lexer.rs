@@ -1,0 +1,352 @@
+//! A minimal hand-rolled Rust lexer: just enough token structure for
+//! text-level rules to be exact about *where code is* and *where it isn't*.
+//!
+//! The lexer partitions a source file into a contiguous sequence of tokens:
+//! plain [`TokKind::Code`] runs interleaved with line comments, (nested)
+//! block comments, string literals, raw string literals (any `#` count,
+//! with `b` prefixes), and char/byte-char literals. It does **not** parse
+//! Rust — it only needs to never confuse the four lexical worlds (code,
+//! comment, string, char), because every rule in [`crate::rules`] matches
+//! words against the *masked* views this module produces:
+//!
+//! * [`Lexed::masked`] — comments **and** literal bodies blanked to spaces
+//!   (newlines kept), so `"unsafe"` in a string or `// HashMap` in a
+//!   comment can never trip a rule;
+//! * [`Lexed::code`] — only comments blanked, literals kept, used where a
+//!   rule must read string contents (e.g. the feature name inside
+//!   `is_x86_feature_detected!("avx2")`).
+//!
+//! Both views are byte-for-byte the same length as the source, so every
+//! offset is simultaneously valid in all three strings and the
+//! line/column mapping ([`Lexed::line_col`]) is shared.
+//!
+//! Classic traps handled: nested block comments (`/* a /* b */ c */`),
+//! raw strings with arbitrary hash fences (`r##"…"##`), raw *identifiers*
+//! (`r#fn` is code, not a raw string), byte and byte-raw strings, and the
+//! char-literal/lifetime ambiguity (`'a'` is a literal, `<'a, 'b>` is
+//! code). Unterminated comments or strings extend to end of file rather
+//! than failing: a linter must degrade gracefully on torn input.
+
+/// Byte range `[start, end)` into the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// First byte of the token.
+    pub start: usize,
+    /// One past the last byte of the token.
+    pub end: usize,
+}
+
+/// Lexical class of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// A run of ordinary code (identifiers, punctuation, lifetimes…).
+    Code,
+    /// `// …` to end of line (doc comments `///` and `//!` included).
+    LineComment,
+    /// `/* … */`, nesting respected (doc comments `/** … */` included).
+    BlockComment,
+    /// `"…"` or `b"…"` with escapes.
+    Str,
+    /// `r"…"`, `r#"…"#`, `br##"…"##` — any hash count.
+    RawStr,
+    /// `'x'`, `'\n'`, `b'q'` — char and byte-char literals.
+    Char,
+}
+
+/// One token: a kind plus its span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tok {
+    /// Lexical class.
+    pub kind: TokKind,
+    /// Byte range in the source.
+    pub span: Span,
+}
+
+/// The result of lexing one file: the token tiling plus masked views.
+#[derive(Debug, Clone)]
+pub struct Lexed {
+    /// Tokens in source order; their spans tile `[0, len)` exactly.
+    pub toks: Vec<Tok>,
+    /// Source with comments and literal bodies blanked to spaces.
+    pub masked: String,
+    /// Source with only comments blanked (literals kept).
+    pub code: String,
+    /// Byte offset of the start of each (0-based) line.
+    pub line_starts: Vec<usize>,
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn utf8_len(lead: u8) -> usize {
+    if lead < 0x80 {
+        1
+    } else if lead < 0xE0 {
+        2
+    } else if lead < 0xF0 {
+        3
+    } else {
+        4
+    }
+}
+
+/// Scans a normal (escaped) string body starting just after the opening
+/// quote; returns the offset one past the closing quote (or EOF).
+fn scan_string(b: &[u8], mut j: usize) -> usize {
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    b.len()
+}
+
+/// Attempts a raw-string fence at `j` (pointing at `#`s or the opening
+/// quote). Returns the offset one past the closing fence, or `None` if
+/// this is not a raw string (e.g. a raw identifier like `r#fn`).
+fn scan_raw_string(b: &[u8], mut j: usize) -> Option<usize> {
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'"' {
+        return None;
+    }
+    j += 1;
+    while j < b.len() {
+        if b[j] == b'"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while seen < hashes && k < b.len() && b[k] == b'#' {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return Some(k);
+            }
+        }
+        j += 1;
+    }
+    Some(b.len())
+}
+
+/// Attempts a char/byte-char literal whose opening quote is at `q`.
+/// Returns the offset one past the closing quote, or `None` for a
+/// lifetime (or torn input).
+fn scan_char(b: &[u8], q: usize) -> Option<usize> {
+    let k = q + 1;
+    if k >= b.len() {
+        return None;
+    }
+    if b[k] == b'\\' {
+        // Escapes are unambiguous: `'\n'`, `'\''`, `'\u{1F600}'`.
+        let mut j = k;
+        let limit = (q + 16).min(b.len());
+        while j < limit {
+            match b[j] {
+                b'\\' => j += 2,
+                b'\'' => return Some(j + 1),
+                b'\n' => return None,
+                _ => j += 1,
+            }
+        }
+        return None;
+    }
+    if b[k] == b'\'' {
+        // `''` is not a char literal; treat the quote as code.
+        return None;
+    }
+    // One (possibly multibyte) char then a closing quote — otherwise this
+    // is a lifetime such as `'a` in `<'a, 'b>`.
+    let l = utf8_len(b[k]);
+    if k + l < b.len() && b[k + l] == b'\'' {
+        return Some(k + l + 1);
+    }
+    None
+}
+
+/// Lexes one source file into its token tiling and masked views.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut toks: Vec<Tok> = Vec::new();
+    let mut code_start = 0usize;
+    let mut i = 0usize;
+
+    macro_rules! special {
+        ($kind:expr, $start:expr, $end:expr) => {{
+            if code_start < $start {
+                toks.push(Tok {
+                    kind: TokKind::Code,
+                    span: Span {
+                        start: code_start,
+                        end: $start,
+                    },
+                });
+            }
+            toks.push(Tok {
+                kind: $kind,
+                span: Span {
+                    start: $start,
+                    end: $end,
+                },
+            });
+            code_start = $end;
+            i = $end;
+        }};
+    }
+
+    while i < n {
+        let c = b[i];
+        if c == b'/' && i + 1 < n && b[i + 1] == b'/' {
+            let mut j = i + 2;
+            while j < n && b[j] != b'\n' {
+                j += 1;
+            }
+            special!(TokKind::LineComment, i, j);
+            continue;
+        }
+        if c == b'/' && i + 1 < n && b[i + 1] == b'*' {
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < n && depth > 0 {
+                if b[j] == b'/' && j + 1 < n && b[j + 1] == b'*' {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == b'*' && j + 1 < n && b[j + 1] == b'/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            special!(TokKind::BlockComment, i, j);
+            continue;
+        }
+        let prev_ident = i > 0 && is_ident_byte(b[i - 1]);
+        if !prev_ident && (c == b'r' || c == b'b') {
+            // Prefixed literals: r"…", r#"…"#, b"…", b'…', br#"…"#.
+            if c == b'r' {
+                if let Some(end) = scan_raw_string(b, i + 1) {
+                    special!(TokKind::RawStr, i, end);
+                    continue;
+                }
+            } else {
+                match b.get(i + 1) {
+                    Some(b'"') => {
+                        let end = scan_string(b, i + 2);
+                        special!(TokKind::Str, i, end);
+                        continue;
+                    }
+                    Some(b'\'') => {
+                        if let Some(end) = scan_char(b, i + 1) {
+                            special!(TokKind::Char, i, end);
+                            continue;
+                        }
+                    }
+                    Some(b'r') => {
+                        if let Some(end) = scan_raw_string(b, i + 2) {
+                            special!(TokKind::RawStr, i, end);
+                            continue;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+            continue;
+        }
+        if c == b'"' {
+            let end = scan_string(b, i + 1);
+            special!(TokKind::Str, i, end);
+            continue;
+        }
+        if c == b'\'' {
+            if let Some(end) = scan_char(b, i) {
+                special!(TokKind::Char, i, end);
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        i += 1;
+    }
+    if code_start < n {
+        toks.push(Tok {
+            kind: TokKind::Code,
+            span: Span {
+                start: code_start,
+                end: n,
+            },
+        });
+    }
+
+    // Masked views: replace every non-newline byte of a blanked token with
+    // a space. All replacements are ASCII, so both views stay valid UTF-8.
+    let mut masked = src.as_bytes().to_vec();
+    let mut code = src.as_bytes().to_vec();
+    for tok in &toks {
+        let blank_in_code = matches!(tok.kind, TokKind::LineComment | TokKind::BlockComment);
+        let blank_in_masked = tok.kind != TokKind::Code;
+        for idx in tok.span.start..tok.span.end {
+            if masked[idx] != b'\n' {
+                if blank_in_masked {
+                    masked[idx] = b' ';
+                }
+                if blank_in_code {
+                    code[idx] = b' ';
+                }
+            }
+        }
+    }
+
+    let mut line_starts = vec![0usize];
+    for (idx, &byte) in b.iter().enumerate() {
+        if byte == b'\n' {
+            line_starts.push(idx + 1);
+        }
+    }
+
+    Lexed {
+        toks,
+        masked: String::from_utf8(masked).expect("space substitution preserves UTF-8"),
+        code: String::from_utf8(code).expect("space substitution preserves UTF-8"),
+        line_starts,
+    }
+}
+
+impl Lexed {
+    /// 1-based `(line, column)` of a byte offset (column counts bytes).
+    pub fn line_col(&self, offset: usize) -> (usize, usize) {
+        let line = self.line_of(offset);
+        (line, offset - self.line_starts[line - 1] + 1)
+    }
+
+    /// 1-based line number of a byte offset.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(idx) => idx + 1,
+            Err(idx) => idx,
+        }
+    }
+
+    /// Number of lines (a trailing newline does not open a new line).
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+
+    /// Byte span of a 1-based line, excluding the trailing newline.
+    pub fn line_span(&self, line: usize, total_len: usize) -> Span {
+        let start = self.line_starts[line - 1];
+        let end = self
+            .line_starts
+            .get(line)
+            .map(|&next| next.saturating_sub(1))
+            .unwrap_or(total_len);
+        Span { start, end }
+    }
+}

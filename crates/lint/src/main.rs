@@ -1,0 +1,92 @@
+//! The `pombm-lint` binary: walks the workspace, runs every rule, and
+//! exits `0` (clean), `1` (findings) or `2` (usage/IO error).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pombm_lint::{Workspace, ALL_RULES};
+
+const USAGE: &str = "\
+pombm-lint: workspace determinism-and-unsafety auditor
+
+USAGE:
+    pombm-lint [--root DIR] [--json] [--baseline FILE] [--update-baseline]
+               [--list-rules]
+
+FLAGS:
+    --root DIR          workspace root holding crates/ and shims/ (default .)
+    --json              emit the machine-readable report on stdout
+    --baseline FILE     diff the per-crate unsafe census against FILE
+    --update-baseline   rewrite FILE from the current census (with --baseline)
+    --list-rules        print the rule ids and exit
+    --help              this text
+
+EXIT CODES:
+    0  clean     1  diagnostics emitted     2  usage or IO error
+";
+
+fn run() -> Result<u8, String> {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut baseline: Option<PathBuf> = None;
+    let mut update_baseline = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = PathBuf::from(args.next().ok_or("--root needs a directory")?);
+            }
+            "--json" => json = true,
+            "--baseline" => {
+                baseline = Some(PathBuf::from(args.next().ok_or("--baseline needs a file")?));
+            }
+            "--update-baseline" => update_baseline = true,
+            "--list-rules" => {
+                for rule in ALL_RULES {
+                    println!("{rule}");
+                }
+                return Ok(0);
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return Ok(0);
+            }
+            other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
+        }
+    }
+    if update_baseline && baseline.is_none() {
+        return Err("--update-baseline requires --baseline FILE".to_string());
+    }
+
+    let workspace = Workspace::load(&root)?;
+    let mut report = workspace.lint();
+
+    if let Some(path) = &baseline {
+        if update_baseline {
+            std::fs::write(path, report.baseline_json())
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            eprintln!("pombm-lint: wrote {}", path.display());
+        } else {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            report.check_baseline(&text, &path.display().to_string())?;
+        }
+    }
+
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    Ok(u8::from(!report.is_clean()))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => ExitCode::from(code),
+        Err(msg) => {
+            eprintln!("pombm-lint: error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,751 @@
+//! The rule engine: per-file scans over the lexer's masked views, plus
+//! the waiver pragmas that make every rule escapable *with a reason*.
+//!
+//! See the crate docs ([`crate`]) for the rule catalogue. All rules are
+//! textual: they match whole words against [`crate::lexer::Lexed::masked`]
+//! (so comments and string bodies can never trip them) and read original
+//! comment text only where a rule is *about* comments (`// SAFETY:`,
+//! waiver pragmas).
+
+use crate::lexer::{lex, Lexed, Span, TokKind};
+
+/// Rule identifier: every `unsafe` needs an immediately preceding
+/// `// SAFETY:` comment.
+pub const UNSAFE_SAFETY: &str = "UNSAFE-SAFETY";
+/// Rule identifier: `#[target_feature]` fns must be `unsafe` and only
+/// reachable behind the runtime ISA-detection guard.
+pub const TF_DISPATCH: &str = "TF-DISPATCH";
+/// Rule identifier: no `HashMap`/`HashSet` in non-test code without a
+/// waiver (iteration order is nondeterministic).
+pub const DET_HASH: &str = "DET-HASH";
+/// Rule identifier: no wall-clock reads outside the timing-gated path.
+pub const DET_TIME: &str = "DET-TIME";
+/// Rule identifier: no entropy-seeded RNG anywhere.
+pub const DET_RNG: &str = "DET-RNG";
+/// Rule identifier: waivers and `#[allow]` attributes need justification.
+pub const WAIVER_REASON: &str = "WAIVER-REASON";
+/// Rule identifier: per-crate `unsafe` count exceeded the checked-in
+/// baseline (emitted by the baseline diff, not a per-file scan).
+pub const UNSAFE_BASELINE: &str = "UNSAFE-BASELINE";
+
+/// Every rule id the engine knows, in catalogue order.
+pub const ALL_RULES: &[&str] = &[
+    UNSAFE_SAFETY,
+    TF_DISPATCH,
+    DET_HASH,
+    DET_TIME,
+    DET_RNG,
+    WAIVER_REASON,
+    UNSAFE_BASELINE,
+];
+
+/// One finding, addressed by repo-relative path and 1-based line/column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule id from [`ALL_RULES`].
+    pub rule: &'static str,
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based byte column.
+    pub col: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// A parsed `// lint: allow(...)` pragma.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Rules this waiver suppresses.
+    pub rules: Vec<String>,
+    /// Whether it covers the whole file (`allow-file`) or a line range.
+    pub file_scope: bool,
+    /// 1-based line of the pragma comment.
+    pub line: usize,
+    /// Last covered line: the pragma's contiguous comment run (so a
+    /// multi-line justification stays one waiver) plus the first code
+    /// line after it. A blank line ends coverage.
+    pub end: usize,
+}
+
+/// A `#[target_feature(enable = "…")]` function definition.
+#[derive(Debug, Clone)]
+pub struct TfDef {
+    /// Function name.
+    pub name: String,
+    /// Feature string, e.g. `avx2`.
+    pub feature: String,
+    /// Index of the defining file in the workspace file list.
+    pub file: usize,
+    /// Byte offset of the name token in the defining file.
+    pub name_off: usize,
+    /// Byte span of the function body (for enclosing-context checks).
+    pub body: Span,
+}
+
+/// One lexed file plus the derived context the rules need.
+pub struct FileCtx {
+    /// Repo-relative path, forward slashes.
+    pub path: String,
+    /// Raw source text.
+    pub src: String,
+    /// Lexer output (tiling + masked views).
+    pub lexed: Lexed,
+    /// Byte spans of `#[cfg(test)]` items (determinism rules skip them).
+    pub test_regions: Vec<Span>,
+    /// True for files under a `tests/`, `benches/` or `examples/` dir.
+    pub is_test_path: bool,
+    /// Parsed waiver pragmas.
+    pub waivers: Vec<Waiver>,
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Whole-word occurrences of `needle` in `hay` (boundaries checked on the
+/// needle's ends only, so needles like `Instant::now` work).
+pub fn word_hits(hay: &str, needle: &str) -> Vec<usize> {
+    let mut hits = Vec::new();
+    let h = hay.as_bytes();
+    let first_ident = needle.as_bytes().first().is_some_and(|&b| is_ident_byte(b));
+    let last_ident = needle.as_bytes().last().is_some_and(|&b| is_ident_byte(b));
+    let mut from = 0usize;
+    while let Some(rel) = hay[from..].find(needle) {
+        let at = from + rel;
+        let end = at + needle.len();
+        let left_ok = !first_ident || at == 0 || !is_ident_byte(h[at - 1]);
+        let right_ok = !last_ident || end >= h.len() || !is_ident_byte(h[end]);
+        if left_ok && right_ok {
+            hits.push(at);
+        }
+        from = at + 1;
+    }
+    hits
+}
+
+/// Matches the opening bracket at `open` and returns the offset of the
+/// closing one, honouring nesting (operates on masked text, so brackets in
+/// strings or comments cannot unbalance it).
+fn match_bracket(masked: &str, open: usize) -> Option<usize> {
+    let b = masked.as_bytes();
+    let (o, c) = match b[open] {
+        b'(' => (b'(', b')'),
+        b'[' => (b'[', b']'),
+        b'{' => (b'{', b'}'),
+        _ => return None,
+    };
+    let mut depth = 0isize;
+    for (idx, &byte) in b.iter().enumerate().skip(open) {
+        if byte == o {
+            depth += 1;
+        } else if byte == c {
+            depth -= 1;
+            if depth == 0 {
+                return Some(idx);
+            }
+        }
+    }
+    None
+}
+
+impl FileCtx {
+    /// Builds the per-file context: lexing, test-region discovery and
+    /// waiver parsing. Malformed pragmas surface as [`WAIVER_REASON`]
+    /// diagnostics pushed onto `diags`.
+    pub fn build(path: String, src: String, diags: &mut Vec<Diagnostic>) -> FileCtx {
+        let lexed = lex(&src);
+        let is_test_path = path
+            .split('/')
+            .any(|c| c == "tests" || c == "benches" || c == "examples");
+        let test_regions = find_test_regions(&lexed.masked);
+        let mut ctx = FileCtx {
+            path,
+            src,
+            lexed,
+            test_regions,
+            is_test_path,
+            waivers: Vec::new(),
+        };
+        ctx.parse_waivers(diags);
+        ctx
+    }
+
+    /// The masked text of a 1-based line.
+    pub fn masked_line(&self, line: usize) -> &str {
+        let span = self.lexed.line_span(line, self.src.len());
+        &self.lexed.masked[span.start..span.end]
+    }
+
+    /// The original text of a 1-based line.
+    pub fn src_line(&self, line: usize) -> &str {
+        let span = self.lexed.line_span(line, self.src.len());
+        &self.src[span.start..span.end]
+    }
+
+    /// True if `offset` falls inside a `#[cfg(test)]` item.
+    pub fn in_test_region(&self, offset: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|s| offset >= s.start && offset < s.end)
+    }
+
+    /// True if the (masked) line is a `use` declaration.
+    fn is_use_line(&self, line: usize) -> bool {
+        let t = self.masked_line(line).trim_start();
+        t.starts_with("use ") || t.starts_with("pub use ") || t.starts_with("pub(crate) use ")
+    }
+
+    /// True if a waiver suppresses `rule` at the given 1-based line.
+    pub fn waived(&self, rule: &str, line: usize) -> bool {
+        self.waivers.iter().any(|w| {
+            w.rules.iter().any(|r| r == rule) && (w.file_scope || (w.line <= line && line <= w.end))
+        })
+    }
+
+    /// Last line a waiver pragma at `line` covers: skip the pragma's
+    /// continuation comment lines, then take the first code line. A blank
+    /// line (or end of file) stops the walk — the waiver then covers only
+    /// the comment run itself.
+    fn waiver_end(&self, line: usize) -> usize {
+        let total = self.lexed.line_count();
+        let mut l = line + 1;
+        while l <= total {
+            if self.src_line(l).trim().is_empty() {
+                break;
+            }
+            if !self.masked_line(l).trim().is_empty() {
+                return l;
+            }
+            l += 1;
+        }
+        line
+    }
+
+    fn push(
+        &self,
+        diags: &mut Vec<Diagnostic>,
+        rule: &'static str,
+        offset: usize,
+        message: String,
+    ) {
+        let (line, col) = self.lexed.line_col(offset);
+        // WAIVER-REASON findings are about the escape hatch itself and
+        // cannot be waived away; everything else can.
+        if rule != WAIVER_REASON && self.waived(rule, line) {
+            return;
+        }
+        diags.push(Diagnostic {
+            rule,
+            path: self.path.clone(),
+            line,
+            col,
+            message,
+        });
+    }
+
+    /// Parses `// lint: allow(...)` pragmas out of plain line comments.
+    /// Doc comments (`///`, `//!`) are documentation, never pragmas — so
+    /// rule-catalogue docs can show the syntax without waiving anything.
+    fn parse_waivers(&mut self, diags: &mut Vec<Diagnostic>) {
+        let mut out: Vec<Waiver> = Vec::new();
+        let mut bad: Vec<(usize, String)> = Vec::new();
+        for tok in &self.lexed.toks {
+            if tok.kind != TokKind::LineComment {
+                continue;
+            }
+            let text = &self.src[tok.span.start..tok.span.end];
+            let body = match text.strip_prefix("//") {
+                Some(rest) if !rest.starts_with('/') && !rest.starts_with('!') => rest.trim_start(),
+                _ => continue,
+            };
+            let Some(rest) = body.strip_prefix("lint:") else {
+                continue;
+            };
+            let rest = rest.trim_start();
+            let (file_scope, rest) = if let Some(r) = rest.strip_prefix("allow-file(") {
+                (true, r)
+            } else if let Some(r) = rest.strip_prefix("allow(") {
+                (false, r)
+            } else {
+                bad.push((
+                    tok.span.start,
+                    "malformed `lint:` pragma: expected `allow(RULE)` or `allow-file(RULE)`"
+                        .to_string(),
+                ));
+                continue;
+            };
+            let Some(close) = rest.find(')') else {
+                bad.push((
+                    tok.span.start,
+                    "malformed `lint:` pragma: missing `)`".to_string(),
+                ));
+                continue;
+            };
+            let rules: Vec<String> = rest[..close]
+                .split(',')
+                .map(|r| r.trim().to_string())
+                .filter(|r| !r.is_empty())
+                .collect();
+            if rules.is_empty() {
+                bad.push((
+                    tok.span.start,
+                    "waiver lists no rules; name the rule being waived".to_string(),
+                ));
+                continue;
+            }
+            for r in &rules {
+                if !ALL_RULES.contains(&r.as_str()) {
+                    bad.push((
+                        tok.span.start,
+                        format!("waiver references unknown rule `{r}`"),
+                    ));
+                }
+            }
+            // Require a separator and a non-empty justification.
+            let tail = rest[close + 1..].trim_start();
+            let reason = ["\u{2014}", "\u{2013}", "--", "-", ":"]
+                .iter()
+                .find_map(|sep| tail.strip_prefix(sep))
+                .map(str::trim)
+                .unwrap_or("");
+            if reason.is_empty() {
+                bad.push((
+                    tok.span.start,
+                    "waiver has no justification: write `// lint: allow(RULE) \u{2014} reason`"
+                        .to_string(),
+                ));
+            }
+            let line = self.lexed.line_of(tok.span.start);
+            let end = self.waiver_end(line);
+            out.push(Waiver {
+                rules,
+                file_scope,
+                line,
+                end,
+            });
+        }
+        self.waivers = out;
+        for (offset, message) in bad {
+            self.push(diags, WAIVER_REASON, offset, message);
+        }
+    }
+}
+
+/// Finds `#[cfg(test)]` item spans: attribute through the end of the item
+/// (brace-matched body, or the terminating `;` for braceless items).
+fn find_test_regions(masked: &str) -> Vec<Span> {
+    let mut regions = Vec::new();
+    let b = masked.as_bytes();
+    for at in word_hits(masked, "cfg") {
+        let rest = masked[at + 3..].trim_start();
+        if !rest.starts_with("(test)") && !rest.starts_with("( test )") {
+            continue;
+        }
+        // Walk forward past the attribute's `]`, then to the item's end.
+        let Some(open) = masked[at..].find('(').map(|p| at + p) else {
+            continue;
+        };
+        let Some(close_paren) = match_bracket(masked, open) else {
+            continue;
+        };
+        let mut cursor = close_paren + 1;
+        while cursor < b.len() && b[cursor] != b']' {
+            cursor += 1;
+        }
+        cursor += 1;
+        // Item end: first `;` at depth 0 or the matched `{ … }` body.
+        let mut end = b.len();
+        let mut scan = cursor;
+        while scan < b.len() {
+            match b[scan] {
+                b'{' => {
+                    end = match_bracket(masked, scan)
+                        .map(|e| e + 1)
+                        .unwrap_or(b.len());
+                    break;
+                }
+                b';' => {
+                    end = scan + 1;
+                    break;
+                }
+                _ => scan += 1,
+            }
+        }
+        regions.push(Span { start: at, end });
+    }
+    regions
+}
+
+// ---------------------------------------------------------------------------
+// UNSAFE-SAFETY
+// ---------------------------------------------------------------------------
+
+/// Byte offsets of every `unsafe` keyword in the file (masked view, so
+/// strings/comments never count). Shared with the census.
+pub fn unsafe_sites(ctx: &FileCtx) -> Vec<usize> {
+    word_hits(&ctx.lexed.masked, "unsafe")
+}
+
+/// UNSAFE-SAFETY: every `unsafe` token must be immediately preceded by a
+/// `// SAFETY:` comment — on the same line before the token, or in the
+/// contiguous run of comment/attribute lines directly above (blank lines
+/// break the run: "immediately" means immediately).
+pub fn check_unsafe_safety(ctx: &FileCtx, diags: &mut Vec<Diagnostic>) {
+    for at in unsafe_sites(ctx) {
+        let (line, _) = ctx.lexed.line_col(at);
+        let line_start = ctx.lexed.line_span(line, ctx.src.len()).start;
+        if ctx.src[line_start..at].contains("SAFETY:") {
+            continue;
+        }
+        let mut ok = false;
+        let mut l = line;
+        while l > 1 {
+            l -= 1;
+            let orig = ctx.src_line(l);
+            if orig.trim().is_empty() {
+                break;
+            }
+            let masked = ctx.masked_line(l).trim_start().to_string();
+            if masked.is_empty() {
+                // Pure comment line: scan it, keep walking the run.
+                if orig.contains("SAFETY:") {
+                    ok = true;
+                    break;
+                }
+                continue;
+            }
+            if masked.starts_with("#[") || masked.starts_with("#![") {
+                // Attributes sit between the comment and the item.
+                if orig.contains("SAFETY:") {
+                    ok = true;
+                    break;
+                }
+                continue;
+            }
+            // Code line: only a trailing SAFETY comment on it counts.
+            ok = orig.contains("SAFETY:");
+            break;
+        }
+        if !ok {
+            ctx.push(
+                diags,
+                UNSAFE_SAFETY,
+                at,
+                "`unsafe` without an immediately preceding `// SAFETY:` comment".to_string(),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TF-DISPATCH
+// ---------------------------------------------------------------------------
+
+/// Collects `#[target_feature]` fn definitions in one file, emitting
+/// diagnostics for non-`unsafe` or malformed ones.
+pub fn collect_tf_defs(ctx: &FileCtx, file: usize, diags: &mut Vec<Diagnostic>) -> Vec<TfDef> {
+    let masked = &ctx.lexed.masked;
+    let b = masked.as_bytes();
+    let mut defs = Vec::new();
+    for at in word_hits(masked, "target_feature") {
+        // Must be an attribute: previous non-ws char is `[`.
+        let before = masked[..at].trim_end();
+        if !before.ends_with('[') {
+            continue;
+        }
+        let Some(open) = masked[at..].find('(').map(|p| at + p) else {
+            continue;
+        };
+        let Some(close) = match_bracket(masked, open) else {
+            continue;
+        };
+        // Feature string lives in the strings-kept view.
+        let inner = &ctx.lexed.code[open + 1..close];
+        let feature = inner
+            .find('"')
+            .and_then(|q1| {
+                inner[q1 + 1..]
+                    .find('"')
+                    .map(|q2| &inner[q1 + 1..q1 + 1 + q2])
+            })
+            .unwrap_or("")
+            .to_string();
+        if feature.is_empty() {
+            ctx.push(
+                diags,
+                TF_DISPATCH,
+                at,
+                "cannot read the feature string out of `#[target_feature(...)]`".to_string(),
+            );
+            continue;
+        }
+        // Skip to the item: past this attribute's `]`, then any further
+        // attributes, then expect `… unsafe … fn name`.
+        let mut cursor = close + 1;
+        while cursor < b.len() && b[cursor] != b']' {
+            cursor += 1;
+        }
+        cursor += 1;
+        loop {
+            while cursor < b.len() && (b[cursor] as char).is_whitespace() {
+                cursor += 1;
+            }
+            if cursor < b.len() && b[cursor] == b'#' {
+                let Some(open_b) = masked[cursor..].find('[').map(|p| cursor + p) else {
+                    break;
+                };
+                let Some(close_b) = match_bracket(masked, open_b) else {
+                    break;
+                };
+                cursor = close_b + 1;
+                continue;
+            }
+            break;
+        }
+        let Some(fn_rel) = word_hits(&masked[cursor..], "fn").first().copied() else {
+            ctx.push(
+                diags,
+                TF_DISPATCH,
+                at,
+                "`#[target_feature]` must sit on a function".to_string(),
+            );
+            continue;
+        };
+        let fn_at = cursor + fn_rel;
+        let head = &masked[cursor..fn_at];
+        if word_hits(head, "unsafe").is_empty() {
+            ctx.push(
+                diags,
+                TF_DISPATCH,
+                fn_at,
+                format!("`#[target_feature(enable = \"{feature}\")]` fn must be `unsafe fn`"),
+            );
+        }
+        // Name token.
+        let mut name_start = fn_at + 2;
+        while name_start < b.len() && !is_ident_byte(b[name_start]) {
+            name_start += 1;
+        }
+        let mut name_end = name_start;
+        while name_end < b.len() && is_ident_byte(b[name_end]) {
+            name_end += 1;
+        }
+        let name = masked[name_start..name_end].to_string();
+        if name.is_empty() {
+            continue;
+        }
+        let body = masked[name_end..]
+            .find('{')
+            .map(|p| name_end + p)
+            .and_then(|open_b| match_bracket(masked, open_b).map(|e| (open_b, e)));
+        let Some((body_open, body_close)) = body else {
+            continue;
+        };
+        defs.push(TfDef {
+            name,
+            feature,
+            file,
+            name_off: name_start,
+            body: Span {
+                start: body_open,
+                end: body_close + 1,
+            },
+        });
+    }
+    defs
+}
+
+/// How many lines above a reach site the runtime guard must appear.
+pub const TF_GUARD_WINDOW: usize = 20;
+
+/// TF-DISPATCH reach check: every mention of a `#[target_feature]` fn —
+/// outside its own definition — must either sit inside the body of a fn
+/// gated on the *same* feature, or have
+/// `is_x86_feature_detected!("<feature>")` within the preceding
+/// [`TF_GUARD_WINDOW`] lines of the same file.
+pub fn check_tf_reach(files: &[FileCtx], defs: &[TfDef], file: usize, diags: &mut Vec<Diagnostic>) {
+    let ctx = &files[file];
+    for def in defs {
+        for at in word_hits(&ctx.lexed.masked, &def.name) {
+            if def.file == file && at == def.name_off {
+                continue;
+            }
+            // Inside the body of any same-feature TF fn in this file
+            // (including its own): the feature is already enabled there.
+            let enclosed = defs.iter().any(|d| {
+                d.file == file && d.feature == def.feature && at >= d.body.start && at < d.body.end
+            });
+            if enclosed {
+                continue;
+            }
+            let (line, _) = ctx.lexed.line_col(at);
+            let from_line = line.saturating_sub(TF_GUARD_WINDOW).max(1);
+            let win_start = ctx.lexed.line_span(from_line, ctx.src.len()).start;
+            let win_end = ctx.lexed.line_span(line, ctx.src.len()).end;
+            let window = &ctx.lexed.code[win_start..win_end];
+            let guarded = window.contains("is_x86_feature_detected!")
+                && window.contains(&format!("\"{}\"", def.feature));
+            if !guarded {
+                ctx.push(
+                    diags,
+                    TF_DISPATCH,
+                    at,
+                    format!(
+                        "`{}` requires `{}`; guard the call with \
+                         `is_x86_feature_detected!(\"{}\")` (within {} lines) or call it \
+                         from a fn gated on the same feature",
+                        def.name, def.feature, def.feature, TF_GUARD_WINDOW
+                    ),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DET-HASH / DET-TIME / DET-RNG
+// ---------------------------------------------------------------------------
+
+struct DetRule {
+    rule: &'static str,
+    needles: &'static [&'static str],
+    message: fn(&str) -> String,
+}
+
+const DET_RULES: &[DetRule] = &[
+    DetRule {
+        rule: DET_HASH,
+        needles: &["HashMap", "HashSet"],
+        message: |w| {
+            format!(
+                "`{w}` iteration order is nondeterministic: use `BTree{}` or a canonical \
+                 sort if order can reach serialized output, or waive with a reason",
+                &w[4..]
+            )
+        },
+    },
+    DetRule {
+        rule: DET_TIME,
+        needles: &["Instant::now", "SystemTime"],
+        message: |w| {
+            format!(
+                "`{w}` reads the wall clock: only the timings-gated `wall_ms` path may, \
+                 and that path is stripped from golden output — waive with a reason if \
+                 this is it"
+            )
+        },
+    },
+    DetRule {
+        rule: DET_RNG,
+        needles: &[
+            "from_entropy",
+            "thread_rng",
+            "OsRng",
+            "getrandom",
+            "from_os_rng",
+        ],
+        message: |w| {
+            format!(
+                "`{w}` seeds randomness from the environment: every RNG state must \
+                 derive from an explicit seed"
+            )
+        },
+    },
+];
+
+/// Runs the three determinism word-scans over one file. Test code is
+/// exempt from DET-HASH/DET-TIME (goldens are produced by non-test code);
+/// DET-RNG applies everywhere — entropy in a test makes the *test*
+/// nondeterministic.
+pub fn check_det_rules(ctx: &FileCtx, diags: &mut Vec<Diagnostic>) {
+    for rule in DET_RULES {
+        let skip_tests = rule.rule != DET_RNG;
+        if skip_tests && ctx.is_test_path {
+            continue;
+        }
+        for needle in rule.needles {
+            for at in word_hits(&ctx.lexed.masked, needle) {
+                if skip_tests && ctx.in_test_region(at) {
+                    continue;
+                }
+                let (line, _) = ctx.lexed.line_col(at);
+                if ctx.is_use_line(line) {
+                    continue;
+                }
+                ctx.push(diags, rule.rule, at, (rule.message)(needle));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WAIVER-REASON for #[allow(...)]
+// ---------------------------------------------------------------------------
+
+/// WAIVER-REASON, attribute half: every `#[allow(...)]` / `#![allow(...)]`
+/// must carry a justification — `reason = "…"` inside the attribute, a
+/// trailing comment on the same line, or a comment line in the contiguous
+/// comment/attribute run directly above.
+pub fn check_allow_attrs(ctx: &FileCtx, diags: &mut Vec<Diagnostic>) {
+    let masked = &ctx.lexed.masked;
+    for at in word_hits(masked, "allow") {
+        let before = masked[..at].trim_end();
+        if !before.ends_with('[') {
+            continue;
+        }
+        let Some(open) = masked[at..].find('(').map(|p| at + p) else {
+            continue;
+        };
+        let Some(close) = match_bracket(masked, open) else {
+            continue;
+        };
+        if ctx.lexed.code[open..close].contains("reason") {
+            continue;
+        }
+        let (line, _) = ctx.lexed.line_col(at);
+        // Trailing comment on the attribute's own line.
+        let line_span = ctx.lexed.line_span(line, ctx.src.len());
+        let orig = ctx.src_line(line);
+        let masked_l = &masked[line_span.start..line_span.end];
+        if orig.trim_end().len() > masked_l.trim_end().len() {
+            continue; // The line ends in a comment.
+        }
+        // A comment line directly above (attributes may stack between).
+        let mut justified = false;
+        let mut l = line;
+        while l > 1 {
+            l -= 1;
+            let o = ctx.src_line(l);
+            if o.trim().is_empty() {
+                break;
+            }
+            let m = ctx.masked_line(l).trim_start().to_string();
+            if m.is_empty() {
+                // A comment line — but a doc comment documents the item,
+                // not the attribute, so it does not count as a reason.
+                let t = o.trim_start();
+                if t.starts_with("///") || t.starts_with("//!") {
+                    continue;
+                }
+                justified = true;
+                break;
+            }
+            if m.starts_with("#[") || m.starts_with("#![") {
+                continue;
+            }
+            break;
+        }
+        if !justified {
+            ctx.push(
+                diags,
+                WAIVER_REASON,
+                at,
+                "`#[allow(...)]` without a justification: add a comment saying why, \
+                 or `reason = \"...\"`"
+                    .to_string(),
+            );
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Lexer fixtures for the tricky token shapes the rules depend on, plus
+//! a property test that the token tiling and line/col spans round-trip.
+
+use pombm_lint::{lex, TokKind};
+
+/// The kinds of the non-`Code` tokens, in source order.
+fn special_kinds(src: &str) -> Vec<TokKind> {
+    lex(src)
+        .toks
+        .iter()
+        .filter(|t| t.kind != TokKind::Code)
+        .map(|t| t.kind)
+        .collect()
+}
+
+/// The source text of each token of `kind`.
+fn texts(src: &str, kind: TokKind) -> Vec<&str> {
+    lex(src)
+        .toks
+        .iter()
+        .filter(|t| t.kind == kind)
+        .map(|t| &src[t.span.start..t.span.end])
+        .collect()
+}
+
+#[test]
+fn raw_strings_swallow_quotes_and_hashes() {
+    let src = r####"let a = r"no \escapes"; let b = r#"has "quotes" inside"#;"####;
+    assert_eq!(
+        texts(src, TokKind::RawStr),
+        [r#"r"no \escapes""#, r###"r#"has "quotes" inside"#"###]
+    );
+}
+
+#[test]
+fn raw_identifiers_are_not_raw_strings() {
+    // `r#fn` is a raw identifier: plain code, not the start of a string.
+    let src = "fn r#fn() {} let s = r#\"real\"#;";
+    assert_eq!(special_kinds(src), [TokKind::RawStr]);
+    assert_eq!(texts(src, TokKind::RawStr), ["r#\"real\"#"]);
+}
+
+#[test]
+fn nested_block_comments_close_at_depth_zero() {
+    let src = "a /* outer /* inner */ still comment */ b";
+    let lexed = lex(src);
+    assert_eq!(special_kinds(src), [TokKind::BlockComment]);
+    // Everything between `a` and `b` is one comment; the masked view
+    // blanks it while keeping length.
+    assert_eq!(lexed.masked.len(), src.len());
+    assert!(lexed.masked.starts_with("a "));
+    assert!(lexed.masked.ends_with(" b"));
+    assert!(!lexed.masked.contains("inner"));
+}
+
+#[test]
+fn keywords_inside_strings_are_masked() {
+    let src = r#"let s = "unsafe { HashMap }"; // unsafe too"#;
+    let lexed = lex(src);
+    // Neither the string body nor the comment survives in `masked`.
+    assert!(!lexed.masked.contains("unsafe"));
+    assert!(!lexed.masked.contains("HashMap"));
+    // The strings-kept view drops the comment but keeps the literal, so
+    // feature-name checks can read string contents.
+    assert!(lexed.code.contains("\"unsafe { HashMap }\""));
+    assert!(!lexed.code.contains("unsafe too"));
+}
+
+#[test]
+fn char_literals_and_lifetimes_disambiguate() {
+    let src = "fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; let q = '\"'; }";
+    // Only the three char literals tokenize as Char; the lifetimes stay code.
+    assert_eq!(texts(src, TokKind::Char), ["'x'", "'\\n'", "'\"'"]);
+    let lexed = lex(src);
+    assert!(lexed.masked.contains("<'a>"));
+    assert!(lexed.masked.contains("&'a str"));
+}
+
+#[test]
+fn multibyte_char_literal_keeps_byte_alignment() {
+    let src = "let c = 'é'; let d = '√'; let s = \"süß\";";
+    let lexed = lex(src);
+    assert_eq!(lexed.masked.len(), src.len());
+    assert_eq!(
+        texts(src, TokKind::Char),
+        ["'é'", "'√'"],
+        "multibyte chars lex as single char literals"
+    );
+}
+
+#[test]
+fn byte_strings_and_prefixed_literals() {
+    let src = r#"let a = b"bytes"; let b = br"raw bytes"; let c = b'x';"#;
+    assert_eq!(
+        special_kinds(src),
+        [TokKind::Str, TokKind::RawStr, TokKind::Char]
+    );
+}
+
+#[test]
+fn line_comments_stop_at_newline_and_doc_comments_lex_as_comments() {
+    let src = "/// doc\n//! inner\n// plain\ncode();";
+    let lexed = lex(src);
+    assert_eq!(
+        special_kinds(src),
+        [
+            TokKind::LineComment,
+            TokKind::LineComment,
+            TokKind::LineComment
+        ]
+    );
+    assert!(lexed.masked.contains("code();"));
+}
+
+#[test]
+fn string_escapes_do_not_end_the_literal() {
+    let src = r#"let s = "a \" b \\"; done();"#;
+    let lexed = lex(src);
+    assert_eq!(special_kinds(src), [TokKind::Str]);
+    assert!(lexed.masked.contains("done();"));
+}
+
+#[test]
+fn ident_prefix_is_not_a_literal_prefix() {
+    // `bar"x"`: the `r` belongs to the identifier `bar`, so the literal is
+    // a plain string, not a raw string.
+    let src = "macro_rules1!(bar\"x\");";
+    assert_eq!(special_kinds(src), [TokKind::Str]);
+}
+
+/// Self-contained source fragments the property test stitches together.
+/// Each is valid at top level of a token stream regardless of neighbors
+/// (every fragment ends outside any literal or comment).
+const FRAGMENTS: &[&str] = &[
+    "fn f() { g(1, 2); }\n",
+    "// line comment with 'quotes' and \"strings\"\n",
+    "/* block /* nested */ comment */\n",
+    "let s = \"str with \\\" escape\";\n",
+    "let r = r#\"raw \"inner\" string\"#;\n",
+    "let c = 'x'; let lt: &'static str = \"y\";\n",
+    "let b = b\"bytes\"; let bc = b'0';\n",
+    "/// doc comment\nstruct T;\n",
+    "let u = \"unsafe HashMap Instant::now\";\n",
+    "let e = 'é'; // multibyte\n",
+    "\n",
+    "mod m { }\n",
+];
+
+proptest::proptest! {
+    #[test]
+    fn lexed_views_tile_and_round_trip(
+        picks in proptest::collection::vec(0usize..12, 1..20)
+    ) {
+        let src: String = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+        let lexed = lex(&src);
+
+        // The token tiling covers [0, len) contiguously, in order.
+        let mut cursor = 0usize;
+        for tok in &lexed.toks {
+            proptest::prop_assert_eq!(tok.span.start, cursor);
+            proptest::prop_assert!(tok.span.end > tok.span.start);
+            cursor = tok.span.end;
+        }
+        proptest::prop_assert_eq!(cursor, src.len());
+
+        // Both masked views preserve byte length exactly.
+        proptest::prop_assert_eq!(lexed.masked.len(), src.len());
+        proptest::prop_assert_eq!(lexed.code.len(), src.len());
+
+        for tok in &lexed.toks {
+            let orig = &src[tok.span.start..tok.span.end];
+            let masked = &lexed.masked[tok.span.start..tok.span.end];
+            match tok.kind {
+                // Code passes through both views byte-for-byte.
+                TokKind::Code => {
+                    proptest::prop_assert_eq!(orig, masked);
+                    proptest::prop_assert_eq!(
+                        orig,
+                        &lexed.code[tok.span.start..tok.span.end]
+                    );
+                }
+                // Everything else is blanked to spaces except newlines.
+                _ => {
+                    for (o, m) in orig.chars().zip(masked.chars()) {
+                        if o == '\n' {
+                            proptest::prop_assert_eq!(m, '\n');
+                        } else {
+                            proptest::prop_assert_eq!(m, ' ');
+                        }
+                    }
+                }
+            }
+        }
+
+        // line/col round-trips to the byte offset for every token start.
+        for tok in &lexed.toks {
+            let (line, col) = lexed.line_col(tok.span.start);
+            proptest::prop_assert_eq!(
+                lexed.line_starts[line - 1] + col - 1,
+                tok.span.start
+            );
+            proptest::prop_assert_eq!(lexed.line_of(tok.span.start), line);
+            let span = lexed.line_span(line, src.len());
+            proptest::prop_assert!(span.start <= tok.span.start);
+            proptest::prop_assert!(tok.span.start <= span.end);
+        }
+    }
+}

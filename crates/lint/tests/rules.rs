@@ -1,0 +1,334 @@
+//! Per-rule fixtures, waiver behavior, the baseline ratchet, a pinned
+//! JSON report, and the self-test that the workspace at HEAD lints clean.
+
+use pombm_lint::{crate_key, Workspace};
+
+/// Lints a single non-test-path fixture file.
+fn lint_one(src: &str) -> pombm_lint::Report {
+    Workspace::from_files(vec![("crates/x/src/a.rs", src)]).lint()
+}
+
+/// `(rule, line)` pairs of all findings.
+fn hits(report: &pombm_lint::Report) -> Vec<(&'static str, usize)> {
+    report
+        .diagnostics
+        .iter()
+        .map(|d| (d.rule, d.line))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// UNSAFE-SAFETY
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unsafe_without_safety_comment_fires() {
+    let r = lint_one("fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n");
+    assert_eq!(hits(&r), [("UNSAFE-SAFETY", 2)]);
+}
+
+#[test]
+fn safety_comment_above_or_same_line_passes() {
+    let above =
+        "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller checked.\n    unsafe { *p }\n}\n";
+    assert!(lint_one(above).is_clean());
+    let same = "fn f(p: *const u8) -> u8 {\n    /* SAFETY: checked */ unsafe { *p }\n}\n";
+    assert!(lint_one(same).is_clean());
+}
+
+#[test]
+fn safety_comment_walks_through_attributes() {
+    let src = "// SAFETY: contract documented.\n#[inline]\nunsafe fn f() {}\n";
+    assert!(lint_one(src).is_clean());
+}
+
+#[test]
+fn blank_line_breaks_the_safety_run() {
+    let src = "// SAFETY: too far away.\n\nunsafe fn f() {}\n";
+    assert_eq!(hits(&lint_one(src)), [("UNSAFE-SAFETY", 3)]);
+}
+
+#[test]
+fn unsafe_inside_strings_and_comments_is_ignored() {
+    let src = "// unsafe in a comment\nfn f() -> &'static str {\n    \"unsafe { }\"\n}\n";
+    assert!(lint_one(src).is_clean());
+}
+
+#[test]
+fn unsafe_applies_to_test_code_too() {
+    let src = "#[cfg(test)]\nmod tests {\n    fn f(p: *const u8) -> u8 {\n        unsafe { *p }\n    }\n}\n";
+    assert_eq!(hits(&lint_one(src)), [("UNSAFE-SAFETY", 4)]);
+}
+
+// ---------------------------------------------------------------------------
+// TF-DISPATCH
+// ---------------------------------------------------------------------------
+
+const TF_DEF: &str = "#[target_feature(enable = \"avx2\")]\n// SAFETY: caller must detect avx2.\nunsafe fn kernel(x: &[f64]) -> f64 {\n    x[0]\n}\n";
+
+#[test]
+fn tf_fn_must_be_unsafe() {
+    let src = "#[target_feature(enable = \"avx2\")]\nfn kernel() {}\n";
+    let r = lint_one(src);
+    assert!(hits(&r).iter().any(|&(rule, _)| rule == "TF-DISPATCH"));
+}
+
+#[test]
+fn tf_call_without_guard_fires() {
+    let src = format!(
+        "{TF_DEF}fn caller(x: &[f64]) -> f64 {{\n    // SAFETY: wrong — nothing was detected.\n    unsafe {{ kernel(x) }}\n}}\n"
+    );
+    let r = lint_one(&src);
+    assert!(hits(&r).iter().any(|&(rule, _)| rule == "TF-DISPATCH"));
+}
+
+#[test]
+fn tf_call_under_feature_detection_passes() {
+    let src = format!(
+        "{TF_DEF}fn caller(x: &[f64]) -> f64 {{\n    if std::arch::is_x86_feature_detected!(\"avx2\") {{\n        // SAFETY: avx2 just detected.\n        return unsafe {{ kernel(x) }};\n    }}\n    x[0]\n}}\n"
+    );
+    assert!(lint_one(&src).is_clean());
+}
+
+#[test]
+fn tf_call_inside_same_feature_fn_passes() {
+    let src = format!(
+        "{TF_DEF}#[target_feature(enable = \"avx2\")]\n// SAFETY: same contract as `kernel`.\nunsafe fn outer(x: &[f64]) -> f64 {{\n    // SAFETY: our own contract covers `kernel`'s.\n    unsafe {{ kernel(x) }}\n}}\n"
+    );
+    assert!(lint_one(&src).is_clean());
+}
+
+// ---------------------------------------------------------------------------
+// DET-HASH / DET-TIME / DET-RNG
+// ---------------------------------------------------------------------------
+
+#[test]
+fn det_hash_fires_in_product_code() {
+    let src =
+        "fn f() {\n    let m = std::collections::HashMap::<u32, u32>::new();\n    drop(m);\n}\n";
+    assert_eq!(hits(&lint_one(src)), [("DET-HASH", 2)]);
+}
+
+#[test]
+fn det_hash_exempts_use_lines_tests_and_test_paths() {
+    let use_line = "use std::collections::HashMap;\n";
+    assert!(lint_one(use_line).is_clean());
+    let in_tests =
+        "#[cfg(test)]\nmod tests {\n    fn f() {\n        let _ = std::collections::HashMap::<u32, u32>::new();\n    }\n}\n";
+    assert!(lint_one(in_tests).is_clean());
+    let test_path = Workspace::from_files(vec![(
+        "crates/x/tests/t.rs",
+        "fn f() {\n    let _ = std::collections::HashMap::<u32, u32>::new();\n}\n",
+    )])
+    .lint();
+    assert!(test_path.is_clean());
+}
+
+#[test]
+fn det_time_fires_and_test_code_is_exempt() {
+    let src = "fn f() {\n    let _ = std::time::Instant::now();\n}\n";
+    assert_eq!(hits(&lint_one(src)), [("DET-TIME", 2)]);
+    let in_tests =
+        "#[cfg(test)]\nmod tests {\n    fn f() {\n        let _ = std::time::Instant::now();\n    }\n}\n";
+    assert!(lint_one(in_tests).is_clean());
+}
+
+#[test]
+fn det_rng_fires_even_in_test_code() {
+    let src =
+        "#[cfg(test)]\nmod tests {\n    fn f() {\n        let _ = rand::thread_rng();\n    }\n}\n";
+    assert_eq!(hits(&lint_one(src)), [("DET-RNG", 4)]);
+}
+
+// ---------------------------------------------------------------------------
+// Waivers
+// ---------------------------------------------------------------------------
+
+#[test]
+fn waiver_suppresses_next_code_line() {
+    let src = "fn f() {\n    // lint: allow(DET-TIME) — measured, not serialized.\n    let _ = std::time::Instant::now();\n}\n";
+    let r = lint_one(src);
+    assert!(r.is_clean());
+    assert_eq!(r.waivers, 1);
+}
+
+#[test]
+fn multi_line_waiver_comment_covers_the_code_after_the_run() {
+    let src = "fn f() {\n    // lint: allow(DET-TIME) — a justification long enough\n    // to continue on a second comment line.\n    let _ = std::time::Instant::now();\n}\n";
+    assert!(lint_one(src).is_clean());
+}
+
+#[test]
+fn waiver_does_not_reach_past_a_blank_line() {
+    let src = "fn f() {\n    // lint: allow(DET-TIME) — stale waiver.\n\n    let _ = std::time::Instant::now();\n}\n";
+    assert_eq!(hits(&lint_one(src)), [("DET-TIME", 4)]);
+}
+
+#[test]
+fn file_waiver_covers_everything() {
+    let src = "// lint: allow-file(DET-TIME) — timing is this file's purpose.\nfn f() {\n    let _ = std::time::Instant::now();\n    let _ = std::time::Instant::now();\n}\n";
+    assert!(lint_one(src).is_clean());
+}
+
+#[test]
+fn waiver_without_reason_or_with_unknown_rule_fires() {
+    let no_reason = "// lint: allow(DET-TIME)\nfn f() {}\n";
+    assert_eq!(hits(&lint_one(no_reason)), [("WAIVER-REASON", 1)]);
+    let unknown = "// lint: allow(NO-SUCH-RULE) — whatever.\nfn f() {}\n";
+    assert_eq!(hits(&lint_one(unknown)), [("WAIVER-REASON", 1)]);
+}
+
+#[test]
+fn waiver_reason_is_not_itself_waivable() {
+    let src = "// lint: allow(WAIVER-REASON) — try to silence the cop.\n// lint: allow(DET-TIME)\nfn f() {}\n";
+    let r = lint_one(src);
+    assert!(hits(&r).contains(&("WAIVER-REASON", 2)));
+}
+
+#[test]
+fn doc_comments_never_parse_as_waivers() {
+    // The rule-catalogue docs quote the pragma syntax; doc comments must
+    // not register waivers (or malformed-pragma findings).
+    let src = "/// Example: `// lint: allow(DET-TIME)` — syntax docs.\nfn f() {\n    let _ = std::time::Instant::now();\n}\n";
+    let r = lint_one(src);
+    assert_eq!(r.waivers, 0);
+    assert_eq!(hits(&r), [("DET-TIME", 3)]);
+}
+
+#[test]
+fn allow_attr_needs_a_reason_or_comment() {
+    let bare = "#[allow(dead_code)]\nfn f() {}\n";
+    assert_eq!(hits(&lint_one(bare)), [("WAIVER-REASON", 1)]);
+    let with_comment = "// Kept for the ffi example below.\n#[allow(dead_code)]\nfn f() {}\n";
+    assert!(lint_one(with_comment).is_clean());
+    let with_reason = "#[allow(dead_code, reason = \"ffi example\")]\nfn f() {}\n";
+    assert!(lint_one(with_reason).is_clean());
+}
+
+// ---------------------------------------------------------------------------
+// Census + baseline ratchet
+// ---------------------------------------------------------------------------
+
+fn census_fixture() -> pombm_lint::Report {
+    Workspace::from_files(vec![
+        (
+            "crates/a/src/lib.rs",
+            "// SAFETY: contract.\nunsafe fn f() {}\n// SAFETY: contract.\nunsafe fn g() {}\n",
+        ),
+        (
+            "crates/b/src/lib.rs",
+            "// SAFETY: contract.\nunsafe fn h() {}\n",
+        ),
+        ("shims/c/src/lib.rs", "fn safe() {}\n"),
+    ])
+    .lint()
+}
+
+#[test]
+fn census_counts_per_crate() {
+    let r = census_fixture();
+    assert!(r.is_clean());
+    assert_eq!(
+        r.unsafe_census
+            .iter()
+            .map(|(k, &v)| (k.as_str(), v))
+            .collect::<Vec<_>>(),
+        [("crates/a", 2), ("crates/b", 1)]
+    );
+    assert_eq!(crate_key("crates/a/src/lib.rs"), "crates/a");
+    assert_eq!(crate_key("README.md"), "README.md");
+}
+
+#[test]
+fn baseline_matches_round_trip() {
+    let mut r = census_fixture();
+    let json = r.baseline_json();
+    r.check_baseline(&json, "b.json").unwrap();
+    assert!(r.is_clean());
+}
+
+#[test]
+fn baseline_growth_and_shrink_both_fire() {
+    let grown = "{\"version\": 1, \"unsafe\": {\"crates/a\": 1, \"crates/b\": 1}}";
+    let mut r = census_fixture();
+    r.check_baseline(grown, "b.json").unwrap();
+    assert_eq!(hits(&r), [("UNSAFE-BASELINE", 0)]);
+    assert!(r.diagnostics[0].message.contains("grew 1 -> 2"));
+
+    let shrunk =
+        "{\"version\": 1, \"unsafe\": {\"crates/a\": 2, \"crates/b\": 1, \"crates/gone\": 3}}";
+    let mut r = census_fixture();
+    r.check_baseline(shrunk, "b.json").unwrap();
+    assert_eq!(hits(&r), [("UNSAFE-BASELINE", 0)]);
+    assert!(r.diagnostics[0].message.contains("shrank 3 -> 0"));
+}
+
+#[test]
+fn malformed_baseline_is_an_error_not_a_finding() {
+    let mut r = census_fixture();
+    assert!(r.check_baseline("not json", "b.json").is_err());
+    assert!(r.check_baseline("{\"version\": 1}", "b.json").is_err());
+}
+
+// ---------------------------------------------------------------------------
+// Report output
+// ---------------------------------------------------------------------------
+
+#[test]
+fn json_report_is_pinned() {
+    let r = Workspace::from_files(vec![(
+        "crates/x/src/a.rs",
+        "fn f() {\n    let _ = std::time::Instant::now();\n}\n",
+    )])
+    .lint();
+    let expected = concat!(
+        "{\"version\":1,\"files_scanned\":1,\"waivers\":0,\"diagnostics\":[",
+        "{\"rule\":\"DET-TIME\",\"path\":\"crates/x/src/a.rs\",\"line\":2,\"col\":24,",
+        "\"message\":\"`Instant::now` reads the wall clock: only the timings-gated ",
+        "`wall_ms` path may, and that path is stripped from golden output \u{2014} ",
+        "waive with a reason if this is it\"}",
+        "],\"unsafe_census\":{}}"
+    );
+    assert_eq!(r.to_json(), expected);
+}
+
+#[test]
+fn human_report_lines_are_sorted_and_stable() {
+    let r = Workspace::from_files(vec![
+        (
+            "crates/x/src/b.rs",
+            "fn f() {\n    let _ = std::time::Instant::now();\n}\n",
+        ),
+        (
+            "crates/x/src/a.rs",
+            "fn f() {\n    let m = std::collections::HashMap::<u32, u32>::new();\n    drop(m);\n}\n",
+        ),
+    ])
+    .lint();
+    let human = r.render_human();
+    let lines: Vec<&str> = human.lines().collect();
+    assert!(lines[0].starts_with("crates/x/src/a.rs:2:31: DET-HASH:"));
+    assert!(lines[1].starts_with("crates/x/src/b.rs:2:24: DET-TIME:"));
+    assert!(lines[2].starts_with("pombm-lint: 2 diagnostic(s)"));
+}
+
+// ---------------------------------------------------------------------------
+// Self-test: the workspace at HEAD is clean
+// ---------------------------------------------------------------------------
+
+#[test]
+fn workspace_at_head_is_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = Workspace::load(&root).expect("workspace root");
+    let report = report.lint();
+    let findings = report
+        .diagnostics
+        .iter()
+        .map(|d| format!("{}:{}:{}: {}: {}", d.path, d.line, d.col, d.rule, d.message))
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(
+        report.is_clean(),
+        "the workspace must lint clean at HEAD:\n{findings}"
+    );
+}

@@ -9,7 +9,7 @@
 //! worker in the pool until its residual capacity reaches zero.
 
 use pombm_hst::{CodeContext, LeafCode, SubtreeCounter};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Online greedy matcher where worker `i` may serve up to `capacity[i]`
 /// tasks. Each arriving task goes to the tree-nearest worker with residual
@@ -18,7 +18,8 @@ use std::collections::HashMap;
 pub struct CapacitatedGreedy {
     counter: SubtreeCounter,
     /// Workers resident at each occupied leaf, lowest index popped first.
-    residents: HashMap<LeafCode, Vec<usize>>,
+    /// `BTreeMap` so the stack-fixup iteration below is hash-seed free.
+    residents: BTreeMap<LeafCode, Vec<usize>>,
     workers: Vec<LeafCode>,
     residual: Vec<u32>,
     remaining_slots: usize,
@@ -37,7 +38,7 @@ impl CapacitatedGreedy {
             "one capacity per worker required"
         );
         let mut counter = SubtreeCounter::new(ctx);
-        let mut residents: HashMap<LeafCode, Vec<usize>> = HashMap::new();
+        let mut residents: BTreeMap<LeafCode, Vec<usize>> = BTreeMap::new();
         let mut remaining_slots = 0usize;
         for (i, (&w, &q)) in workers.iter().zip(&capacity).enumerate() {
             if q > 0 {

@@ -32,8 +32,11 @@ use std::collections::HashMap;
 pub struct DynamicHstGreedy {
     counter: SubtreeCounter,
     /// Present, unassigned workers resident at each occupied leaf.
+    // lint: allow(DET-HASH) — per-leaf lookups only; draws resolve through
+    // the counter walk, never through map iteration.
     residents: HashMap<LeafCode, Vec<u64>>,
     /// Leaf of each present, unassigned worker.
+    // lint: allow(DET-HASH) — per-id lookups only; never iterated.
     leaf_of: HashMap<u64, LeafCode>,
 }
 
@@ -42,7 +45,9 @@ impl DynamicHstGreedy {
     pub fn new(ctx: CodeContext) -> Self {
         DynamicHstGreedy {
             counter: SubtreeCounter::new(ctx),
+            // lint: allow(DET-HASH) — see the field note: lookups only.
             residents: HashMap::new(),
+            // lint: allow(DET-HASH) — see the field note: lookups only.
             leaf_of: HashMap::new(),
         }
     }
@@ -216,6 +221,7 @@ pub struct DynamicRandomPool {
     /// (draws are uniform regardless).
     live: Vec<u64>,
     /// Position of each live id in `live`, for O(1) withdrawal.
+    // lint: allow(DET-HASH) — per-id lookups only; draws index `live`.
     pos_of: HashMap<u64, usize>,
 }
 

@@ -32,9 +32,11 @@ pub struct HstGreedy {
     available: Vec<bool>,
     remaining: usize,
     /// Indexed engine state: occupancy counter plus per-leaf stacks of
-    /// worker ids so a found leaf resolves to a concrete worker.
+    /// worker ids so a found leaf resolves to a concrete worker. A
+    /// `BTreeMap` keyed by leaf code: the stacks are built by iterating
+    /// this map, and hash order must never reach assignment order.
     counter: Option<SubtreeCounter>,
-    residents: std::collections::HashMap<LeafCode, Vec<usize>>,
+    residents: std::collections::BTreeMap<LeafCode, Vec<usize>>,
 }
 
 impl HstGreedy {
@@ -42,11 +44,11 @@ impl HstGreedy {
     pub fn new(ctx: CodeContext, workers: Vec<LeafCode>, engine: HstGreedyEngine) -> Self {
         let n = workers.len();
         let (counter, residents) = match engine {
-            HstGreedyEngine::Scan => (None, std::collections::HashMap::new()),
+            HstGreedyEngine::Scan => (None, std::collections::BTreeMap::new()),
             HstGreedyEngine::Indexed => {
                 let mut counter = SubtreeCounter::new(ctx);
-                let mut residents: std::collections::HashMap<LeafCode, Vec<usize>> =
-                    std::collections::HashMap::new();
+                let mut residents: std::collections::BTreeMap<LeafCode, Vec<usize>> =
+                    std::collections::BTreeMap::new();
                 for (i, &w) in workers.iter().enumerate() {
                     counter.insert(w);
                     residents.entry(w).or_default().push(i);

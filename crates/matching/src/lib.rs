@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 //! Bipartite matching algorithms for online task assignment.
 //!
@@ -110,7 +111,9 @@ impl Matching {
 
     /// Checks that no worker and no task appears twice.
     pub fn is_valid(&self) -> bool {
+        // lint: allow(DET-HASH) — membership tests only; never iterated.
         let mut tasks = std::collections::HashSet::new();
+        // lint: allow(DET-HASH) — membership tests only; never iterated.
         let mut workers = std::collections::HashSet::new();
         self.pairs
             .iter()

@@ -557,6 +557,8 @@ impl Block<'_> {
 /// The fused dual-update + column-minimum scan over one block.
 /// Dispatches to the widest kernel the CPU has; all kernels perform the
 /// identical per-element operations.
+// The scan consumes the solver's whole working set; separate slice
+// parameters keep the mutable borrows disjoint.
 #[allow(clippy::too_many_arguments)]
 fn fused_scan(
     v: &mut [f64],
@@ -593,6 +595,7 @@ fn fused_scan(
 
 /// Scalar kernel: the element-wise reference the vector kernels mirror.
 /// `from` supports tail processing after a vectorized prefix.
+// Same working-set signature as `fused_scan`, plus the tail start.
 #[allow(clippy::too_many_arguments)]
 fn fused_scan_scalar(
     v: &mut [f64],
@@ -672,7 +675,10 @@ fn fold_lanes(best_arr: &[f64], j_arr: &[i64], tail: (f64, usize)) -> (f64, usiz
 /// so live values are bit-identical.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
+// Same working-set signature as the scalar reference kernel.
 #[allow(clippy::too_many_arguments)]
+// SAFETY: callers must have detected AVX2 at runtime. Every slice spans
+// the full block, so all lane accesses below `minv.len()` are in bounds.
 unsafe fn fused_scan_avx2(
     v: &mut [f64],
     minv: &mut [f64],
@@ -688,8 +694,13 @@ unsafe fn fused_scan_avx2(
 ) -> (f64, usize) {
     use std::arch::x86_64::*;
 
+    // The closure-parameterized inner loop; shares the outer kernel's
+    // working set plus the per-lane cost source.
     #[inline(always)]
     #[allow(clippy::too_many_arguments)]
+    // SAFETY: callers run this with AVX2 enabled and pass `vec_n` no
+    // larger than any slice's length; `cost4(k)` must be in bounds for
+    // all `k < vec_n`.
     unsafe fn run(
         v: &mut [f64],
         minv: &mut [f64],
@@ -702,82 +713,72 @@ unsafe fn fused_scan_avx2(
         way: &[AtomicUsize],
         vec_n: usize,
     ) -> ([f64; 4], [i64; 4]) {
-        const LANES: usize = 4;
-        let inf_v = _mm256_set1_pd(f64::INFINITY);
-        let u_v = _mm256_set1_pd(u_i0);
-        let delta_v = _mm256_set1_pd(delta.unwrap_or(0.0));
-        let has_delta = delta.is_some();
-        let mut best_v = inf_v;
-        let mut best_j_v = _mm256_setzero_si256();
-        let mut j_v = _mm256_setr_epi64x(lo as i64, lo as i64 + 1, lo as i64 + 2, lo as i64 + 3);
-        let step_v = _mm256_set1_epi64x(LANES as i64);
+        // SAFETY: the caller upholds this fn's contract — AVX2 enabled,
+        // `vec_n` within every slice — so each unaligned load/store at
+        // `k < vec_n` is in bounds.
+        unsafe {
+            const LANES: usize = 4;
+            let inf_v = _mm256_set1_pd(f64::INFINITY);
+            let u_v = _mm256_set1_pd(u_i0);
+            let delta_v = _mm256_set1_pd(delta.unwrap_or(0.0));
+            let has_delta = delta.is_some();
+            let mut best_v = inf_v;
+            let mut best_j_v = _mm256_setzero_si256();
+            let mut j_v =
+                _mm256_setr_epi64x(lo as i64, lo as i64 + 1, lo as i64 + 2, lo as i64 + 3);
+            let step_v = _mm256_set1_epi64x(LANES as i64);
 
-        let mut k = 0usize;
-        while k < vec_n {
-            let uf = _mm256_loadu_pd(used_f.as_ptr().add(k));
-            let mut mv = _mm256_loadu_pd(minv.as_ptr().add(k));
-            let mut vv = _mm256_loadu_pd(v.as_ptr().add(k));
-            if has_delta {
-                mv = _mm256_sub_pd(mv, delta_v);
-                // Sign-select: used lanes take `v − δ`, free lanes keep `v`.
-                vv = _mm256_blendv_pd(vv, _mm256_sub_pd(vv, delta_v), uf);
-                _mm256_storeu_pd(v.as_mut_ptr().add(k), vv);
-            }
-            let cur = _mm256_sub_pd(_mm256_sub_pd(cost4(k), u_v), vv);
-            let cur = _mm256_blendv_pd(cur, inf_v, uf);
-            let lt = _mm256_cmp_pd::<_CMP_LT_OQ>(cur, mv);
-            mv = _mm256_blendv_pd(mv, cur, lt);
-            _mm256_storeu_pd(minv.as_mut_ptr().add(k), mv);
-            let hit = _mm256_movemask_pd(lt);
-            if hit != 0 {
-                // Rare past the first steps of a row: record the scan
-                // origin for path unwinding, lane by lane.
-                for lane in 0..LANES {
-                    if hit & (1 << lane) != 0 {
-                        way[lo + k + lane].store(j0, Ordering::Relaxed);
+            let mut k = 0usize;
+            while k < vec_n {
+                let uf = _mm256_loadu_pd(used_f.as_ptr().add(k));
+                let mut mv = _mm256_loadu_pd(minv.as_ptr().add(k));
+                let mut vv = _mm256_loadu_pd(v.as_ptr().add(k));
+                if has_delta {
+                    mv = _mm256_sub_pd(mv, delta_v);
+                    // Sign-select: used lanes take `v − δ`, free lanes keep `v`.
+                    vv = _mm256_blendv_pd(vv, _mm256_sub_pd(vv, delta_v), uf);
+                    _mm256_storeu_pd(v.as_mut_ptr().add(k), vv);
+                }
+                let cur = _mm256_sub_pd(_mm256_sub_pd(cost4(k), u_v), vv);
+                let cur = _mm256_blendv_pd(cur, inf_v, uf);
+                let lt = _mm256_cmp_pd::<_CMP_LT_OQ>(cur, mv);
+                mv = _mm256_blendv_pd(mv, cur, lt);
+                _mm256_storeu_pd(minv.as_mut_ptr().add(k), mv);
+                let hit = _mm256_movemask_pd(lt);
+                if hit != 0 {
+                    // Rare past the first steps of a row: record the scan
+                    // origin for path unwinding, lane by lane.
+                    for lane in 0..LANES {
+                        if hit & (1 << lane) != 0 {
+                            way[lo + k + lane].store(j0, Ordering::Relaxed);
+                        }
                     }
                 }
+                let better = _mm256_cmp_pd::<_CMP_LT_OQ>(mv, best_v);
+                best_v = _mm256_blendv_pd(best_v, mv, better);
+                best_j_v = _mm256_blendv_epi8(best_j_v, j_v, _mm256_castpd_si256(better));
+                j_v = _mm256_add_epi64(j_v, step_v);
+                k += LANES;
             }
-            let better = _mm256_cmp_pd::<_CMP_LT_OQ>(mv, best_v);
-            best_v = _mm256_blendv_pd(best_v, mv, better);
-            best_j_v = _mm256_blendv_epi8(best_j_v, j_v, _mm256_castpd_si256(better));
-            j_v = _mm256_add_epi64(j_v, step_v);
-            k += LANES;
+            let mut best_arr = [0f64; 4];
+            let mut j_arr = [0i64; 4];
+            _mm256_storeu_pd(best_arr.as_mut_ptr(), best_v);
+            _mm256_storeu_si256(j_arr.as_mut_ptr().cast(), best_j_v);
+            (best_arr, j_arr)
         }
-        let mut best_arr = [0f64; 4];
-        let mut j_arr = [0i64; 4];
-        _mm256_storeu_pd(best_arr.as_mut_ptr(), best_v);
-        _mm256_storeu_si256(j_arr.as_mut_ptr().cast(), best_j_v);
-        (best_arr, j_arr)
     }
 
     let n = minv.len();
     let vec_n = n - n % 4;
     let (best_arr, j_arr) = match row {
-        RowData::Slice(r) => run(
-            v,
-            minv,
-            used_f,
-            |k| _mm256_loadu_pd(r.as_ptr().add(k)),
-            u_i0,
-            delta,
-            j0,
-            lo,
-            way,
-            vec_n,
-        ),
-        RowData::Point { x, y } => {
-            let tx = _mm256_set1_pd(x);
-            let ty = _mm256_set1_pd(y);
+        // SAFETY: this fn's own contract matches `run`'s — AVX2 is on and
+        // `vec_n <= minv.len() <= r.len()` keeps the closure loads in bounds.
+        RowData::Slice(r) => unsafe {
             run(
                 v,
                 minv,
                 used_f,
-                |k| {
-                    let dx = _mm256_sub_pd(tx, _mm256_loadu_pd(col_x.as_ptr().add(k)));
-                    let dy = _mm256_sub_pd(ty, _mm256_loadu_pd(col_y.as_ptr().add(k)));
-                    _mm256_sqrt_pd(_mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy)))
-                },
+                |k| _mm256_loadu_pd(r.as_ptr().add(k)),
                 u_i0,
                 delta,
                 j0,
@@ -785,6 +786,30 @@ unsafe fn fused_scan_avx2(
                 way,
                 vec_n,
             )
+        },
+        RowData::Point { x, y } => {
+            let tx = _mm256_set1_pd(x);
+            let ty = _mm256_set1_pd(y);
+            // SAFETY: as above; `col_x`/`col_y` span the full block, so the
+            // closure loads at `k < vec_n` are in bounds.
+            unsafe {
+                run(
+                    v,
+                    minv,
+                    used_f,
+                    |k| {
+                        let dx = _mm256_sub_pd(tx, _mm256_loadu_pd(col_x.as_ptr().add(k)));
+                        let dy = _mm256_sub_pd(ty, _mm256_loadu_pd(col_y.as_ptr().add(k)));
+                        _mm256_sqrt_pd(_mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy)))
+                    },
+                    u_i0,
+                    delta,
+                    j0,
+                    lo,
+                    way,
+                    vec_n,
+                )
+            }
         }
     };
     let tail = fused_scan_scalar(
@@ -800,7 +825,11 @@ unsafe fn fused_scan_avx2(
 /// compare (`-0.0` is `i64::MIN`), so only the F subset is required.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f")]
+// Same working-set signature as the scalar reference kernel.
 #[allow(clippy::too_many_arguments)]
+// SAFETY: callers must have detected AVX-512F at runtime. Every slice
+// spans the full block, so all lane accesses below `minv.len()` are in
+// bounds.
 unsafe fn fused_scan_avx512(
     v: &mut [f64],
     minv: &mut [f64],
@@ -816,8 +845,13 @@ unsafe fn fused_scan_avx512(
 ) -> (f64, usize) {
     use std::arch::x86_64::*;
 
+    // The closure-parameterized inner loop; shares the outer kernel's
+    // working set plus the per-lane cost source.
     #[inline(always)]
     #[allow(clippy::too_many_arguments)]
+    // SAFETY: callers run this with AVX-512F enabled and pass `vec_n` no
+    // larger than any slice's length; `cost8(k)` must be in bounds for
+    // all `k < vec_n`.
     unsafe fn run(
         v: &mut [f64],
         minv: &mut [f64],
@@ -830,89 +864,79 @@ unsafe fn fused_scan_avx512(
         way: &[AtomicUsize],
         vec_n: usize,
     ) -> ([f64; 8], [i64; 8]) {
-        const LANES: usize = 8;
-        let inf_v = _mm512_set1_pd(f64::INFINITY);
-        let u_v = _mm512_set1_pd(u_i0);
-        let delta_v = _mm512_set1_pd(delta.unwrap_or(0.0));
-        let has_delta = delta.is_some();
-        let mut best_v = inf_v;
-        let mut best_j_v = _mm512_setzero_si512();
-        let mut j_v = _mm512_setr_epi64(
-            lo as i64,
-            lo as i64 + 1,
-            lo as i64 + 2,
-            lo as i64 + 3,
-            lo as i64 + 4,
-            lo as i64 + 5,
-            lo as i64 + 6,
-            lo as i64 + 7,
-        );
-        let step_v = _mm512_set1_epi64(LANES as i64);
-        let zero_i = _mm512_setzero_si512();
+        // SAFETY: the caller upholds this fn's contract — AVX-512F
+        // enabled, `vec_n` within every slice — so each unaligned
+        // load/store at `k < vec_n` is in bounds.
+        unsafe {
+            const LANES: usize = 8;
+            let inf_v = _mm512_set1_pd(f64::INFINITY);
+            let u_v = _mm512_set1_pd(u_i0);
+            let delta_v = _mm512_set1_pd(delta.unwrap_or(0.0));
+            let has_delta = delta.is_some();
+            let mut best_v = inf_v;
+            let mut best_j_v = _mm512_setzero_si512();
+            let mut j_v = _mm512_setr_epi64(
+                lo as i64,
+                lo as i64 + 1,
+                lo as i64 + 2,
+                lo as i64 + 3,
+                lo as i64 + 4,
+                lo as i64 + 5,
+                lo as i64 + 6,
+                lo as i64 + 7,
+            );
+            let step_v = _mm512_set1_epi64(LANES as i64);
+            let zero_i = _mm512_setzero_si512();
 
-        let mut k = 0usize;
-        while k < vec_n {
-            let uf = _mm512_loadu_pd(used_f.as_ptr().add(k));
-            let used_m = _mm512_cmplt_epi64_mask(_mm512_castpd_si512(uf), zero_i);
-            let mut mv = _mm512_loadu_pd(minv.as_ptr().add(k));
-            let mut vv = _mm512_loadu_pd(v.as_ptr().add(k));
-            if has_delta {
-                mv = _mm512_sub_pd(mv, delta_v);
-                vv = _mm512_mask_sub_pd(vv, used_m, vv, delta_v);
-                _mm512_storeu_pd(v.as_mut_ptr().add(k), vv);
-            }
-            let cur = _mm512_sub_pd(_mm512_sub_pd(cost8(k), u_v), vv);
-            let cur = _mm512_mask_mov_pd(cur, used_m, inf_v);
-            let lt = _mm512_cmp_pd_mask::<_CMP_LT_OQ>(cur, mv);
-            mv = _mm512_mask_mov_pd(mv, lt, cur);
-            _mm512_storeu_pd(minv.as_mut_ptr().add(k), mv);
-            if lt != 0 {
-                for lane in 0..LANES {
-                    if lt & (1 << lane) != 0 {
-                        way[lo + k + lane].store(j0, Ordering::Relaxed);
+            let mut k = 0usize;
+            while k < vec_n {
+                let uf = _mm512_loadu_pd(used_f.as_ptr().add(k));
+                let used_m = _mm512_cmplt_epi64_mask(_mm512_castpd_si512(uf), zero_i);
+                let mut mv = _mm512_loadu_pd(minv.as_ptr().add(k));
+                let mut vv = _mm512_loadu_pd(v.as_ptr().add(k));
+                if has_delta {
+                    mv = _mm512_sub_pd(mv, delta_v);
+                    vv = _mm512_mask_sub_pd(vv, used_m, vv, delta_v);
+                    _mm512_storeu_pd(v.as_mut_ptr().add(k), vv);
+                }
+                let cur = _mm512_sub_pd(_mm512_sub_pd(cost8(k), u_v), vv);
+                let cur = _mm512_mask_mov_pd(cur, used_m, inf_v);
+                let lt = _mm512_cmp_pd_mask::<_CMP_LT_OQ>(cur, mv);
+                mv = _mm512_mask_mov_pd(mv, lt, cur);
+                _mm512_storeu_pd(minv.as_mut_ptr().add(k), mv);
+                if lt != 0 {
+                    for lane in 0..LANES {
+                        if lt & (1 << lane) != 0 {
+                            way[lo + k + lane].store(j0, Ordering::Relaxed);
+                        }
                     }
                 }
+                let better = _mm512_cmp_pd_mask::<_CMP_LT_OQ>(mv, best_v);
+                best_v = _mm512_mask_mov_pd(best_v, better, mv);
+                best_j_v = _mm512_mask_mov_epi64(best_j_v, better, j_v);
+                j_v = _mm512_add_epi64(j_v, step_v);
+                k += LANES;
             }
-            let better = _mm512_cmp_pd_mask::<_CMP_LT_OQ>(mv, best_v);
-            best_v = _mm512_mask_mov_pd(best_v, better, mv);
-            best_j_v = _mm512_mask_mov_epi64(best_j_v, better, j_v);
-            j_v = _mm512_add_epi64(j_v, step_v);
-            k += LANES;
+            let mut best_arr = [0f64; 8];
+            let mut j_arr = [0i64; 8];
+            _mm512_storeu_pd(best_arr.as_mut_ptr(), best_v);
+            _mm512_storeu_si512(j_arr.as_mut_ptr().cast(), best_j_v);
+            (best_arr, j_arr)
         }
-        let mut best_arr = [0f64; 8];
-        let mut j_arr = [0i64; 8];
-        _mm512_storeu_pd(best_arr.as_mut_ptr(), best_v);
-        _mm512_storeu_si512(j_arr.as_mut_ptr().cast(), best_j_v);
-        (best_arr, j_arr)
     }
 
     let n = minv.len();
     let vec_n = n - n % 8;
     let (best_arr, j_arr) = match row {
-        RowData::Slice(r) => run(
-            v,
-            minv,
-            used_f,
-            |k| _mm512_loadu_pd(r.as_ptr().add(k)),
-            u_i0,
-            delta,
-            j0,
-            lo,
-            way,
-            vec_n,
-        ),
-        RowData::Point { x, y } => {
-            let tx = _mm512_set1_pd(x);
-            let ty = _mm512_set1_pd(y);
+        // SAFETY: this fn's own contract matches `run`'s — AVX-512F is on
+        // and `vec_n <= minv.len() <= r.len()` keeps the closure loads in
+        // bounds.
+        RowData::Slice(r) => unsafe {
             run(
                 v,
                 minv,
                 used_f,
-                |k| {
-                    let dx = _mm512_sub_pd(tx, _mm512_loadu_pd(col_x.as_ptr().add(k)));
-                    let dy = _mm512_sub_pd(ty, _mm512_loadu_pd(col_y.as_ptr().add(k)));
-                    _mm512_sqrt_pd(_mm512_add_pd(_mm512_mul_pd(dx, dx), _mm512_mul_pd(dy, dy)))
-                },
+                |k| _mm512_loadu_pd(r.as_ptr().add(k)),
                 u_i0,
                 delta,
                 j0,
@@ -920,6 +944,30 @@ unsafe fn fused_scan_avx512(
                 way,
                 vec_n,
             )
+        },
+        RowData::Point { x, y } => {
+            let tx = _mm512_set1_pd(x);
+            let ty = _mm512_set1_pd(y);
+            // SAFETY: as above; `col_x`/`col_y` span the full block, so the
+            // closure loads at `k < vec_n` are in bounds.
+            unsafe {
+                run(
+                    v,
+                    minv,
+                    used_f,
+                    |k| {
+                        let dx = _mm512_sub_pd(tx, _mm512_loadu_pd(col_x.as_ptr().add(k)));
+                        let dy = _mm512_sub_pd(ty, _mm512_loadu_pd(col_y.as_ptr().add(k)));
+                        _mm512_sqrt_pd(_mm512_add_pd(_mm512_mul_pd(dx, dx), _mm512_mul_pd(dy, dy)))
+                    },
+                    u_i0,
+                    delta,
+                    j0,
+                    lo,
+                    way,
+                    vec_n,
+                )
+            }
         }
     };
     let tail = fused_scan_scalar(

@@ -17,13 +17,15 @@
 
 use pombm_hst::{CodeContext, LeafCode, SubtreeCounter};
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Online randomized-greedy matcher on the complete HST (see module docs).
 #[derive(Debug, Clone)]
 pub struct RandomizedGreedy {
     counter: SubtreeCounter,
-    residents: HashMap<LeafCode, Vec<usize>>,
+    /// `BTreeMap` keyed by leaf code — per-leaf stacks stay in a
+    /// hash-seed-free order.
+    residents: BTreeMap<LeafCode, Vec<usize>>,
     remaining: usize,
 }
 
@@ -31,7 +33,7 @@ impl RandomizedGreedy {
     /// Creates a matcher over the reported (obfuscated) worker leaves.
     pub fn new(ctx: CodeContext, workers: Vec<LeafCode>) -> Self {
         let mut counter = SubtreeCounter::new(ctx);
-        let mut residents: HashMap<LeafCode, Vec<usize>> = HashMap::new();
+        let mut residents: BTreeMap<LeafCode, Vec<usize>> = BTreeMap::new();
         for (i, &w) in workers.iter().enumerate() {
             counter.insert(w);
             residents.entry(w).or_default().push(i);

@@ -11,7 +11,7 @@
 //! leaves the device.
 
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Why a charge was refused.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,10 +42,14 @@ impl std::fmt::Display for BudgetError {
 impl std::error::Error for BudgetError {}
 
 /// A thread-safe per-participant privacy-budget ledger.
+///
+/// The ledger is a `BTreeMap` so that [`BudgetLedger::total_spent`] sums
+/// in participant-id order: float addition is not associative, so a
+/// hash-ordered sum would change in the last bits from run to run.
 #[derive(Debug)]
 pub struct BudgetLedger {
     lifetime: f64,
-    spent: Mutex<HashMap<u64, f64>>,
+    spent: Mutex<BTreeMap<u64, f64>>,
 }
 
 impl BudgetLedger {
@@ -61,7 +65,7 @@ impl BudgetLedger {
         );
         BudgetLedger {
             lifetime,
-            spent: Mutex::new(HashMap::new()),
+            spent: Mutex::new(BTreeMap::new()),
         }
     }
 

@@ -39,6 +39,8 @@ use std::collections::HashMap;
 pub struct ExponentialMechanism {
     epsilon: Epsilon,
     points: PointSet,
+    // lint: allow(DET-HASH) — per-point memo built via entry(); only ever
+    // read by key lookup, never iterated.
     tables: HashMap<PointId, AliasTable>,
 }
 
@@ -53,6 +55,7 @@ impl ExponentialMechanism {
         ExponentialMechanism {
             epsilon,
             points,
+            // lint: allow(DET-HASH) — see the field note: lookups only.
             tables: HashMap::new(),
         }
     }

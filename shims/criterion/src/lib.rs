@@ -5,6 +5,9 @@
 //! No statistics, plots or comparisons — just a warmed-up mean per bench,
 //! printed to stdout.
 
+// lint: allow-file(DET-TIME) — wall-clock measurement is this shim's whole
+// purpose; bench timings are reported, never fingerprinted.
+
 use std::time::{Duration, Instant};
 
 /// Re-exported from `std::hint`; prevents the optimizer from deleting the

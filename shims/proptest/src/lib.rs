@@ -156,10 +156,13 @@ pub mod collection {
     where
         S::Value: std::hash::Hash + Eq,
     {
+        // lint: allow(DET-HASH) — the set type is the caller's choice;
+        // generation draws from the seeded StdRng, not from set order.
         type Value = std::collections::HashSet<S::Value>;
 
         fn generate(&self, rng: &mut StdRng) -> Self::Value {
             let target = rng.gen_range(self.size.clone());
+            // lint: allow(DET-HASH) — see the type note above.
             let mut set = std::collections::HashSet::with_capacity(target);
             // Bounded attempts so a too-small value domain degrades to a
             // smaller set instead of hanging.

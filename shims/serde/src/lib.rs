@@ -410,6 +410,8 @@ impl Deserialize for Duration {
     }
 }
 
+// lint: allow(DET-HASH) — the pairs are sorted by key below, so the
+// serialized object is independent of hash order.
 impl<K: Serialize + ToString, V: Serialize> Serialize for HashMap<K, V> {
     fn to_value(&self) -> Value {
         let mut pairs: Vec<(String, Value)> = self
