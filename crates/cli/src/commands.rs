@@ -55,6 +55,17 @@ COMMANDS:
               [--tasks N] [--workers N] [--plan always-on|short|long]
               [--mechanism M] [--matcher X] [--epsilon F] [--grid-side N]
               [--seed N] [--json]
+  serve       resident micro-batched matching service fed by a built-in
+              deterministic load generator (in-process framed transport)
+              --load [--tasks N] [--workers N] [--plan always-on|short|long]
+              [--mechanism M] [--matcher X] [--epsilon F] [--grid-side N]
+              [--seed N] [--batch-interval F] [--qps F] [--requests N]
+              [--threads N] [--timings] [--json]
+              assignments are a pure function of (seed, plan,
+              batch-interval): --qps paces wall-clock delivery and
+              --threads parallelizes per-window obfuscation, neither
+              changes results; --timings adds latency percentiles
+              (excluded from the deterministic JSON contract)
   sweep       registry-wide empirical competitive-ratio sweep against the
               exact offline optimum, sharded across cores
               [--mechanisms A,B,..] [--matchers X,Y,..] [--sizes N,N,..]
@@ -99,6 +110,7 @@ pub fn dispatch(args: &Args) -> Result<String, String> {
         Some("inspect") => inspect(args),
         Some("epochs") => epochs(args),
         Some("dynamic") => dynamic(args),
+        Some("serve") => serve(args),
         Some("sweep") => sweep(args),
         Some("merge") => merge_cmd(args),
         Some("help") | None => Ok(USAGE.to_string()),
@@ -458,6 +470,107 @@ pub fn dynamic(args: &Args) -> Result<String, String> {
     let _ = writeln!(out, "assignment rate:  {:.4}", outcome.assignment_rate());
     let _ = writeln!(out, "total distance:   {:.3}", outcome.total_distance);
     let _ = writeln!(out, "peak available:   {}", outcome.peak_available);
+    Ok(out)
+}
+
+/// `pombm serve`: the resident micro-batched matching service. The
+/// transport is in-process (length-prefixed frames on an mpsc channel), so
+/// the only ingress is the built-in deterministic load generator —
+/// `--load` is therefore required, making the contract explicit on the
+/// command line. Assignments are a pure function of
+/// `(seed, plan, batch-interval)`: `--qps` and `--threads` trade wall-clock
+/// only, never results (CI's serve-smoke job byte-compares the JSON across
+/// both).
+pub fn serve(args: &Args) -> Result<String, String> {
+    args.check_known(&[
+        "load",
+        "tasks",
+        "workers",
+        "plan",
+        "mechanism",
+        "matcher",
+        "epsilon",
+        "grid-side",
+        "seed",
+        "batch-interval",
+        "qps",
+        "requests",
+        "threads",
+        "timings",
+        "json",
+    ])?;
+    if !args.switch("load") {
+        return Err(
+            "serve's transport is in-process: pass --load to run the built-in \
+             deterministic load generator against the resident service \
+             (external ingress would need a network dependency this build \
+             intentionally avoids)"
+                .to_string(),
+        );
+    }
+    let max_requests = match args.get("requests") {
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| format!("flag --requests: cannot parse `{v}`"))?,
+        ),
+        None => None,
+    };
+    let config = pombm::ServeConfig {
+        mechanism: args.get_or("mechanism", "hst".to_string())?,
+        matcher: args.get_or("matcher", "hst-greedy".to_string())?,
+        plan: args.get_or("plan", "short".to_string())?,
+        num_tasks: args.get_or("tasks", 200)?,
+        num_workers: args.get_or("workers", 100)?,
+        epsilon: args.get_or("epsilon", 0.6)?,
+        grid_side: args.get_or("grid-side", 32)?,
+        seed: args.get_or("seed", 0)?,
+        batch_interval: args.get_or("batch-interval", 5.0)?,
+        qps: args.get_or("qps", 0.0)?,
+        max_requests,
+        threads: args.get_or("threads", 1)?,
+        timings: args.switch("timings"),
+    };
+    let outcome = pombm::run_serve(&config).map_err(|e| e.to_string())?;
+    let report = outcome.report;
+    if args.switch("json") {
+        return serde_json::to_string_pretty(&report).map_err(|e| e.to_string());
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "mechanism:        {}", report.mechanism);
+    let _ = writeln!(out, "matcher:          {}", report.matcher);
+    let _ = writeln!(out, "shift plan:       {}", report.plan);
+    let _ = writeln!(
+        out,
+        "batch interval:   {} (virtual time)",
+        report.batch_interval
+    );
+    let _ = writeln!(
+        out,
+        "requests:         {} over {} micro-batches",
+        report.requests, report.batches
+    );
+    let _ = writeln!(
+        out,
+        "tasks:            {} (assigned {}, dropped {})",
+        report.assigned + report.dropped,
+        report.assigned,
+        report.dropped
+    );
+    let _ = writeln!(out, "assignment rate:  {:.4}", report.assignment_rate);
+    let _ = writeln!(out, "total distance:   {:.3}", report.total_distance);
+    let _ = writeln!(
+        out,
+        "queue depth:      peak {} mean {:.2}",
+        report.peak_queue_depth, report.mean_queue_depth
+    );
+    let _ = writeln!(out, "fingerprint:      {}", report.assignment_fingerprint);
+    if let Some(latency) = report.latency {
+        let _ = writeln!(
+            out,
+            "latency ms:       p50 {:.3} p95 {:.3} p99 {:.3} max {:.3}",
+            latency.p50_ms, latency.p95_ms, latency.p99_ms, latency.max_ms
+        );
+    }
     Ok(out)
 }
 
@@ -903,10 +1016,11 @@ fn list_flag<'a>(args: &'a Args, name: &str) -> Result<Option<&'a str>, String> 
     }
 }
 
-/// Splits a comma-separated list value, rejecting empty values and empty
-/// entries (`--mechanisms ""` and `--sizes 12,,16` must error, not
-/// silently shrink to the defaults) — the same typed errors on the static
-/// and dynamic axes.
+/// Splits a comma-separated list value, rejecting empty values, empty
+/// entries and duplicates (`--mechanisms ""`, `--sizes 12,,16` and
+/// `--sizes 16,16` must error, not silently shrink to the defaults or
+/// inflate the sweep grid and its config fingerprint with repeated
+/// jobs) — the same typed errors on the static and dynamic axes.
 fn split_list<'a>(name: &str, value: &'a str) -> Result<Vec<&'a str>, String> {
     let items: Vec<&str> = value.split(',').map(str::trim).collect();
     if items.iter().all(|s| s.is_empty()) {
@@ -914,6 +1028,13 @@ fn split_list<'a>(name: &str, value: &'a str) -> Result<Vec<&'a str>, String> {
     }
     if items.iter().any(|s| s.is_empty()) {
         return Err(format!("flag --{name}: empty entry in `{value}`"));
+    }
+    for (i, item) in items.iter().enumerate() {
+        if items[..i].contains(item) {
+            return Err(format!(
+                "flag --{name}: duplicate entry `{item}` in `{value}`"
+            ));
+        }
     }
     Ok(items)
 }
@@ -990,6 +1111,7 @@ mod tests {
             "inspect",
             "epochs",
             "dynamic",
+            "serve",
             "sweep",
         ] {
             assert!(text.contains(cmd), "usage missing {cmd}");
@@ -1266,6 +1388,42 @@ mod tests {
     }
 
     #[test]
+    fn sweep_list_flags_reject_duplicate_entries() {
+        // `--sizes 16,16` / `--mechanisms laplace,laplace` would silently
+        // run duplicate jobs, inflating the cell grid and the config
+        // fingerprint — rejected with the same typed error style as empty
+        // entries, on both axes. Whitespace variants are duplicates too.
+        for (name, value, dup) in [
+            ("mechanisms", "laplace,laplace", "laplace"),
+            ("matchers", "greedy,offline-opt,greedy", "greedy"),
+            ("sizes", "16,16", "16"),
+            ("epsilons", "0.5,1.0,0.5", "0.5"),
+            ("sizes", "16, 16", "16"),
+        ] {
+            let flag = format!("--{name}");
+            for dynamic in [false, true] {
+                let mut tokens = vec!["sweep"];
+                if dynamic {
+                    tokens.push("--dynamic");
+                }
+                let err = sweep(&argv(&[&tokens[..], &[&flag, value]].concat())).unwrap_err();
+                assert!(
+                    err.contains("duplicate entry") && err.contains(dup),
+                    "{flag} dynamic={dynamic}: {err}"
+                );
+            }
+        }
+        let err = sweep(&argv(&[
+            "sweep",
+            "--dynamic",
+            "--shift-plans",
+            "short,short",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("duplicate entry"), "{err}");
+    }
+
+    #[test]
     fn partition_flag_is_validated() {
         for bad in ["0/3", "4/3", "3", "a/b", "1/0", "/"] {
             let err = sweep(&args(&format!(
@@ -1434,6 +1592,58 @@ mod tests {
         );
         let err = dynamic(&args("dynamic --mechanism bogus")).unwrap_err();
         assert!(err.contains("bogus") && err.contains("laplace"), "{err}");
+    }
+
+    #[test]
+    fn serve_requires_the_load_generator() {
+        let err = serve(&args("serve")).unwrap_err();
+        assert!(err.contains("--load"), "{err}");
+    }
+
+    #[test]
+    fn serve_json_is_invariant_across_qps_and_threads() {
+        let flags = "serve --load --tasks 60 --workers 45 --plan short --mechanism hst \
+                     --matcher hst-greedy --batch-interval 5 --seed 7 --json";
+        let base = serve(&args(flags)).unwrap();
+        let throttled = serve(&args(&format!("{flags} --qps 3000"))).unwrap();
+        assert_eq!(base, throttled, "QPS changed the serve artifact");
+        let auto = serve(&args(&format!("{flags} --threads 0"))).unwrap();
+        assert_eq!(base, auto, "thread count changed the serve artifact");
+        let report: serde_json::Value = serde_json::from_str(&base).unwrap();
+        // One CHECK_IN + one CHECK_OUT per worker, one TASK per task (the
+        // SHUTDOWN sentinel is transport framing, not a request).
+        assert_eq!(report["requests"].as_u64().unwrap(), 60 + 2 * 45);
+        assert!(report.get("latency").is_none(), "{base}");
+    }
+
+    #[test]
+    fn serve_table_reports_the_fingerprint_and_latency_needs_timings() {
+        let flags = "serve --load --tasks 40 --workers 30 --seed 3 --requests 50";
+        let out = serve(&args(flags)).unwrap();
+        assert!(out.contains("fingerprint:"), "{out}");
+        assert!(out.contains("requests:         50"), "{out}");
+        assert!(!out.contains("latency"), "{out}");
+        let timed = serve(&args(&format!("{flags} --timings"))).unwrap();
+        assert!(timed.contains("latency ms:"), "{timed}");
+    }
+
+    #[test]
+    fn serve_rejects_bad_flags_and_names() {
+        let err = serve(&args("serve --load --mechanism bogus")).unwrap_err();
+        assert!(err.contains("bogus") && err.contains("laplace"), "{err}");
+        let err = serve(&args("serve --load --matcher greedy")).unwrap_err();
+        assert!(
+            err.contains("greedy") && err.contains("hst-greedy"),
+            "{err}"
+        );
+        let err = serve(&args("serve --load --batch-interval 0")).unwrap_err();
+        assert!(err.contains("batch-interval"), "{err}");
+        let err = serve(&args("serve --load --qps -2")).unwrap_err();
+        assert!(err.contains("qps"), "{err}");
+        let err = serve(&args("serve --load --requests many")).unwrap_err();
+        assert!(err.contains("--requests"), "{err}");
+        let err = serve(&args("serve --laod")).unwrap_err();
+        assert!(err.contains("--laod"), "{err}");
     }
 
     #[test]

@@ -103,6 +103,12 @@ pub enum PipelineError {
         /// The valid names, for the error message.
         known: Vec<String>,
     },
+    /// A serve-transport frame could not be decoded
+    /// ([`crate::serve::ServeRequest::decode`]).
+    Transport {
+        /// What was wrong with the frame.
+        why: &'static str,
+    },
     /// The sweep checkpoint store could not be opened or written.
     Checkpoint {
         /// The checkpoint file involved.
@@ -143,6 +149,9 @@ impl std::fmt::Display for PipelineError {
                     "unknown {kind} `{name}`; expected one of: {}",
                     known.join(" ")
                 )
+            }
+            PipelineError::Transport { why } => {
+                write!(f, "serve transport: {why}")
             }
             PipelineError::Checkpoint { path, why } => {
                 write!(f, "checkpoint `{path}`: {why}")
@@ -460,6 +469,20 @@ pub trait DynamicWorkerPool {
     /// be reused.
     fn insert(&mut self, id: u64, report: Report) -> Result<(), PipelineError>;
 
+    /// Registers a batch of workers at once — a whole micro-batch window
+    /// of shift starts ([`crate::serve`]). Must be observation-equivalent
+    /// to calling [`Self::insert`] for each pair in order (assignments,
+    /// availability, tie-stream draws), which is exactly what the default
+    /// does; pools override it to amortize index maintenance. On error
+    /// nothing may have been inserted (validate-then-mutate), so a failed
+    /// batch leaves the pool resumable.
+    fn insert_batch(&mut self, batch: Vec<(u64, Report)>) -> Result<(), PipelineError> {
+        for (id, report) in batch {
+            self.insert(id, report)?;
+        }
+        Ok(())
+    }
+
     /// Removes an unassigned worker (shift end). Returns `false` when the
     /// worker is not present (already assigned or never inserted) — a
     /// no-op, matching the departure semantics of the simulation.
@@ -474,6 +497,25 @@ pub trait DynamicWorkerPool {
         report: Report,
         tie_rng: &mut StdRng,
     ) -> Result<Option<u64>, PipelineError>;
+
+    /// Drains a micro-batch window of task arrivals: assigns each report
+    /// in order, returning one slot per task. Semantically this *is* the
+    /// sequential loop — online assignment is order-sensitive, so the
+    /// default is also the contract: `assign_batch(reports)` must equal
+    /// mapping [`Self::assign`] over `reports`, including every tie-stream
+    /// draw. The batched entry point exists so the serve loop drains one
+    /// window in one virtual call and pools can keep their index warm
+    /// across the run of assignments.
+    fn assign_batch(
+        &mut self,
+        reports: Vec<Report>,
+        tie_rng: &mut StdRng,
+    ) -> Result<Vec<Option<u64>>, PipelineError> {
+        reports
+            .into_iter()
+            .map(|report| self.assign(report, tie_rng))
+            .collect()
+    }
 
     /// Number of present, unassigned workers.
     fn available(&self) -> usize;
@@ -1088,6 +1130,19 @@ impl DynamicAssignStrategy for DynamicHstGreedyStrategy {
                 self.pool.add(id, leaf);
                 Ok(())
             }
+            fn insert_batch(&mut self, batch: Vec<(u64, Report)>) -> Result<(), PipelineError> {
+                // Convert every report before the first add: an
+                // incompatible report mid-batch must not leave a
+                // half-inserted window behind.
+                let leaves = batch
+                    .into_iter()
+                    .map(|(id, report)| {
+                        Ok((id, report.into_leaf(Some(self.server), "dynamic pool")?))
+                    })
+                    .collect::<Result<Vec<_>, PipelineError>>()?;
+                self.pool.add_batch(leaves);
+                Ok(())
+            }
             fn withdraw(&mut self, id: u64) -> bool {
                 self.pool.withdraw(id)
             }
@@ -1143,6 +1198,21 @@ impl DynamicAssignStrategy for DynamicKdRebuildStrategy {
                 self.pool.add(id, point);
                 Ok(())
             }
+            fn insert_batch(&mut self, batch: Vec<(u64, Report)>) -> Result<(), PipelineError> {
+                // Convert first (atomic on incompatible reports), then one
+                // append + re-sort instead of k sorted insertions.
+                let points = batch
+                    .into_iter()
+                    .map(|(id, report)| {
+                        Ok((
+                            id,
+                            report.into_point(self.server, "kd-rebuild dynamic matcher")?,
+                        ))
+                    })
+                    .collect::<Result<Vec<_>, PipelineError>>()?;
+                self.pool.add_batch(points);
+                Ok(())
+            }
             fn withdraw(&mut self, id: u64) -> bool {
                 self.pool.withdraw(id)
             }
@@ -1191,6 +1261,11 @@ impl DynamicAssignStrategy for DynamicRandomStrategy {
         impl DynamicWorkerPool for P {
             fn insert(&mut self, id: u64, _report: Report) -> Result<(), PipelineError> {
                 self.0.add(id);
+                Ok(())
+            }
+            fn insert_batch(&mut self, batch: Vec<(u64, Report)>) -> Result<(), PipelineError> {
+                let ids: Vec<u64> = batch.into_iter().map(|(id, _)| id).collect();
+                self.0.add_batch(&ids);
                 Ok(())
             }
             fn withdraw(&mut self, id: u64) -> bool {

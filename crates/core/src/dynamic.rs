@@ -24,7 +24,10 @@
 //! `tests/dynamic.rs` — batching across events would reorder draws and
 //! change every pinned outcome. Dynamic cells therefore stay
 //! event-sequential by contract; dynamic *sweeps* parallelize across
-//! cells (`--shards`) instead.
+//! cells (`--shards`) instead. The micro-batched service mode
+//! ([`crate::serve`]) replays the *same* timeline (via the shared
+//! builder) under a deliberately different, Δt-windowed RNG schedule —
+//! its own golden fingerprints pin that schedule separately.
 //!
 //! Like the static pipeline, the dynamic pipeline is a free
 //! `mechanism × matcher` product: [`run_dynamic_spec`] drives any
@@ -127,11 +130,43 @@ impl DynamicOutcome {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum EventKind {
+pub(crate) enum EventKind {
     // Variant order is the tie order at equal timestamps.
     ShiftStart(usize),
     ShiftEnd(usize),
     Task(usize),
+}
+
+/// One timeline entry: `(timestamp, tie class, id, event)`. The tie class
+/// mirrors the [`EventKind`] variant order so equal-timestamp events sort
+/// ShiftStart < ShiftEnd < Task, then by id.
+pub(crate) type TimelineEvent = (f64, u8, usize, EventKind);
+
+/// Builds the unified, deterministically ordered shift/task timeline that
+/// both the event-sequential driver ([`run_dynamic_spec`]) and the
+/// micro-batched serve loop ([`crate::serve`]) replay — a pure function
+/// of `(plan, task_times)`, which is what makes a serve run a
+/// byte-checkable artifact.
+///
+/// # Panics
+///
+/// Panics on a non-finite timestamp.
+pub(crate) fn build_timeline(plan: &ShiftPlan, task_times: &[f64]) -> Vec<TimelineEvent> {
+    let mut events: Vec<TimelineEvent> = Vec::new();
+    for s in &plan.shifts {
+        events.push((s.start, 0, s.worker, EventKind::ShiftStart(s.worker)));
+        events.push((s.end, 1, s.worker, EventKind::ShiftEnd(s.worker)));
+    }
+    for (t, &at) in task_times.iter().enumerate() {
+        events.push((at, 2, t, EventKind::Task(t)));
+    }
+    events.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .expect("finite timestamps")
+            .then(a.1.cmp(&b.1))
+            .then(a.2.cmp(&b.2))
+    });
+    events
 }
 
 /// Replays `plan` against the tasks of `instance` (task `i` arrives at
@@ -214,21 +249,7 @@ pub fn run_dynamic_spec(
     let mut rng = seeded_rng(config.seed, 0xD1CE_0001);
     let mut tie_rng = seeded_rng(config.seed, 0xD1CE_0002);
 
-    // Build the unified timeline.
-    let mut events: Vec<(f64, u8, usize, EventKind)> = Vec::new();
-    for s in &plan.shifts {
-        events.push((s.start, 0, s.worker, EventKind::ShiftStart(s.worker)));
-        events.push((s.end, 1, s.worker, EventKind::ShiftEnd(s.worker)));
-    }
-    for (t, &at) in task_times.iter().enumerate() {
-        events.push((at, 2, t, EventKind::Task(t)));
-    }
-    events.sort_by(|a, b| {
-        a.0.partial_cmp(&b.0)
-            .expect("finite timestamps")
-            .then(a.1.cmp(&b.1))
-            .then(a.2.cmp(&b.2))
-    });
+    let events = build_timeline(plan, task_times);
 
     let mut pool = matcher.pool(Some(&server))?;
     let mut pairs = Vec::new();

@@ -105,6 +105,7 @@ pub mod merge;
 pub mod pipeline;
 pub mod ratio;
 pub mod registry;
+pub mod serve;
 pub mod server;
 pub mod sweep;
 
@@ -123,6 +124,7 @@ pub use pipeline::{
 };
 pub use ratio::{empirical_competitive_ratio, offline_optimum, RatioError, RatioReport};
 pub use registry::{registry, AlgorithmSpec, Registry};
+pub use serve::{run_serve, ServeConfig, ServeLatency, ServeOutcome, ServeReport, ServeRequest};
 pub use server::{Server, TreeConstruction};
 pub use sweep::{
     run_dynamic_sweep, run_dynamic_sweep_partition, run_sweep, run_sweep_partition,

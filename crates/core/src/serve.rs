@@ -1,0 +1,745 @@
+//! `pombm serve` — a resident micro-batched matching service.
+//!
+//! The paper's setting is inherently a *service*: workers and tasks report
+//! obfuscated locations to an untrusted server which matches online. Every
+//! other entry point in this repo is batch; this module is the resident
+//! counterpart. A serve session is a long-running loop on its own thread:
+//! requests arrive over a local framed transport (length-prefixed frames
+//! on the in-repo `bytes` shim — no network crates), are buffered, and are
+//! executed in **Δt micro-batches**: all activity whose *virtual*
+//! timestamp falls into the same `batch_interval` window is applied in one
+//! shot through the pool's batched entry points
+//! ([`DynamicWorkerPool::insert_batch`] / `assign_batch`).
+//!
+//! # Frame layout
+//!
+//! Big-endian, length-prefixed (the length covers the payload only):
+//!
+//! ```text
+//! frame     := u32 payload_len | payload
+//! payload   := u8 opcode | body
+//! 0x01 CHECK_IN  worker:u64  at:f64  x:f64  y:f64     (shift start)
+//! 0x02 CHECK_OUT worker:u64  at:f64                   (shift end)
+//! 0x03 TASK      task:u64    at:f64  x:f64  y:f64     (task arrival)
+//! 0x04 SHUTDOWN                                       (drain and exit)
+//! ```
+//!
+//! # Δt semantics
+//!
+//! `at` timestamps are *virtual* seconds on the workload timeline; frame
+//! `at` belongs to window `⌊at / batch_interval⌋`. When a frame for a
+//! later window arrives (or on shutdown), the current window flushes in
+//! three phases:
+//!
+//! 1. **check-ins** — all buffered worker locations are obfuscated in one
+//!    [`ReportMechanism::report_batch`] call (bit-identical to the scalar
+//!    loop at any thread count) and registered via `insert_batch`;
+//! 2. **check-outs** — buffered withdrawals are applied (no-ops for
+//!    workers already assigned);
+//! 3. **tasks** — the queue depth is recorded, task locations are
+//!    batch-obfuscated, and the window drains through `assign_batch` in
+//!    arrival order.
+//!
+//! # Determinism contract
+//!
+//! The assignment sequence is a pure function of
+//! `(seed, plan, batch_interval)`. Wall-clock enters only through the
+//! load generator's *pacing* (QPS throttling slows delivery, never
+//! reorders it) and the optional, `timings`-gated latency percentiles —
+//! which are [`None`]-skipped from the JSON exactly like the sweep's
+//! `wall_ms` precedent, so a timings-off [`ServeReport`] is a
+//! byte-checkable artifact. Two runs at different QPS, or at `--threads 1`
+//! vs auto, produce identical assignments; `tests/serve.rs` pins this with
+//! golden fingerprints and replay tests, and CI's `serve-smoke` job
+//! byte-compares live runs. The schedule deliberately differs from the
+//! event-sequential dynamic driver ([`crate::dynamic::run_dynamic_spec`]):
+//! obfuscation draws are grouped per window, so outcomes depend on Δt —
+//! that dependence is part of the artifact's identity, like a seed.
+
+use crate::algorithm::{
+    DynamicAssignStrategy, DynamicWorkerPool, PipelineError, Report, ReportMechanism,
+};
+use crate::dynamic::EventKind;
+use crate::registry::registry;
+use crate::server::Server;
+use crate::sweep::{dynamic_shift_plan, dynamic_task_times};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use pombm_geom::{seeded_rng, Point};
+use pombm_privacy::Epsilon;
+use pombm_workload::shifts::ShiftPlan;
+use pombm_workload::{synthetic, Instance, SyntheticParams};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Configuration of one serve session (service + load generator).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Stage-1 mechanism name (registry lookup).
+    pub mechanism: String,
+    /// Dynamic matcher name (registry lookup).
+    pub matcher: String,
+    /// Shift-plan kind for the generated fleet (`always-on`, `short`,
+    /// `long`).
+    pub plan: String,
+    /// Tasks in the generated timeline.
+    pub num_tasks: usize,
+    /// Workers in the generated fleet.
+    pub num_workers: usize,
+    /// Privacy budget per report.
+    pub epsilon: f64,
+    /// Predefined-point grid side.
+    pub grid_side: usize,
+    /// Base seed; with `plan` and `batch_interval` it fully determines the
+    /// assignment sequence.
+    pub seed: u64,
+    /// Δt — the micro-batch window in virtual seconds.
+    pub batch_interval: f64,
+    /// Load-generator target rate in requests per wall-clock second;
+    /// `0.0` = unthrottled. Pacing only — never affects assignments.
+    pub qps: f64,
+    /// Stop the load generator after this many requests (the service
+    /// drains what arrived); `None` replays the whole timeline.
+    pub max_requests: Option<usize>,
+    /// Obfuscation threads per window (`0` = auto, `1` = scalar); output
+    /// is bit-identical for every value.
+    pub threads: usize,
+    /// Record wall-clock assignment-latency percentiles. Off by default:
+    /// the percentiles are machine-dependent and are skipped — absent, not
+    /// `null` — from the JSON so byte comparisons stay exact.
+    pub timings: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            mechanism: "hst".into(),
+            matcher: "hst-greedy".into(),
+            plan: "short".into(),
+            num_tasks: 200,
+            num_workers: 100,
+            epsilon: 0.6,
+            grid_side: 32,
+            seed: 0,
+            batch_interval: 5.0,
+            qps: 0.0,
+            max_requests: None,
+            threads: 1,
+            timings: false,
+        }
+    }
+}
+
+/// Wall-clock assignment-latency percentiles over one session (frame
+/// ingest of a task to the drain of its window), in milliseconds.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ServeLatency {
+    /// Median.
+    pub p50_ms: f64,
+    /// 95th percentile.
+    pub p95_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// Worst observed.
+    pub max_ms: f64,
+}
+
+/// Serializable outcome of one serve session. Every field except
+/// `latency` is a pure function of `(seed, plan, batch_interval)` — QPS,
+/// thread count and wall-clock never reach them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Mechanism driven.
+    pub mechanism: String,
+    /// Dynamic matcher driven.
+    pub matcher: String,
+    /// Shift-plan kind replayed.
+    pub plan: String,
+    /// Tasks in the configured timeline.
+    pub num_tasks: usize,
+    /// Workers in the configured fleet.
+    pub num_workers: usize,
+    /// Privacy budget per report.
+    pub epsilon: f64,
+    /// Base seed.
+    pub seed: u64,
+    /// Δt window in virtual seconds.
+    pub batch_interval: f64,
+    /// Frames ingested (shutdown excluded).
+    pub requests: usize,
+    /// Non-empty windows flushed.
+    pub batches: usize,
+    /// Tasks assigned a worker.
+    pub assigned: usize,
+    /// Tasks that drained against an empty pool.
+    pub dropped: usize,
+    /// `assigned / (assigned + dropped)` (`1.0` when no tasks arrived).
+    pub assignment_rate: f64,
+    /// `dropped / (assigned + dropped)` (`0.0` when no tasks arrived).
+    pub drop_rate: f64,
+    /// Total true-location travel distance of the assigned pairs.
+    pub total_distance: f64,
+    /// Largest task-queue depth observed at a flush.
+    pub peak_queue_depth: usize,
+    /// Mean task-queue depth over flushed windows.
+    pub mean_queue_depth: f64,
+    /// FNV-1a fingerprint of the assignment sequence — the byte-checkable
+    /// identity of the run (see [`assignment_fingerprint`]).
+    pub assignment_fingerprint: String,
+    /// Latency percentiles; present only with [`ServeConfig::timings`]
+    /// (and absent — not `null` — from the JSON otherwise, mirroring the
+    /// sweep's `wall_ms`).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub latency: Option<ServeLatency>,
+}
+
+/// A completed serve session: the report plus the raw assignment sequence
+/// (`(task id, assigned worker)` in drain order) for replay comparisons.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    /// The serializable session report.
+    pub report: ServeReport,
+    /// `(task, Some(worker) | None)` in drain order — what the
+    /// fingerprint digests.
+    pub assignments: Vec<(u64, Option<u64>)>,
+}
+
+const OP_CHECK_IN: u8 = 0x01;
+const OP_CHECK_OUT: u8 = 0x02;
+const OP_TASK: u8 = 0x03;
+const OP_SHUTDOWN: u8 = 0x04;
+
+/// One request on the serve transport (see the module docs for the wire
+/// layout).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServeRequest {
+    /// Shift start: a worker checks in at its true location (obfuscated
+    /// server-side by the session's mechanism, like the batch drivers).
+    CheckIn {
+        /// Worker id (unique among live workers).
+        worker: u64,
+        /// Virtual timestamp.
+        at: f64,
+        /// True x coordinate.
+        x: f64,
+        /// True y coordinate.
+        y: f64,
+    },
+    /// Shift end: an unassigned worker withdraws.
+    CheckOut {
+        /// Worker id.
+        worker: u64,
+        /// Virtual timestamp.
+        at: f64,
+    },
+    /// Task arrival.
+    Task {
+        /// Task id.
+        task: u64,
+        /// Virtual timestamp.
+        at: f64,
+        /// True x coordinate.
+        x: f64,
+        /// True y coordinate.
+        y: f64,
+    },
+    /// Drain every buffered window and end the session.
+    Shutdown,
+}
+
+impl ServeRequest {
+    /// Encodes the request as one length-prefixed frame.
+    pub fn encode(&self) -> Bytes {
+        let mut payload = BytesMut::with_capacity(33);
+        match *self {
+            ServeRequest::CheckIn { worker, at, x, y } => {
+                payload.put_u8(OP_CHECK_IN);
+                payload.put_u64(worker);
+                payload.put_f64(at);
+                payload.put_f64(x);
+                payload.put_f64(y);
+            }
+            ServeRequest::CheckOut { worker, at } => {
+                payload.put_u8(OP_CHECK_OUT);
+                payload.put_u64(worker);
+                payload.put_f64(at);
+            }
+            ServeRequest::Task { task, at, x, y } => {
+                payload.put_u8(OP_TASK);
+                payload.put_u64(task);
+                payload.put_f64(at);
+                payload.put_f64(x);
+                payload.put_f64(y);
+            }
+            ServeRequest::Shutdown => payload.put_u8(OP_SHUTDOWN),
+        }
+        let mut frame = BytesMut::with_capacity(4 + payload.len());
+        frame.put_u32(payload.len() as u32);
+        frame.put_slice(&payload);
+        frame.freeze()
+    }
+
+    /// Decodes one frame, consuming it from `buf`. Truncated frames,
+    /// unknown opcodes and length/opcode mismatches are typed
+    /// [`PipelineError::Transport`] errors, never panics.
+    pub fn decode(buf: &mut Bytes) -> Result<Self, PipelineError> {
+        let transport = |why| Err(PipelineError::Transport { why });
+        if buf.remaining() < 4 {
+            return transport("truncated frame: missing length prefix");
+        }
+        let len = buf.get_u32() as usize;
+        if buf.remaining() < len {
+            return transport("truncated frame: payload shorter than its length prefix");
+        }
+        if len == 0 {
+            return transport("empty payload: a frame needs at least an opcode");
+        }
+        let opcode = buf.get_u8();
+        let body = len - 1;
+        match opcode {
+            OP_CHECK_IN if body == 32 => Ok(ServeRequest::CheckIn {
+                worker: buf.get_u64(),
+                at: buf.get_f64(),
+                x: buf.get_f64(),
+                y: buf.get_f64(),
+            }),
+            OP_CHECK_OUT if body == 16 => Ok(ServeRequest::CheckOut {
+                worker: buf.get_u64(),
+                at: buf.get_f64(),
+            }),
+            OP_TASK if body == 32 => Ok(ServeRequest::Task {
+                task: buf.get_u64(),
+                at: buf.get_f64(),
+                x: buf.get_f64(),
+                y: buf.get_f64(),
+            }),
+            OP_SHUTDOWN if body == 0 => Ok(ServeRequest::Shutdown),
+            OP_CHECK_IN | OP_CHECK_OUT | OP_TASK | OP_SHUTDOWN => {
+                transport("length prefix does not match the opcode's body size")
+            }
+            _ => transport("unknown opcode"),
+        }
+    }
+
+    fn timestamp(&self) -> f64 {
+        match *self {
+            ServeRequest::CheckIn { at, .. }
+            | ServeRequest::CheckOut { at, .. }
+            | ServeRequest::Task { at, .. } => at,
+            ServeRequest::Shutdown => f64::INFINITY,
+        }
+    }
+}
+
+/// FNV-1a over the assignment sequence: each `(task, worker)` pair
+/// digests as two little-endian u64s, with `None` (dropped) encoded as
+/// `0` and `Some(w)` as `w + 1`. The serve counterpart of the sweep's
+/// config fingerprint — two runs match iff their assignment sequences do.
+pub fn assignment_fingerprint(assignments: &[(u64, Option<u64>)]) -> String {
+    fn eat(hash: u64, value: u64) -> u64 {
+        value.to_le_bytes().iter().fold(hash, |h, &b| {
+            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
+        })
+    }
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &(task, worker) in assignments {
+        hash = eat(hash, task);
+        hash = eat(hash, worker.map_or(0, |w| w + 1));
+    }
+    format!("{hash:016x}")
+}
+
+/// A task buffered in the current window.
+struct PendingTask {
+    id: u64,
+    location: Point,
+    /// Frame-ingest instant; `Some` only with `timings`.
+    ingested: Option<std::time::Instant>,
+}
+
+/// Aggregates the resident half of a session: the pool, the two RNG
+/// streams, the window buffers and the running counters.
+struct Engine<'a> {
+    mechanism: &'a dyn ReportMechanism,
+    server: &'a Server,
+    pool: Box<dyn DynamicWorkerPool + 'a>,
+    epsilon: Epsilon,
+    threads: usize,
+    batch_interval: f64,
+    timings: bool,
+    mech_rng: StdRng,
+    tie_rng: StdRng,
+    window: Option<u64>,
+    pending_checkins: Vec<(u64, Point)>,
+    pending_checkouts: Vec<u64>,
+    pending_tasks: Vec<PendingTask>,
+    assignments: Vec<(u64, Option<u64>)>,
+    requests: usize,
+    batches: usize,
+    peak_queue: usize,
+    queue_sum: usize,
+    latencies_ms: Vec<f64>,
+}
+
+/// What the serve thread hands back when the session ends.
+struct SessionStats {
+    assignments: Vec<(u64, Option<u64>)>,
+    requests: usize,
+    batches: usize,
+    peak_queue: usize,
+    queue_sum: usize,
+    latencies_ms: Vec<f64>,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        mechanism: &'a dyn ReportMechanism,
+        matcher: &dyn DynamicAssignStrategy,
+        server: &'a Server,
+        config: &ServeConfig,
+    ) -> Result<Self, PipelineError> {
+        Ok(Engine {
+            mechanism,
+            server,
+            pool: matcher.pool(Some(server))?,
+            epsilon: Epsilon::new(config.epsilon),
+            threads: config.threads,
+            batch_interval: config.batch_interval,
+            timings: config.timings,
+            // The same stream ids as the event-sequential dynamic driver;
+            // the *schedule* of draws differs (grouped per Δt window) and
+            // is pinned by the serve goldens.
+            mech_rng: seeded_rng(config.seed, 0xD1CE_0001),
+            tie_rng: seeded_rng(config.seed, 0xD1CE_0002),
+            window: None,
+            pending_checkins: Vec::new(),
+            pending_checkouts: Vec::new(),
+            pending_tasks: Vec::new(),
+            assignments: Vec::new(),
+            requests: 0,
+            batches: 0,
+            peak_queue: 0,
+            queue_sum: 0,
+            latencies_ms: Vec::new(),
+        })
+    }
+
+    /// Buffers one request, flushing first when it opens a new window.
+    /// Returns `false` when the session should end (shutdown received).
+    fn ingest(&mut self, request: ServeRequest) -> Result<bool, PipelineError> {
+        if request == ServeRequest::Shutdown {
+            self.flush()?;
+            return Ok(false);
+        }
+        self.requests += 1;
+        let window = (request.timestamp() / self.batch_interval).floor() as u64;
+        if self.window != Some(window) {
+            self.flush()?;
+            self.window = Some(window);
+        }
+        match request {
+            ServeRequest::CheckIn { worker, x, y, .. } => {
+                self.pending_checkins.push((worker, Point::new(x, y)));
+            }
+            ServeRequest::CheckOut { worker, .. } => self.pending_checkouts.push(worker),
+            ServeRequest::Task { task, x, y, .. } => {
+                // lint: allow(DET-TIME) — timings-gated latency sampling
+                // only; the wall_ms precedent. Never reaches assignments
+                // or the deterministic report fields.
+                let ingested = self.timings.then(std::time::Instant::now);
+                self.pending_tasks.push(PendingTask {
+                    id: task,
+                    location: Point::new(x, y),
+                    ingested,
+                });
+            }
+            ServeRequest::Shutdown => unreachable!("handled above"),
+        }
+        Ok(true)
+    }
+
+    /// Flushes the current window through the three documented phases.
+    fn flush(&mut self) -> Result<(), PipelineError> {
+        if self.pending_checkins.is_empty()
+            && self.pending_checkouts.is_empty()
+            && self.pending_tasks.is_empty()
+        {
+            return Ok(());
+        }
+        self.batches += 1;
+        // Phase 1: batch-obfuscate and register the window's check-ins.
+        if !self.pending_checkins.is_empty() {
+            let points: Vec<Point> = self.pending_checkins.iter().map(|&(_, p)| p).collect();
+            let reports = self.mechanism.report_batch(
+                self.epsilon,
+                Some(self.server),
+                &points,
+                &mut self.mech_rng,
+                self.threads,
+            )?;
+            let batch: Vec<(u64, Report)> = self
+                .pending_checkins
+                .drain(..)
+                .zip(reports)
+                .map(|((id, _), report)| (id, report))
+                .collect();
+            self.pool.insert_batch(batch)?;
+        }
+        // Phase 2: apply check-outs (no-ops for assigned workers).
+        for id in self.pending_checkouts.drain(..) {
+            let _ = self.pool.withdraw(id);
+        }
+        // Phase 3: record queue depth, then drain the task queue.
+        let depth = self.pending_tasks.len();
+        self.peak_queue = self.peak_queue.max(depth);
+        self.queue_sum += depth;
+        if depth > 0 {
+            let points: Vec<Point> = self.pending_tasks.iter().map(|t| t.location).collect();
+            let reports = self.mechanism.report_batch(
+                self.epsilon,
+                Some(self.server),
+                &points,
+                &mut self.mech_rng,
+                self.threads,
+            )?;
+            let tasks: Vec<PendingTask> = self.pending_tasks.drain(..).collect();
+            let slots = self.pool.assign_batch(reports, &mut self.tie_rng)?;
+            // lint: allow(DET-TIME) — timings-gated latency sampling only;
+            // the wall_ms precedent. One drain stamp per window.
+            let drained = self.timings.then(std::time::Instant::now);
+            for (task, &slot) in tasks.iter().zip(&slots) {
+                self.assignments.push((task.id, slot));
+                if let (Some(end), Some(start)) = (drained, task.ingested) {
+                    self.latencies_ms
+                        .push(end.duration_since(start).as_secs_f64() * 1e3);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> SessionStats {
+        SessionStats {
+            assignments: self.assignments,
+            requests: self.requests,
+            batches: self.batches,
+            peak_queue: self.peak_queue,
+            queue_sum: self.queue_sum,
+            latencies_ms: self.latencies_ms,
+        }
+    }
+}
+
+/// The resident serve loop: decodes frames off the transport and drives
+/// the engine until shutdown (or until the sender hangs up, which drains
+/// the buffered tail — a generator truncated by `max_requests` must not
+/// lose requests).
+fn serve_session(
+    rx: mpsc::Receiver<Bytes>,
+    mechanism: &dyn ReportMechanism,
+    matcher: &dyn DynamicAssignStrategy,
+    server: &Server,
+    config: &ServeConfig,
+) -> Result<SessionStats, PipelineError> {
+    let mut engine = Engine::new(mechanism, matcher, server, config)?;
+    while let Ok(mut frame) = rx.recv() {
+        if !engine.ingest(ServeRequest::decode(&mut frame)?)? {
+            return Ok(engine.finish());
+        }
+    }
+    engine.flush()?;
+    Ok(engine.finish())
+}
+
+/// Encodes the seed-derived workload timeline as transport frames — the
+/// load generator's replay script. Pure in `(instance, plan, task_times)`;
+/// `max_requests` truncates the tail (the shutdown frame is appended
+/// after the cut and does not count).
+fn timeline_frames(
+    instance: &Instance,
+    plan: &ShiftPlan,
+    task_times: &[f64],
+    max_requests: Option<usize>,
+) -> Vec<Bytes> {
+    let events = crate::dynamic::build_timeline(plan, task_times);
+    let mut frames: Vec<Bytes> = events
+        .iter()
+        .map(|&(at, _, _, kind)| {
+            match kind {
+                EventKind::ShiftStart(w) => ServeRequest::CheckIn {
+                    worker: w as u64,
+                    at,
+                    x: instance.workers[w].x,
+                    y: instance.workers[w].y,
+                },
+                EventKind::ShiftEnd(w) => ServeRequest::CheckOut {
+                    worker: w as u64,
+                    at,
+                },
+                EventKind::Task(t) => ServeRequest::Task {
+                    task: t as u64,
+                    at,
+                    x: instance.tasks[t].x,
+                    y: instance.tasks[t].y,
+                },
+            }
+            .encode()
+        })
+        .collect();
+    if let Some(cap) = max_requests {
+        frames.truncate(cap);
+    }
+    frames.push(ServeRequest::Shutdown.encode());
+    frames
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    let idx = ((p / 100.0) * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[idx]
+}
+
+/// Runs one complete serve session: spawns the resident service on a
+/// scoped thread, replays the seed-derived request timeline through the
+/// built-in load generator at [`ServeConfig::qps`], and joins cleanly
+/// before returning — no thread outlives this call.
+///
+/// The returned assignments are a pure function of
+/// `(seed, plan, batch_interval)` (see the module docs); QPS and
+/// `threads` trade wall-clock for delivery pacing and cores, never
+/// results.
+pub fn run_serve(config: &ServeConfig) -> Result<ServeOutcome, PipelineError> {
+    if !(config.batch_interval.is_finite() && config.batch_interval > 0.0) {
+        return Err(PipelineError::InvalidConfig {
+            field: "batch-interval",
+            why: "Δt must be a positive, finite number of virtual seconds",
+        });
+    }
+    if !(config.qps.is_finite() && config.qps >= 0.0) {
+        return Err(PipelineError::InvalidConfig {
+            field: "qps",
+            why: "must be 0 (unthrottled) or a positive, finite rate",
+        });
+    }
+    let mechanism =
+        registry()
+            .mechanism(&config.mechanism)
+            .ok_or_else(|| PipelineError::UnknownName {
+                kind: "mechanism",
+                name: config.mechanism.clone(),
+                known: registry()
+                    .mechanisms()
+                    .iter()
+                    .map(|m| m.name().to_string())
+                    .collect(),
+            })?;
+    let matcher = registry().require_dynamic_matcher(&config.matcher)?;
+
+    // The same workload derivation as `pombm dynamic`: instance, arrival
+    // times and shift plan are all pure functions of the seed.
+    let params = SyntheticParams {
+        num_tasks: config.num_tasks,
+        num_workers: config.num_workers,
+        ..SyntheticParams::default()
+    };
+    let instance = synthetic::generate(&params, &mut seeded_rng(config.seed, 0xD1CE_0006));
+    let task_times = dynamic_task_times(config.seed, config.num_tasks);
+    let plan = dynamic_shift_plan(&config.plan, config.num_workers, config.seed)?;
+    let frames = timeline_frames(&instance, &plan, &task_times, config.max_requests);
+
+    let server = Server::new(instance.region, config.grid_side, config.seed ^ 0xD1CE);
+    let (tx, rx) = mpsc::channel::<Bytes>();
+    let pause = (config.qps > 0.0).then(|| Duration::from_secs_f64(1.0 / config.qps));
+    let result: parking_lot::Mutex<Option<Result<SessionStats, PipelineError>>> =
+        parking_lot::Mutex::new(None);
+    crossbeam::thread::scope(|scope| {
+        let slot = &result;
+        let server = &server;
+        let mechanism = mechanism.as_ref();
+        let matcher = matcher.as_ref();
+        scope.spawn(move |_| {
+            *slot.lock() = Some(serve_session(rx, mechanism, matcher, server, config));
+        });
+        for frame in frames {
+            if tx.send(frame).is_err() {
+                break; // The service ended early (error path): stop pacing.
+            }
+            if let Some(pause) = pause {
+                std::thread::sleep(pause);
+            }
+        }
+        drop(tx); // Hang up; the service drains its buffers and exits.
+    })
+    .expect("serve threads do not panic");
+    // The scope joined the service thread above, so the session is over
+    // and the slot is filled: clean shutdown is structural.
+    let stats = result
+        .into_inner()
+        .expect("the serve loop always reports")?;
+
+    let assigned = stats
+        .assignments
+        .iter()
+        .filter(|(_, slot)| slot.is_some())
+        .count();
+    let dropped = stats.assignments.len() - assigned;
+    let arrived = stats.assignments.len();
+    let total_distance = stats
+        .assignments
+        .iter()
+        .filter_map(|&(task, slot)| {
+            slot.map(|worker| {
+                instance.tasks[task as usize].dist(&instance.workers[worker as usize])
+            })
+        })
+        .sum();
+    let latency = if config.timings && !stats.latencies_ms.is_empty() {
+        let mut sorted = stats.latencies_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        Some(ServeLatency {
+            p50_ms: percentile(&sorted, 50.0),
+            p95_ms: percentile(&sorted, 95.0),
+            p99_ms: percentile(&sorted, 99.0),
+            max_ms: sorted[sorted.len() - 1],
+        })
+    } else {
+        None
+    };
+    let report = ServeReport {
+        mechanism: config.mechanism.clone(),
+        matcher: config.matcher.clone(),
+        plan: config.plan.clone(),
+        num_tasks: config.num_tasks,
+        num_workers: config.num_workers,
+        epsilon: config.epsilon,
+        seed: config.seed,
+        batch_interval: config.batch_interval,
+        requests: stats.requests,
+        batches: stats.batches,
+        assigned,
+        dropped,
+        assignment_rate: if arrived == 0 {
+            1.0
+        } else {
+            assigned as f64 / arrived as f64
+        },
+        drop_rate: if arrived == 0 {
+            0.0
+        } else {
+            dropped as f64 / arrived as f64
+        },
+        total_distance,
+        peak_queue_depth: stats.peak_queue,
+        mean_queue_depth: if stats.batches == 0 {
+            0.0
+        } else {
+            stats.queue_sum as f64 / stats.batches as f64
+        },
+        assignment_fingerprint: assignment_fingerprint(&stats.assignments),
+        latency,
+    };
+    Ok(ServeOutcome {
+        report,
+        assignments: stats.assignments,
+    })
+}

@@ -668,7 +668,17 @@ struct CheckpointStore<T> {
 }
 
 impl<T: Serialize + Deserialize> CheckpointStore<T> {
-    fn open(dir: &Path, flavor: &str, fingerprint: &str) -> Result<Self, PipelineError> {
+    /// Opens (or creates) the log for `flavor`+`fingerprint` and loads its
+    /// resumable cells. `total_jobs` bounds the persisted indices: a line
+    /// whose u64 index does not fit `usize` or falls outside the job list
+    /// is corrupt or foreign and is skipped — recomputed like a torn line,
+    /// never a panic or a silent misplacement.
+    fn open(
+        dir: &Path,
+        flavor: &str,
+        fingerprint: &str,
+        total_jobs: usize,
+    ) -> Result<Self, PipelineError> {
         let err = |path: &Path, why: String| PipelineError::Checkpoint {
             path: path.display().to_string(),
             why,
@@ -692,7 +702,13 @@ impl<T: Serialize + Deserialize> CheckpointStore<T> {
                 let (Some(index), Ok(cell)) = (items[0].as_u64(), T::from_value(&items[1])) else {
                     continue;
                 };
-                resumed.insert(index as usize, cell);
+                let Ok(index) = usize::try_from(index) else {
+                    continue;
+                };
+                if index >= total_jobs {
+                    continue;
+                }
+                resumed.insert(index, cell);
             }
         }
         let file = std::fs::OpenOptions::new()
@@ -711,14 +727,20 @@ impl<T: Serialize + Deserialize> CheckpointStore<T> {
         self.resumed.lock().remove(&index)
     }
 
+    /// Appends one `[index, cell]` line. The line is fully pre-formatted
+    /// (payload *and* trailing newline) before any I/O, then emitted as a
+    /// **single** `write_all`: with O_APPEND, one whole-line write cannot
+    /// interleave with another process appending to the same log, and a
+    /// crash mid-write can only tear the final line — which `open` skips
+    /// as recompute. Never split this into multiple writes; the resume
+    /// tolerance tests in `tests/partition.rs` (truncated and
+    /// garbage-interleaved tails) pin the recovery behaviour.
     fn append(&self, index: usize, cell: &T) -> Result<(), PipelineError> {
         let entry = serde::Value::Array(vec![serde::Value::UInt(index as u64), cell.to_value()]);
         let mut line = serde_json::to_string(&entry).map_err(|e| PipelineError::Checkpoint {
             path: self.path.display().to_string(),
             why: e.to_string(),
         })?;
-        // One write for payload + newline: with O_APPEND a whole-line write
-        // cannot interleave with another process appending to the same log.
         line.push('\n');
         let mut file = self.file.lock();
         file.write_all(line.as_bytes())
@@ -878,7 +900,7 @@ fn run_static_slice(
     let ckpt = checkpoint
         .map(|dir| -> Result<Checkpointing<SweepCell>, PipelineError> {
             Ok(Checkpointing {
-                store: CheckpointStore::open(dir, STATIC_FLAVOR, &fingerprint)?,
+                store: CheckpointStore::open(dir, STATIC_FLAVOR, &fingerprint, jobs.len())?,
                 max_cells,
                 resumed: AtomicUsize::new(0),
                 computed: AtomicUsize::new(0),
@@ -1317,7 +1339,7 @@ fn run_dynamic_slice(
         .map(
             |dir| -> Result<Checkpointing<DynamicSweepCell>, PipelineError> {
                 Ok(Checkpointing {
-                    store: CheckpointStore::open(dir, DYNAMIC_FLAVOR, &fingerprint)?,
+                    store: CheckpointStore::open(dir, DYNAMIC_FLAVOR, &fingerprint, jobs.len())?,
                     max_cells,
                     resumed: AtomicUsize::new(0),
                     computed: AtomicUsize::new(0),

@@ -81,6 +81,20 @@ impl DynamicHstGreedy {
         stack.insert(pos, id);
     }
 
+    /// Adds a batch of workers in order — observationally identical to
+    /// calling [`Self::add`] for each pair (per-leaf counter inserts are
+    /// inherently per-item, so this is a convenience, not a fast path).
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`Self::add`] if any id is already present (including
+    /// duplicates within the batch).
+    pub fn add_batch(&mut self, batch: impl IntoIterator<Item = (u64, LeafCode)>) {
+        for (id, leaf) in batch {
+            self.add(id, leaf);
+        }
+    }
+
     /// Withdraws an unassigned worker (shift end). Returns `false` if the
     /// worker is not present (already assigned or never added).
     pub fn withdraw(&mut self, id: u64) -> bool {
@@ -173,6 +187,32 @@ impl DynamicKdRebuild {
         self.dirty = true;
     }
 
+    /// Adds a batch of workers — the pool state afterwards is identical to
+    /// calling [`Self::add`] for each pair, but one append + re-sort
+    /// (`O((n + k) log (n + k))`) replaces `k` sorted insertions
+    /// (`O(k · n)`), which matters for micro-batched arrivals on large
+    /// fleets. Validation is atomic: every id is checked (against the live
+    /// pool *and* within the batch) before any mutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`Self::add`] if any id is already present (including
+    /// duplicates within the batch).
+    pub fn add_batch(&mut self, batch: Vec<(u64, Point)>) {
+        for (i, &(id, _)) in batch.iter().enumerate() {
+            let dup_in_batch = batch[..i].iter().any(|&(other, _)| other == id);
+            if dup_in_batch || self.contains(id) {
+                panic!("worker id {id} already present");
+            }
+        }
+        if batch.is_empty() {
+            return;
+        }
+        self.live.extend(batch);
+        self.live.sort_by_key(|&(w, _)| w);
+        self.dirty = true;
+    }
+
     /// Withdraws an unassigned worker (shift end). Returns `false` if the
     /// worker is not present (already assigned or never added).
     pub fn withdraw(&mut self, id: u64) -> bool {
@@ -252,6 +292,20 @@ impl DynamicRandomPool {
         let prev = self.pos_of.insert(id, self.live.len());
         assert!(prev.is_none(), "worker id {id} already present");
         self.live.push(id);
+    }
+
+    /// Adds a batch of workers in order — identical to calling
+    /// [`Self::add`] per id, with the backing vector grown once.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`Self::add`] if any id is already present (including
+    /// duplicates within the batch).
+    pub fn add_batch(&mut self, ids: &[u64]) {
+        self.live.reserve(ids.len());
+        for &id in ids {
+            self.add(id);
+        }
     }
 
     /// Withdraws an unassigned worker. Returns `false` if not present.
@@ -507,5 +561,87 @@ mod tests {
         let mut m = DynamicRandomPool::new();
         m.add(1);
         m.add(1);
+    }
+
+    // --- add_batch ----------------------------------------------------
+
+    #[test]
+    fn batched_adds_match_sequential_adds_on_every_pool() {
+        // The same churn driven through add_batch vs a loop of add must
+        // leave observationally identical pools (assignment order proves
+        // it). Trait-level equivalence across registered matchers is
+        // proptested in `tests/serve.rs`; this is the unit-level pin.
+        let c = ctx();
+        let mut rng = seeded_rng(17, 0);
+        let workers: Vec<(u64, LeafCode)> = (0..40)
+            .map(|i| (i, LeafCode(rng.gen_range(0..c.num_leaves()))))
+            .collect();
+
+        let mut batched = DynamicHstGreedy::new(c);
+        batched.add_batch(workers.iter().copied());
+        let mut sequential = DynamicHstGreedy::new(c);
+        for &(id, leaf) in &workers {
+            sequential.add(id, leaf);
+        }
+        for _ in 0..40 {
+            let t = LeafCode(rng.gen_range(0..c.num_leaves()));
+            assert_eq!(batched.assign(t), sequential.assign(t));
+        }
+
+        let points: Vec<(u64, Point)> = (0..40)
+            .map(|i| {
+                (
+                    i,
+                    Point::new(rng.gen::<f64>() * 50.0, rng.gen::<f64>() * 50.0),
+                )
+            })
+            .collect();
+        let mut batched = DynamicKdRebuild::new();
+        batched.add_batch(points.clone());
+        let mut sequential = DynamicKdRebuild::new();
+        for &(id, p) in &points {
+            sequential.add(id, p);
+        }
+        for _ in 0..40 {
+            let t = Point::new(rng.gen::<f64>() * 50.0, rng.gen::<f64>() * 50.0);
+            assert_eq!(batched.assign(&t), sequential.assign(&t));
+        }
+
+        let ids: Vec<u64> = (0..40).collect();
+        let mut batched = DynamicRandomPool::new();
+        batched.add_batch(&ids);
+        let mut sequential = DynamicRandomPool::new();
+        for &id in &ids {
+            sequential.add(id);
+        }
+        let mut rng_a = seeded_rng(3, 9);
+        let mut rng_b = seeded_rng(3, 9);
+        for _ in 0..40 {
+            assert_eq!(batched.assign(&mut rng_a), sequential.assign(&mut rng_b));
+        }
+    }
+
+    #[test]
+    fn kd_rebuild_batch_is_atomic_on_duplicate() {
+        // A batch with an internal duplicate must panic before mutating.
+        let points = vec![
+            (1, Point::new(0.0, 0.0)),
+            (2, Point::new(1.0, 0.0)),
+            (2, Point::new(2.0, 0.0)),
+        ];
+        let mut m = DynamicKdRebuild::new();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.add_batch(points);
+        }));
+        assert!(err.is_err());
+        assert_eq!(m.available(), 0, "failed batch must not mutate the pool");
+    }
+
+    #[test]
+    #[should_panic(expected = "already present")]
+    fn kd_rebuild_batch_rejects_id_already_live() {
+        let mut m = DynamicKdRebuild::new();
+        m.add(5, Point::new(0.0, 0.0));
+        m.add_batch(vec![(6, Point::new(1.0, 0.0)), (5, Point::new(2.0, 0.0))]);
     }
 }

@@ -506,3 +506,112 @@ fn checkpoint_isolation_and_truncation_tolerance() {
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Serializes a full-plan partial as the equivalent single-process
+/// [`pombm::SweepReport`] for byte comparison against `run_sweep`.
+fn as_full_report(partial: pombm::sweep::PartialSweepReport) -> String {
+    serde_json::to_string(&pombm::SweepReport {
+        seed: partial.seed,
+        repetitions: partial.repetitions,
+        cells: partial.cells,
+    })
+    .unwrap()
+}
+
+/// The crash-consistency contract of the append-only log: each line is a
+/// single whole-line `write_all`, so a torn tail is only ever *one*
+/// damaged line. Both damage shapes a shared checkpoint dir can exhibit —
+/// a byte-truncated final line (a kill mid-write) and an
+/// interleaved-garbage tail (two writers' fragments mashed into one
+/// line) — must be skipped and recomputed, never a parse failure or a
+/// wrong cell.
+#[test]
+fn checkpoint_tail_corruption_recomputes() {
+    let config = static_config(23);
+    let total = sweep_job_count(&config).unwrap();
+    let fresh = serde_json::to_string(&run_sweep(&config).unwrap()).unwrap();
+    let log_name = format!("static-{}.jsonl", sweep_fingerprint(&config).unwrap());
+    let full = PartitionRun {
+        plan: PartitionPlan::full(),
+        checkpoint: None, // filled per case
+        max_cells: None,
+    };
+
+    // Case 1: byte-truncated tail — the final line loses its last bytes.
+    let dir = checkpoint_dir("tail-truncated");
+    let run = PartitionRun {
+        checkpoint: Some(dir.clone()),
+        ..full.clone()
+    };
+    run_sweep_partition(&config, &run).unwrap();
+    let log = dir.join(&log_name);
+    let text = std::fs::read_to_string(&log).unwrap();
+    std::fs::write(&log, &text[..text.len() - 7]).unwrap();
+    let (report, stats) = run_sweep_partition(&config, &run).unwrap();
+    assert_eq!((stats.resumed, stats.computed), (total - 1, 1));
+    assert_eq!(as_full_report(report), fresh);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Case 2: interleaved-garbage tail — the final line is replaced by a
+    // mash of two line fragments, as torn concurrent appends would leave.
+    let dir = checkpoint_dir("tail-interleaved");
+    let run = PartitionRun {
+        checkpoint: Some(dir.clone()),
+        ..full.clone()
+    };
+    run_sweep_partition(&config, &run).unwrap();
+    let log = dir.join(&log_name);
+    let text = std::fs::read_to_string(&log).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() >= 2);
+    let last = lines[lines.len() - 1];
+    let mangled = format!(
+        "{}{}\n",
+        &last[..last.len() / 2],
+        &lines[0][lines[0].len() / 3..]
+    );
+    let intact = lines[..lines.len() - 1].join("\n");
+    std::fs::write(&log, format!("{intact}\n{mangled}")).unwrap();
+    let (report, stats) = run_sweep_partition(&config, &run).unwrap();
+    assert_eq!((stats.resumed, stats.computed), (total - 1, 1));
+    assert_eq!(as_full_report(report), fresh);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A persisted index outside the job-count bound (a corrupt or foreign
+/// line — e.g. a log produced by a larger grid sharing the fingerprint
+/// through a format change) is skipped as recompute, not a panic or a
+/// silently misplaced cell.
+#[test]
+fn checkpoint_out_of_bounds_index_recomputes() {
+    let config = static_config(29);
+    let total = sweep_job_count(&config).unwrap();
+    let fresh = serde_json::to_string(&run_sweep(&config).unwrap()).unwrap();
+    let dir = checkpoint_dir("foreign-index");
+    let run = PartitionRun {
+        plan: PartitionPlan::full(),
+        checkpoint: Some(dir.clone()),
+        max_cells: None,
+    };
+    run_sweep_partition(&config, &run).unwrap();
+    let log = dir.join(format!(
+        "static-{}.jsonl",
+        sweep_fingerprint(&config).unwrap()
+    ));
+    let text = std::fs::read_to_string(&log).unwrap();
+    let mut lines: Vec<String> = text.lines().map(String::from).collect();
+    assert_eq!(lines.len(), total);
+    // Re-key the last line's (valid) cell to an out-of-range index, and
+    // append a u64::MAX line that a blind `as usize` cast would mangle on
+    // 32-bit targets. Both must be ignored: the displaced cell is
+    // recomputed, everything else resumes, output stays byte-identical.
+    let last = lines.pop().unwrap();
+    let cell = last.split_once(',').unwrap().1;
+    lines.push(format!("[{},{cell}", total + 7));
+    lines.push(format!("[{},{cell}", u64::MAX));
+    std::fs::write(&log, format!("{}\n", lines.join("\n"))).unwrap();
+    let (report, stats) = run_sweep_partition(&config, &run).unwrap();
+    assert_eq!((stats.resumed, stats.computed), (total - 1, 1));
+    assert_eq!(as_full_report(report), fresh);
+    let _ = std::fs::remove_dir_all(&dir);
+}
