@@ -55,6 +55,7 @@ fn bench_dynamic_sweep_sharding(c: &mut Criterion) {
     let config = |shards: usize| DynamicSweepConfig {
         mechanisms: vec!["identity".into(), "hst".into()],
         matchers: vec!["hst-greedy".into(), "kd-rebuild".into()],
+        scenarios: Vec::new(),
         shift_plans: vec!["short".into(), "long".into()],
         sizes: vec![96],
         epsilons: vec![0.6],

@@ -15,6 +15,7 @@ fn bench_config() -> SweepConfig {
     SweepConfig {
         mechanisms: vec!["identity".into(), "laplace".into()],
         matchers: vec!["greedy".into(), "offline-opt".into()],
+        scenarios: Vec::new(),
         sizes: vec![48],
         epsilons: vec![0.4, 0.8],
         repetitions: 2,

@@ -11,6 +11,7 @@ fn base_config(shards: usize) -> SweepConfig {
     SweepConfig {
         mechanisms: vec!["identity".into(), "laplace".into()],
         matchers: vec!["greedy".into(), "offline-opt".into()],
+        scenarios: Vec::new(),
         sizes: vec![64],
         epsilons: vec![0.4, 0.8],
         repetitions: 2,

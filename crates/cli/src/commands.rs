@@ -5,13 +5,13 @@
 //! is unit-testable without spawning processes.
 
 use crate::args::Args;
-use pombm::sweep::{dynamic_shift_plan, dynamic_task_times, DYNAMIC_FLAVOR, STATIC_FLAVOR};
+use pombm::sweep::{DYNAMIC_FLAVOR, STATIC_FLAVOR};
 use pombm::{
     merge_dynamic, merge_static, registry, run_dynamic_spec, run_dynamic_sweep,
     run_dynamic_sweep_partition, run_spec, run_sweep, run_sweep_partition, AlgorithmSpec,
     DynamicConfig, DynamicMeasurement, DynamicPartialSweepReport, DynamicSweepConfig,
     DynamicSweepReport, EpochConfig, PartialRunStats, PartialSweepReport, PartitionPlan,
-    PartitionRun, PipelineConfig, SweepConfig, SweepReport,
+    PartitionRun, PipelineConfig, SweepConfig, SweepReport, DEFAULT_SCENARIO,
 };
 use pombm_geom::{seeded_rng, Point};
 use pombm_hst::wire;
@@ -31,9 +31,12 @@ COMMANDS:
               --tasks N --workers N [--mu F] [--sigma F] [--seed N]
               [--real [--day N]] --out FILE
   run         run one algorithm on an instance JSON and print metrics
-              --input FILE (--algo NAME | --mechanism M --matcher S)
+              (--input FILE | --scenario NAME [--size N])
+              (--algo NAME | --mechanism M --matcher S)
               [--epsilon F] [--grid-side N] [--capacity N] [--seed N]
               [--threads N] [--json]
+              --scenario generates the instance from a registered workload
+              scenario (`pombm scenarios`) instead of reading a file
               --threads parallelizes batched obfuscation and the Hungarian
               offline-opt matcher (0 = auto); results are bit-identical
               for every thread count
@@ -42,6 +45,8 @@ COMMANDS:
               --matcher compose any mechanism x matcher product freely
   algorithms  list registered algorithms, mechanisms and matchers
               (also available as `pombm run --list-algorithms`)
+  scenarios   list registered workload scenarios (use with --scenario /
+              --scenarios): named spatial+temporal workload models
   obfuscate   demo the TBF mechanism on one location
               --x F --y F [--epsilon F] [--grid-side N] [--samples N] [--seed N]
   publish     build an HST over a grid and write the wire format
@@ -53,14 +58,14 @@ COMMANDS:
   dynamic     event-driven simulation over a shifting worker fleet: any
               mechanism x dynamic-matcher pairing on one timeline
               [--tasks N] [--workers N] [--plan always-on|short|long]
-              [--mechanism M] [--matcher X] [--epsilon F] [--grid-side N]
-              [--seed N] [--json]
+              [--scenario NAME] [--mechanism M] [--matcher X] [--epsilon F]
+              [--grid-side N] [--seed N] [--json]
   serve       resident micro-batched matching service fed by a built-in
               deterministic load generator (in-process framed transport)
               --load [--tasks N] [--workers N] [--plan always-on|short|long]
-              [--mechanism M] [--matcher X] [--epsilon F] [--grid-side N]
-              [--seed N] [--batch-interval F] [--qps F] [--requests N]
-              [--threads N] [--timings] [--json]
+              [--scenario NAME] [--mechanism M] [--matcher X] [--epsilon F]
+              [--grid-side N] [--seed N] [--batch-interval F] [--qps F]
+              [--requests N] [--threads N] [--timings] [--json]
               assignments are a pure function of (seed, plan,
               batch-interval): --qps paces wall-clock delivery and
               --threads parallelizes per-window obfuscation, neither
@@ -68,10 +73,14 @@ COMMANDS:
               (excluded from the deterministic JSON contract)
   sweep       registry-wide empirical competitive-ratio sweep against the
               exact offline optimum, sharded across cores
-              [--mechanisms A,B,..] [--matchers X,Y,..] [--sizes N,N,..]
-              [--epsilons F,F,..] [--reps N] [--shards N] [--threads N]
-              [--timings] [--grid-side N] [--seed N] [--json]
+              [--mechanisms A,B,..] [--matchers X,Y,..] [--scenarios S,S,..]
+              [--sizes N,N,..] [--epsilons F,F,..] [--reps N] [--shards N]
+              [--threads N] [--timings] [--grid-side N] [--seed N] [--json]
               [--partition i/N] [--checkpoint DIR] [--max-cells N]
+              --scenarios adds workload scenarios as an outermost axis
+              (default: just `uniform`, the legacy workload); the resolved
+              names enter the config fingerprint, so partitioned runs,
+              checkpoints and `pombm merge` extend unchanged
               --threads parallelizes inside a cell (0 = auto), --shards
               across cells; output is byte-identical for every combination
               --timings adds per-cell wall_ms columns (excluded from the
@@ -105,6 +114,7 @@ pub fn dispatch(args: &Args) -> Result<String, String> {
         Some("gen") => gen(args),
         Some("run") => run_cmd(args),
         Some("algorithms") => Ok(list_algorithms()),
+        Some("scenarios") => Ok(list_scenarios()),
         Some("obfuscate") => obfuscate(args),
         Some("publish") => publish(args),
         Some("inspect") => inspect(args),
@@ -151,6 +161,27 @@ pub fn list_algorithms() -> String {
     out
 }
 
+/// `pombm scenarios`: the workload-scenario catalogue, formatted like
+/// [`list_algorithms`].
+pub fn list_scenarios() -> String {
+    let reg = registry();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "registered scenarios (use with `run --scenario`, `dynamic --scenario`, \
+         `serve --scenario`, `sweep --scenarios`):"
+    );
+    for s in reg.scenarios() {
+        let _ = writeln!(out, "  {:<16} {}", s.name(), s.summary());
+    }
+    let _ = writeln!(
+        out,
+        "\nthe default is `{DEFAULT_SCENARIO}`, which reproduces the legacy workload \
+         bit-for-bit"
+    );
+    out
+}
+
 /// `pombm gen`: write a synthetic or Chengdu-like instance to JSON.
 pub fn gen(args: &Args) -> Result<String, String> {
     args.check_known(&[
@@ -194,6 +225,8 @@ pub fn gen(args: &Args) -> Result<String, String> {
 pub fn run_cmd(args: &Args) -> Result<String, String> {
     args.check_known(&[
         "input",
+        "scenario",
+        "size",
         "algo",
         "mechanism",
         "matcher",
@@ -210,8 +243,25 @@ pub fn run_cmd(args: &Args) -> Result<String, String> {
         return Ok(list_algorithms());
     }
     let spec = parse_spec(args)?;
-    let input: String = args.require("input")?;
-    let instance = read_instance(Path::new(&input))?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let instance = match (args.get("input"), args.get("scenario")) {
+        (Some(_), Some(_)) => {
+            return Err("give either --input or --scenario, not both".to_string());
+        }
+        (Some(input), None) => read_instance(Path::new(input))?,
+        (None, Some(name)) => {
+            let scenario = registry()
+                .require_scenario(name)
+                .map_err(|e| e.to_string())?;
+            let size: usize = args.get_or("size", 48)?;
+            scenario.instance(seed, size)
+        }
+        (None, None) => {
+            return Err("missing instance: use --input FILE or --scenario NAME \
+                 (see `pombm scenarios`)"
+                .to_string());
+        }
+    };
     let config = PipelineConfig {
         epsilon: args.get_or("epsilon", 0.6)?,
         grid_side: args.get_or("grid-side", 64)?,
@@ -222,7 +272,7 @@ pub fn run_cmd(args: &Args) -> Result<String, String> {
         },
         euclid_cells: 32,
         capacity: args.get_or("capacity", 1)?,
-        seed: args.get_or("seed", 0)?,
+        seed,
         threads: args.get_or("threads", 1)?,
     };
     let result = run_spec(&spec, &instance, &config, 0).map_err(|e| e.to_string())?;
@@ -400,6 +450,7 @@ pub fn dynamic(args: &Args) -> Result<String, String> {
         "tasks",
         "workers",
         "plan",
+        "scenario",
         "mechanism",
         "matcher",
         "epsilon",
@@ -411,6 +462,12 @@ pub fn dynamic(args: &Args) -> Result<String, String> {
     let num_workers: usize = args.get_or("workers", 100)?;
     let plan_kind: String = args.get_or("plan", "short".to_string())?;
     let seed: u64 = args.get_or("seed", 0)?;
+    let scenario = {
+        let name: String = args.get_or("scenario", DEFAULT_SCENARIO.to_string())?;
+        registry()
+            .require_scenario(&name)
+            .map_err(|e| e.to_string())?
+    };
     let mechanism = {
         let name: String = args.get_or("mechanism", "hst".to_string())?;
         registry().mechanism(&name).ok_or_else(|| {
@@ -431,14 +488,11 @@ pub fn dynamic(args: &Args) -> Result<String, String> {
             .require_dynamic_matcher(&name)
             .map_err(|e| e.to_string())?
     };
-    let params = SyntheticParams {
-        num_tasks,
-        num_workers,
-        ..SyntheticParams::default()
-    };
-    let instance = synthetic::generate(&params, &mut seeded_rng(seed, 0xD1CE_0006));
-    let times = dynamic_task_times(seed, num_tasks);
-    let plan = dynamic_shift_plan(&plan_kind, num_workers, seed).map_err(|e| e.to_string())?;
+    let instance = scenario.timeline_instance(seed, num_tasks, num_workers);
+    let times = scenario.task_times(seed, num_tasks);
+    let plan = scenario
+        .shift_plan(&plan_kind, num_workers, seed)
+        .map_err(|e| e.to_string())?;
     let config = DynamicConfig {
         epsilon: args.get_or("epsilon", 0.6)?,
         grid_side: args.get_or("grid-side", 32)?,
@@ -460,6 +514,9 @@ pub fn dynamic(args: &Args) -> Result<String, String> {
     let mut out = String::new();
     let _ = writeln!(out, "mechanism:        {}", mechanism.name());
     let _ = writeln!(out, "matcher:          {}", matcher.name());
+    if scenario.name() != DEFAULT_SCENARIO {
+        let _ = writeln!(out, "scenario:         {}", scenario.name());
+    }
     let _ = writeln!(out, "shift plan:       {plan_kind}");
     let _ = writeln!(
         out,
@@ -487,6 +544,7 @@ pub fn serve(args: &Args) -> Result<String, String> {
         "tasks",
         "workers",
         "plan",
+        "scenario",
         "mechanism",
         "matcher",
         "epsilon",
@@ -516,6 +574,7 @@ pub fn serve(args: &Args) -> Result<String, String> {
         None => None,
     };
     let config = pombm::ServeConfig {
+        scenario: args.get("scenario").map(|s| s.to_string()),
         mechanism: args.get_or("mechanism", "hst".to_string())?,
         matcher: args.get_or("matcher", "hst-greedy".to_string())?,
         plan: args.get_or("plan", "short".to_string())?,
@@ -538,6 +597,9 @@ pub fn serve(args: &Args) -> Result<String, String> {
     let mut out = String::new();
     let _ = writeln!(out, "mechanism:        {}", report.mechanism);
     let _ = writeln!(out, "matcher:          {}", report.matcher);
+    if let Some(scenario) = &report.scenario {
+        let _ = writeln!(out, "scenario:         {scenario}");
+    }
     let _ = writeln!(out, "shift plan:       {}", report.plan);
     let _ = writeln!(
         out,
@@ -585,6 +647,7 @@ pub fn sweep(args: &Args) -> Result<String, String> {
     args.check_known(&[
         "mechanisms",
         "matchers",
+        "scenarios",
         "sizes",
         "epsilons",
         "reps",
@@ -624,6 +687,7 @@ pub fn sweep(args: &Args) -> Result<String, String> {
     let config = SweepConfig {
         mechanisms: parse_name_list(args, "mechanisms")?,
         matchers: parse_name_list(args, "matchers")?,
+        scenarios: parse_name_list(args, "scenarios")?,
         sizes: parse_number_list(args, "sizes", defaults.sizes)?,
         epsilons: parse_number_list(args, "epsilons", defaults.epsilons)?,
         repetitions: args.get_or("reps", defaults.repetitions)?,
@@ -684,6 +748,7 @@ fn dynamic_sweep(
     let config = DynamicSweepConfig {
         mechanisms: parse_name_list(args, "mechanisms")?,
         matchers: parse_name_list(args, "matchers")?,
+        scenarios: parse_name_list(args, "scenarios")?,
         shift_plans: parse_name_list(args, "shift-plans")?,
         sizes: parse_number_list(args, "sizes", defaults.sizes)?,
         epsilons: parse_number_list(args, "epsilons", defaults.epsilons)?,
@@ -762,10 +827,19 @@ fn log_checkpoint(run: &PartitionRun, stats: PartialRunStats) {
 /// the `wall_ms` column appears iff any cell carries a timing.
 fn static_cell_table(cells: &[pombm::SweepCell]) -> String {
     let timings = cells.iter().any(|c| c.wall_ms.is_some());
+    // The scenario column appears iff any cell left the default scenario,
+    // mirroring the conditional `wall_ms` column: legacy sweeps render
+    // byte-identically to the pre-scenario table.
+    let scenarios = cells.iter().any(|c| c.scenario.is_some());
     let mut out = String::new();
+    let scenario_header = if scenarios {
+        format!("{:<16} ", "scenario")
+    } else {
+        String::new()
+    };
     let _ = writeln!(
         out,
-        "{:<10} {:<12} {:>6} {:>6} {:>9} {:>9} {:>9} {:>12}{}",
+        "{scenario_header}{:<10} {:<12} {:>6} {:>6} {:>9} {:>9} {:>9} {:>12}{}",
         "mechanism",
         "matcher",
         "tasks",
@@ -781,11 +855,19 @@ fn static_cell_table(cells: &[pombm::SweepCell]) -> String {
             .wall_ms
             .map(|ms| format!(" {ms:>10.2}"))
             .unwrap_or_default();
+        let scenario = if scenarios {
+            format!(
+                "{:<16} ",
+                cell.scenario.as_deref().unwrap_or(DEFAULT_SCENARIO)
+            )
+        } else {
+            String::new()
+        };
         match (&cell.report, &cell.error) {
             (Some(r), _) => {
                 let _ = writeln!(
                     out,
-                    "{:<10} {:<12} {:>6} {:>6.2} {:>9.4} {:>9.4} {:>9.4} {:>12.2}{wall}",
+                    "{scenario}{:<10} {:<12} {:>6} {:>6.2} {:>9.4} {:>9.4} {:>9.4} {:>12.2}{wall}",
                     cell.mechanism,
                     cell.matcher,
                     cell.num_tasks,
@@ -799,7 +881,7 @@ fn static_cell_table(cells: &[pombm::SweepCell]) -> String {
             (None, Some(e)) => {
                 let _ = writeln!(
                     out,
-                    "{:<10} {:<12} {:>6} {:>6.2} skipped: {e}",
+                    "{scenario}{:<10} {:<12} {:>6} {:>6.2} skipped: {e}",
                     cell.mechanism, cell.matcher, cell.num_tasks, cell.epsilon
                 );
             }
@@ -849,10 +931,18 @@ fn render_static_partial(partial: &PartialSweepReport) -> String {
 /// The dynamic sweep cell table (shared by `sweep --dynamic` and `merge`).
 fn dynamic_cell_table(cells: &[pombm::DynamicSweepCell]) -> String {
     let timings = cells.iter().any(|c| c.wall_ms.is_some());
+    // Conditional column, as in [`static_cell_table`]: absent on
+    // all-default-scenario sweeps so the legacy table survives unchanged.
+    let scenarios = cells.iter().any(|c| c.scenario.is_some());
     let mut out = String::new();
+    let scenario_header = if scenarios {
+        format!("{:<16} ", "scenario")
+    } else {
+        String::new()
+    };
     let _ = writeln!(
         out,
-        "{:<10} {:<11} {:<10} {:>6} {:>5} {:>8} {:>8} {:>8} {:>12} {:>6}{}",
+        "{scenario_header}{:<10} {:<11} {:<10} {:>6} {:>5} {:>8} {:>8} {:>8} {:>12} {:>6}{}",
         "mechanism",
         "matcher",
         "plan",
@@ -870,11 +960,20 @@ fn dynamic_cell_table(cells: &[pombm::DynamicSweepCell]) -> String {
             .wall_ms
             .map(|ms| format!(" {ms:>10.2}"))
             .unwrap_or_default();
+        let scenario = if scenarios {
+            format!(
+                "{:<16} ",
+                cell.scenario.as_deref().unwrap_or(DEFAULT_SCENARIO)
+            )
+        } else {
+            String::new()
+        };
         match (&cell.measurement, &cell.error) {
             (Some(m), _) => {
                 let _ = writeln!(
                     out,
-                    "{:<10} {:<11} {:<10} {:>6} {:>5.2} {:>8.4} {:>8} {:>8} {:>12.2} {:>6}{wall}",
+                    "{scenario}{:<10} {:<11} {:<10} {:>6} {:>5.2} {:>8.4} {:>8} {:>8} \
+                     {:>12.2} {:>6}{wall}",
                     cell.mechanism,
                     cell.matcher,
                     cell.plan,
@@ -890,7 +989,7 @@ fn dynamic_cell_table(cells: &[pombm::DynamicSweepCell]) -> String {
             (None, Some(e)) => {
                 let _ = writeln!(
                     out,
-                    "{:<10} {:<11} {:<10} {:>6} {:>5.2} skipped: {e}",
+                    "{scenario}{:<10} {:<11} {:<10} {:>6} {:>5.2} skipped: {e}",
                     cell.mechanism, cell.matcher, cell.plan, cell.num_tasks, cell.epsilon
                 );
             }
@@ -1082,7 +1181,7 @@ fn read_instance(path: &Path) -> Result<Instance, String> {
         std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
     let instance: Instance =
         serde_json::from_str(&data).map_err(|e| format!("parse {}: {e}", path.display()))?;
-    instance.validate()?;
+    instance.validate().map_err(|e| e.to_string())?;
     Ok(instance)
 }
 
@@ -1738,5 +1837,139 @@ mod tests {
     fn dynamic_sweep_rejects_threads() {
         let err = sweep(&args("sweep --dynamic --threads 2")).unwrap_err();
         assert!(err.contains("--threads"), "{err}");
+    }
+
+    #[test]
+    fn scenarios_command_lists_the_catalogue() {
+        let out = list_scenarios();
+        for name in [
+            "uniform",
+            "normal",
+            "hotspot",
+            "poisson-disk",
+            "adversarial-cell",
+        ] {
+            assert!(out.contains(name), "missing `{name}` in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn run_generates_instances_from_scenarios() {
+        let base = run_cmd(&args(
+            "run --scenario hotspot --size 24 --algo lap-gr --grid-side 16 --seed 2 --json",
+        ))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&base).unwrap();
+        assert_eq!(v["matching_size"], 24);
+        // Scenario lookup is case-insensitive, and resolution does not
+        // perturb the generated instance (metrics JSON carries wall-clock
+        // timings, so compare the deterministic field).
+        let upper = run_cmd(&args(
+            "run --scenario HotSpot --size 24 --algo lap-gr --grid-side 16 --seed 2 --json",
+        ))
+        .unwrap();
+        let w: serde_json::Value = serde_json::from_str(&upper).unwrap();
+        assert_eq!(
+            v["total_distance"], w["total_distance"],
+            "case changed the scenario resolution"
+        );
+        // Unknown names list the candidates; the two instance sources are
+        // mutually exclusive and at least one is required.
+        let err = run_cmd(&args("run --scenario bogus --algo tbf")).unwrap_err();
+        assert!(
+            err.contains("unknown scenario `bogus`") && err.contains("poisson-disk"),
+            "{err}"
+        );
+        let err = run_cmd(&args("run --input x.json --scenario uniform --algo tbf")).unwrap_err();
+        assert!(err.contains("not both"), "{err}");
+        let err = run_cmd(&args("run --algo tbf")).unwrap_err();
+        assert!(
+            err.contains("--input") && err.contains("--scenario"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn dynamic_and_serve_accept_scenarios() {
+        // The uniform default is the legacy derivation: an explicit
+        // `--scenario uniform` is byte-identical to omitting the flag.
+        let legacy = dynamic(&args(
+            "dynamic --tasks 30 --workers 20 --grid-side 16 --json",
+        ))
+        .unwrap();
+        let explicit = dynamic(&args(
+            "dynamic --tasks 30 --workers 20 --grid-side 16 --scenario uniform --json",
+        ))
+        .unwrap();
+        assert_eq!(legacy, explicit, "uniform is not the default");
+        let hot = dynamic(&args(
+            "dynamic --tasks 30 --workers 20 --grid-side 16 --scenario hotspot",
+        ))
+        .unwrap();
+        assert!(hot.contains("scenario:         hotspot"), "{hot}");
+        let err = dynamic(&args("dynamic --scenario bogus")).unwrap_err();
+        assert!(err.contains("unknown scenario `bogus`"), "{err}");
+
+        let legacy = serve(&args(
+            "serve --load --tasks 30 --workers 20 --seed 5 --json",
+        ))
+        .unwrap();
+        assert!(!legacy.contains("scenario"), "{legacy}");
+        let normal = serve(&args(
+            "serve --load --tasks 30 --workers 20 --seed 5 --scenario normal --json",
+        ))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&normal).unwrap();
+        assert_eq!(v["scenario"], "normal");
+        assert_ne!(legacy, normal, "the scenario did not reach the workload");
+        let err = serve(&args("serve --load --scenario bogus")).unwrap_err();
+        assert!(err.contains("unknown scenario `bogus`"), "{err}");
+    }
+
+    #[test]
+    fn sweep_scenarios_axis_extends_the_grid() {
+        let flags = "--mechanisms identity --matchers greedy --sizes 10 --reps 1 \
+                     --shards 1 --grid-side 16 --seed 3 --json";
+        let legacy = sweep(&args(&format!("sweep {flags}"))).unwrap();
+        // An explicit uniform-only axis is the same job list, cell for cell.
+        let uniform = sweep(&args(&format!("sweep {flags} --scenarios uniform"))).unwrap();
+        assert_eq!(legacy, uniform, "explicit uniform changed the sweep");
+        let both = sweep(&args(&format!(
+            "sweep {flags} --scenarios uniform,adversarial-cell"
+        )))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&both).unwrap();
+        let cells = v["cells"].as_array().unwrap();
+        assert_eq!(cells.len(), 2, "{both}");
+        assert!(cells[0].get("scenario").is_none(), "{both}");
+        assert_eq!(cells[1]["scenario"], "adversarial-cell");
+        // The text table grows a scenario column only when one is present.
+        let table = sweep(&args(
+            "sweep --mechanisms identity --matchers greedy --sizes 10 --reps 1 \
+             --shards 1 --grid-side 16 --scenarios uniform,normal",
+        ))
+        .unwrap();
+        assert!(table.contains("scenario"), "{table}");
+        let plain = sweep(&args(
+            "sweep --mechanisms identity --matchers greedy --sizes 10 --reps 1 \
+             --shards 1 --grid-side 16",
+        ))
+        .unwrap();
+        assert!(!plain.contains("scenario"), "{plain}");
+        // The dynamic flavour carries the same axis.
+        let dyn_both = sweep(&args(
+            "sweep --dynamic --mechanisms identity --matchers random \
+             --shift-plans always-on --sizes 8 --shards 1 --grid-side 16 \
+             --scenarios uniform,hotspot --json",
+        ))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&dyn_both).unwrap();
+        let cells = v["cells"].as_array().unwrap();
+        assert_eq!(cells.len(), 2, "{dyn_both}");
+        assert_eq!(cells[1]["scenario"], "hotspot");
+        let err = sweep(&args("sweep --scenarios uniform,uniform")).unwrap_err();
+        assert!(err.contains("duplicate entry"), "{err}");
+        let err = sweep(&args("sweep --scenarios bogus")).unwrap_err();
+        assert!(err.contains("unknown scenario `bogus`"), "{err}");
     }
 }

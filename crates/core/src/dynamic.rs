@@ -105,6 +105,23 @@ impl Default for DynamicConfig {
     }
 }
 
+impl crate::pipeline::CommonConfig for DynamicConfig {
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn grid_side(&self) -> usize {
+        self.grid_side
+    }
+
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    // `threads` stays at the trait's sequential default: the event loop
+    // processes one timeline event at a time and has no parallel path.
+}
+
 /// Outcome of a dynamic simulation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DynamicOutcome {

@@ -36,6 +36,14 @@
 //! shift plans — see the [`dynamic`] module docs for a worked example of
 //! adding a custom dynamic matcher.
 //!
+//! Where the workload *comes from* is a third registry axis: a named
+//! [`Scenario`] bundles worker placement, task placement and the demand
+//! curve (`uniform` — bit-identical to the legacy workload — `normal`,
+//! `hotspot`, `poisson-disk`, `adversarial-cell`), threads through every
+//! surface from [`run_spec`] inputs to the [`serve`] load generator, and
+//! enters the sweep's config fingerprint — see the [`scenario`] module
+//! docs.
+//!
 //! # Quick start
 //!
 //! ```
@@ -105,6 +113,7 @@ pub mod merge;
 pub mod pipeline;
 pub mod ratio;
 pub mod registry;
+pub mod scenario;
 pub mod serve;
 pub mod server;
 pub mod sweep;
@@ -119,11 +128,15 @@ pub use dynamic::{run_dynamic, run_dynamic_spec, run_dynamic_with, DynamicConfig
 pub use epochs::{run_epochs, run_epochs_with, EpochConfig, EpochMetrics, EpochReport};
 pub use merge::{merge_dynamic, merge_static, MergeError};
 pub use pipeline::{
-    run, run_spec, run_spec_with_server, run_with_server, Algorithm, PipelineConfig, RunMetrics,
-    RunResult,
+    run, run_spec, run_spec_with_server, run_with_server, Algorithm, CommonConfig, PipelineConfig,
+    RunMetrics, RunResult,
 };
-pub use ratio::{empirical_competitive_ratio, offline_optimum, RatioError, RatioReport};
+pub use ratio::{
+    empirical_competitive_ratio, offline_optimum, scenario_competitive_ratio, RatioError,
+    RatioReport,
+};
 pub use registry::{registry, AlgorithmSpec, Registry};
+pub use scenario::{Scenario, DEFAULT_SCENARIO};
 pub use serve::{run_serve, ServeConfig, ServeLatency, ServeOutcome, ServeReport, ServeRequest};
 pub use server::{Server, TreeConstruction};
 pub use sweep::{

@@ -301,6 +301,7 @@ mod tests {
         SweepConfig {
             mechanisms: vec!["identity".into()],
             matchers: vec!["greedy".into(), "offline-opt".into()],
+            scenarios: Vec::new(),
             sizes: vec![8, 10],
             epsilons: vec![0.6],
             repetitions: 1,

@@ -148,6 +148,45 @@ impl Default for PipelineConfig {
     }
 }
 
+/// The fields every execution surface's configuration repeats —
+/// [`PipelineConfig`], [`crate::DynamicConfig`] and [`crate::ServeConfig`]
+/// each carry their own `epsilon`/`grid_side`/`seed` (and usually
+/// `threads`) because their serialized layouts are pinned by golden JSON
+/// and cannot embed a shared struct without changing bytes. This trait
+/// unifies them behind delegating accessors instead, so generic drivers
+/// and diagnostics can read the common knobs off any config.
+pub trait CommonConfig {
+    /// Privacy budget ε (per workspace unit).
+    fn epsilon(&self) -> f64;
+    /// Predefined-point grid side; `N = grid_side²`.
+    fn grid_side(&self) -> usize;
+    /// Base seed every derived RNG stream descends from.
+    fn seed(&self) -> u64;
+    /// Worker threads for intra-run parallel paths (`0` = auto, `1` =
+    /// sequential); surfaces without such a path report `1`.
+    fn threads(&self) -> usize {
+        1
+    }
+}
+
+impl CommonConfig for PipelineConfig {
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn grid_side(&self) -> usize {
+        self.grid_side
+    }
+
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
 /// Effectiveness and efficiency metrics of one run, mirroring the paper's
 /// reported quantities.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -346,6 +385,31 @@ mod tests {
             ..SyntheticParams::default()
         };
         synthetic::generate(&params, &mut seeded_rng(seed, 0))
+    }
+
+    #[test]
+    fn common_config_unifies_every_surface() {
+        fn summarize(c: &dyn CommonConfig) -> (f64, usize, u64, usize) {
+            (c.epsilon(), c.grid_side(), c.seed(), c.threads())
+        }
+        let pipeline = PipelineConfig {
+            seed: 7,
+            threads: 4,
+            ..PipelineConfig::default()
+        };
+        assert_eq!(summarize(&pipeline), (0.6, 32, 7, 4));
+        let dynamic = crate::DynamicConfig {
+            seed: 9,
+            ..crate::DynamicConfig::default()
+        };
+        // The event loop has no parallel path: threads reports 1.
+        assert_eq!(summarize(&dynamic), (0.6, 32, 9, 1));
+        let serve = crate::ServeConfig {
+            grid_side: 16,
+            threads: 0,
+            ..crate::ServeConfig::default()
+        };
+        assert_eq!(summarize(&serve), (0.6, 16, 0, 0));
     }
 
     #[test]

@@ -18,6 +18,10 @@ use crate::algorithm::{
     IdentityMechanism, KdGreedyStrategy, LaplaceMechanism, OfflineOptimalStrategy, PipelineError,
     RandomAssignStrategy, RandomizedGreedyStrategy, ReportMechanism,
 };
+use crate::scenario::{
+    AdversarialCellScenario, HotspotScenario, NormalScenario, PoissonDiskScenario, Scenario,
+    UniformScenario,
+};
 use std::sync::{Arc, OnceLock};
 
 /// A named `mechanism × matcher` pairing.
@@ -89,6 +93,7 @@ pub struct Registry {
     mechanisms: Vec<Arc<dyn ReportMechanism>>,
     matchers: Vec<Arc<dyn AssignStrategy>>,
     dynamic_matchers: Vec<Arc<dyn DynamicAssignStrategy>>,
+    scenarios: Vec<Arc<dyn Scenario>>,
     specs: Vec<AlgorithmSpec>,
     spec_aliases: Vec<(&'static str, &'static str)>,
 }
@@ -159,6 +164,32 @@ impl Registry {
             .iter()
             .find(|m| m.name() == wanted)
             .cloned()
+    }
+
+    /// All registered workload scenarios (the spatial+temporal axis of
+    /// [`crate::scenario`]).
+    pub fn scenarios(&self) -> &[Arc<dyn Scenario>] {
+        &self.scenarios
+    }
+
+    /// Case-insensitive scenario lookup.
+    pub fn scenario(&self, name: &str) -> Option<Arc<dyn Scenario>> {
+        let wanted = normalize(name);
+        self.scenarios.iter().find(|s| s.name() == wanted).cloned()
+    }
+
+    /// Scenario lookup returning a listing-rich error for CLI surfaces.
+    pub fn require_scenario(&self, name: &str) -> Result<Arc<dyn Scenario>, PipelineError> {
+        self.scenario(name)
+            .ok_or_else(|| PipelineError::UnknownName {
+                kind: "scenario",
+                name: name.to_string(),
+                known: self
+                    .scenarios
+                    .iter()
+                    .map(|s| s.name().to_string())
+                    .collect(),
+            })
     }
 
     /// Dynamic matcher lookup returning a listing-rich error for CLI
@@ -261,6 +292,13 @@ fn build() -> Registry {
             offline_opt,
         ],
         dynamic_matchers: vec![dyn_hst, dyn_kd, dyn_random],
+        scenarios: vec![
+            Arc::new(UniformScenario),
+            Arc::new(NormalScenario),
+            Arc::new(HotspotScenario),
+            Arc::new(PoissonDiskScenario),
+            Arc::new(AdversarialCellScenario),
+        ],
         specs,
         spec_aliases: vec![
             ("lapgr", "lap-gr"),
@@ -355,6 +393,35 @@ mod tests {
             .unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("bogus") && msg.contains("kd-rebuild"), "{msg}");
+    }
+
+    #[test]
+    fn scenarios_are_catalogued() {
+        let names: Vec<&str> = registry().scenarios().iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "uniform",
+                "normal",
+                "hotspot",
+                "poisson-disk",
+                "adversarial-cell"
+            ]
+        );
+        let hotspot = registry().scenario("HotSpot").expect("case-insensitive");
+        assert_eq!(hotspot.name(), "hotspot");
+        assert!(registry().scenario("bogus").is_none());
+        let err = registry()
+            .require_scenario("bogus")
+            .map(|_| ())
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("unknown scenario `bogus`")
+                && msg.contains("poisson-disk")
+                && msg.contains("uniform"),
+            "{msg}"
+        );
     }
 
     #[test]

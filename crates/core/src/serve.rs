@@ -61,13 +61,13 @@ use crate::algorithm::{
 };
 use crate::dynamic::EventKind;
 use crate::registry::registry;
+use crate::scenario::DEFAULT_SCENARIO;
 use crate::server::Server;
-use crate::sweep::{dynamic_shift_plan, dynamic_task_times};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use pombm_geom::{seeded_rng, Point};
 use pombm_privacy::Epsilon;
 use pombm_workload::shifts::ShiftPlan;
-use pombm_workload::{synthetic, Instance, SyntheticParams};
+use pombm_workload::Instance;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 use std::sync::mpsc;
@@ -76,6 +76,12 @@ use std::time::Duration;
 /// Configuration of one serve session (service + load generator).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServeConfig {
+    /// Workload scenario generating the fleet/timeline ([`crate::scenario`]
+    /// registry lookup); `None` means the legacy `uniform` default and
+    /// keeps the field absent from serialized configs, so pre-scenario
+    /// JSON round-trips unchanged.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub scenario: Option<String>,
     /// Stage-1 mechanism name (registry lookup).
     pub mechanism: String,
     /// Dynamic matcher name (registry lookup).
@@ -114,6 +120,7 @@ pub struct ServeConfig {
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
+            scenario: None,
             mechanism: "hst".into(),
             matcher: "hst-greedy".into(),
             plan: "short".into(),
@@ -128,6 +135,24 @@ impl Default for ServeConfig {
             threads: 1,
             timings: false,
         }
+    }
+}
+
+impl crate::pipeline::CommonConfig for ServeConfig {
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn grid_side(&self) -> usize {
+        self.grid_side
+    }
+
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn threads(&self) -> usize {
+        self.threads
     }
 }
 
@@ -150,6 +175,11 @@ pub struct ServeLatency {
 /// thread count and wall-clock never reach them.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServeReport {
+    /// Workload scenario replayed; absent — not `null` — for the legacy
+    /// `uniform` default, so pre-scenario golden JSON byte-compares
+    /// exactly (the same contract as the sweep cells).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub scenario: Option<String>,
     /// Mechanism driven.
     pub mechanism: String,
     /// Dynamic matcher driven.
@@ -634,17 +664,15 @@ pub fn run_serve(config: &ServeConfig) -> Result<ServeOutcome, PipelineError> {
                     .collect(),
             })?;
     let matcher = registry().require_dynamic_matcher(&config.matcher)?;
+    let scenario =
+        registry().require_scenario(config.scenario.as_deref().unwrap_or(DEFAULT_SCENARIO))?;
 
     // The same workload derivation as `pombm dynamic`: instance, arrival
-    // times and shift plan are all pure functions of the seed.
-    let params = SyntheticParams {
-        num_tasks: config.num_tasks,
-        num_workers: config.num_workers,
-        ..SyntheticParams::default()
-    };
-    let instance = synthetic::generate(&params, &mut seeded_rng(config.seed, 0xD1CE_0006));
-    let task_times = dynamic_task_times(config.seed, config.num_tasks);
-    let plan = dynamic_shift_plan(&config.plan, config.num_workers, config.seed)?;
+    // times and shift plan are all pure functions of the seed (and, for
+    // the `uniform` default, the exact pre-scenario streams).
+    let instance = scenario.timeline_instance(config.seed, config.num_tasks, config.num_workers);
+    let task_times = scenario.task_times(config.seed, config.num_tasks);
+    let plan = scenario.shift_plan(&config.plan, config.num_workers, config.seed)?;
     let frames = timeline_frames(&instance, &plan, &task_times, config.max_requests);
 
     let server = Server::new(instance.region, config.grid_side, config.seed ^ 0xD1CE);
@@ -706,6 +734,7 @@ pub fn run_serve(config: &ServeConfig) -> Result<ServeOutcome, PipelineError> {
         None
     };
     let report = ServeReport {
+        scenario: (scenario.name() != DEFAULT_SCENARIO).then(|| scenario.name().to_string()),
         mechanism: config.mechanism.clone(),
         matcher: config.matcher.clone(),
         plan: config.plan.clone(),

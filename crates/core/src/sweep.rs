@@ -73,6 +73,7 @@ use crate::dynamic::{run_dynamic_spec, DynamicConfig, DynamicOutcome};
 use crate::pipeline::PipelineConfig;
 use crate::ratio::{empirical_competitive_ratio, RatioReport};
 use crate::registry::{registry, AlgorithmSpec};
+use crate::scenario::{Scenario, DEFAULT_SCENARIO};
 use parking_lot::Mutex;
 use pombm_geom::seeded_rng;
 use pombm_matching::HstGreedyEngine;
@@ -95,6 +96,10 @@ pub struct SweepConfig {
     pub mechanisms: Vec<String>,
     /// Matcher names to include; empty means every registered matcher.
     pub matchers: Vec<String>,
+    /// Workload scenario names ([`crate::scenario`]) to sweep; empty means
+    /// just the legacy `uniform` default (NOT every registered scenario —
+    /// the pre-scenario grid shape must survive unchanged).
+    pub scenarios: Vec<String>,
     /// Instance sizes: each entry generates one synthetic instance with
     /// `size` tasks and `size` workers (so `k = size` pairs are matched).
     pub sizes: Vec<usize>,
@@ -123,6 +128,7 @@ impl Default for SweepConfig {
         SweepConfig {
             mechanisms: Vec::new(),
             matchers: Vec::new(),
+            scenarios: Vec::new(),
             sizes: vec![48],
             epsilons: vec![0.6],
             repetitions: 3,
@@ -136,6 +142,11 @@ impl Default for SweepConfig {
 /// One cell of the sweep product: exactly one of `report` / `error` is set.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SweepCell {
+    /// Workload scenario this cell's instance came from; absent — not
+    /// `null` — for the legacy `uniform` default, so pre-scenario golden
+    /// JSON byte-compares exactly and old reports still parse.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub scenario: Option<String>,
     /// Stage-1 mechanism name.
     pub mechanism: String,
     /// Stage-2 matcher name.
@@ -187,12 +198,36 @@ impl SweepReport {
 
 /// One unit of sweep work, fully determined before any thread runs.
 struct Job {
+    scenario: Arc<dyn Scenario>,
     spec: AlgorithmSpec,
     size: usize,
     epsilon: f64,
     /// Seed for this job's pipeline/shuffle streams; derived from the job's
     /// position so it is independent of shard assignment.
     job_seed: u64,
+}
+
+/// The scenario a sweep cell should record: `None` for the `uniform`
+/// default (keeping the column absent from legacy-shaped JSON), the name
+/// otherwise.
+fn cell_scenario(scenario: &dyn Scenario) -> Option<String> {
+    (scenario.name() != DEFAULT_SCENARIO).then(|| scenario.name().to_string())
+}
+
+/// The workload scenarios a sweep runs: the explicit filter resolved
+/// against the registry (case-insensitively, with a listing-rich error on
+/// unknown names), or just the legacy `uniform` default when empty.
+fn resolve_scenarios(names: &[String]) -> Result<Vec<Arc<dyn Scenario>>, PipelineError> {
+    if names.is_empty() {
+        let uniform = registry()
+            .scenario(DEFAULT_SCENARIO)
+            .expect("the uniform scenario is always registered");
+        return Ok(vec![uniform]);
+    }
+    names
+        .iter()
+        .map(|n| registry().require_scenario(n))
+        .collect()
 }
 
 /// The deterministic instance a sweep uses for `size`: `size` tasks and
@@ -256,7 +291,7 @@ fn run_job(job: &Job, base: &PipelineConfig, repetitions: u64, timings: bool) ->
     // lint: allow(DET-TIME) — the timings-gated wall_ms path itself; the
     // merge strips wall_ms before fingerprinting.
     let started = timings.then(std::time::Instant::now);
-    let instance = sweep_instance(base.seed, job.size);
+    let instance = job.scenario.instance(base.seed, job.size);
     let config = PipelineConfig {
         epsilon: job.epsilon,
         seed: job.job_seed,
@@ -268,6 +303,7 @@ fn run_job(job: &Job, base: &PipelineConfig, repetitions: u64, timings: bool) ->
             Err(e) => (None, Some(e.to_string())),
         };
     SweepCell {
+        scenario: cell_scenario(job.scenario.as_ref()),
         mechanism: job.spec.mechanism.name().to_string(),
         matcher: job.spec.matcher.name().to_string(),
         num_tasks: instance.num_tasks(),
@@ -309,25 +345,31 @@ fn build_jobs(config: &SweepConfig) -> Result<Vec<Job>, PipelineError> {
     }
     let mechanisms = resolve_mechanisms(&config.mechanisms)?;
     let matchers = resolve_matchers(&config.matchers)?;
+    let scenarios = resolve_scenarios(&config.scenarios)?;
 
     let mut jobs = Vec::new();
-    for mechanism in &mechanisms {
-        for matcher in &matchers {
-            for &size in &config.sizes {
-                for &epsilon in &config.epsilons {
-                    // Per-job seed from the job index: independent of the
-                    // shard that executes it, so shard count never changes
-                    // any cell.
-                    let job_seed = config
-                        .base
-                        .seed
-                        .wrapping_add((jobs.len() as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-                    jobs.push(Job {
-                        spec: AlgorithmSpec::compose(mechanism.clone(), matcher.clone()),
-                        size,
-                        epsilon,
-                        job_seed,
-                    });
+    // Scenario is the outermost axis: a single-scenario sweep enumerates
+    // jobs in exactly the pre-scenario order, so every job index (and
+    // therefore every job seed) is unchanged.
+    for scenario in &scenarios {
+        for mechanism in &mechanisms {
+            for matcher in &matchers {
+                for &size in &config.sizes {
+                    for &epsilon in &config.epsilons {
+                        // Per-job seed from the job index: independent of the
+                        // shard that executes it, so shard count never changes
+                        // any cell.
+                        let job_seed = config.base.seed.wrapping_add(
+                            (jobs.len() as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        );
+                        jobs.push(Job {
+                            scenario: scenario.clone(),
+                            spec: AlgorithmSpec::compose(mechanism.clone(), matcher.clone()),
+                            size,
+                            epsilon,
+                            job_seed,
+                        });
+                    }
                 }
             }
         }
@@ -506,8 +548,16 @@ fn epsilon_bits(epsilons: &[f64]) -> String {
 pub fn sweep_fingerprint(config: &SweepConfig) -> Result<String, PipelineError> {
     let mechanisms = resolve_mechanisms(&config.mechanisms)?;
     let matchers = resolve_matchers(&config.matchers)?;
+    let scenarios = resolve_scenarios(&config.scenarios)?;
     let mut parts = vec![
         STATIC_FLAVOR.to_string(),
+        // Resolved names, so `[]` and an explicit `["uniform"]` (the same
+        // job list) fingerprint identically.
+        scenarios
+            .iter()
+            .map(|s| s.name())
+            .collect::<Vec<_>>()
+            .join(","),
         mechanisms
             .iter()
             .map(|m| m.name())
@@ -537,8 +587,15 @@ pub fn dynamic_sweep_fingerprint(config: &DynamicSweepConfig) -> Result<String, 
     let mechanisms = resolve_mechanisms(&config.mechanisms)?;
     let matchers = resolve_dynamic_matchers(&config.matchers)?;
     let plans = resolve_plan_kinds(config)?;
+    let scenarios = resolve_scenarios(&config.scenarios)?;
     let parts = vec![
         DYNAMIC_FLAVOR.to_string(),
+        // Resolved names, like the static flavour above.
+        scenarios
+            .iter()
+            .map(|s| s.name())
+            .collect::<Vec<_>>()
+            .join(","),
         mechanisms
             .iter()
             .map(|m| m.name())
@@ -1048,6 +1105,9 @@ pub struct DynamicSweepConfig {
     /// Dynamic matcher names to include; empty means every registered
     /// dynamic matcher.
     pub matchers: Vec<String>,
+    /// Workload scenario names to sweep; empty means just the legacy
+    /// `uniform` default, exactly as in [`SweepConfig::scenarios`].
+    pub scenarios: Vec<String>,
     /// Shift-plan kinds to replay; empty means all of
     /// [`SHIFT_PLAN_KINDS`].
     pub shift_plans: Vec<String>,
@@ -1072,6 +1132,7 @@ impl Default for DynamicSweepConfig {
         DynamicSweepConfig {
             mechanisms: Vec::new(),
             matchers: Vec::new(),
+            scenarios: Vec::new(),
             shift_plans: Vec::new(),
             sizes: vec![48],
             epsilons: vec![0.6],
@@ -1115,6 +1176,11 @@ impl DynamicMeasurement {
 /// `measurement` / `error` is set.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DynamicSweepCell {
+    /// Workload scenario this cell's instance/timeline came from; absent
+    /// for the legacy `uniform` default, exactly as in
+    /// [`SweepCell::scenario`].
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub scenario: Option<String>,
     /// Stage-1 mechanism name.
     pub mechanism: String,
     /// Stage-2 dynamic matcher name.
@@ -1165,6 +1231,7 @@ impl DynamicSweepReport {
 }
 
 struct DynamicJob {
+    scenario: Arc<dyn Scenario>,
     mechanism: Arc<dyn ReportMechanism>,
     matcher: Arc<dyn DynamicAssignStrategy>,
     plan_kind: String,
@@ -1196,9 +1263,11 @@ fn run_dynamic_job(
     // lint: allow(DET-TIME) — the timings-gated wall_ms path itself; the
     // merge strips wall_ms before fingerprinting.
     let started = timings.then(std::time::Instant::now);
-    let instance = sweep_instance(seed, job.size);
-    let times = dynamic_task_times(seed, job.size);
-    let plan = dynamic_shift_plan(&job.plan_kind, job.size, seed)
+    let instance = job.scenario.instance(seed, job.size);
+    let times = job.scenario.task_times(seed, job.size);
+    let plan = job
+        .scenario
+        .shift_plan(&job.plan_kind, job.size, seed)
         .expect("plan kinds were validated before the fan-out");
     let config = DynamicConfig {
         epsilon: job.epsilon,
@@ -1217,6 +1286,7 @@ fn run_dynamic_job(
         Err(e) => (None, Some(e.to_string())),
     };
     DynamicSweepCell {
+        scenario: cell_scenario(job.scenario.as_ref()),
         mechanism: job.mechanism.name().to_string(),
         matcher: job.matcher.name().to_string(),
         plan: job.plan_kind.clone(),
@@ -1269,24 +1339,30 @@ fn build_dynamic_jobs(config: &DynamicSweepConfig) -> Result<Vec<DynamicJob>, Pi
     let mechanisms = resolve_mechanisms(&config.mechanisms)?;
     let matchers = resolve_dynamic_matchers(&config.matchers)?;
     let plans = resolve_plan_kinds(config)?;
+    let scenarios = resolve_scenarios(&config.scenarios)?;
 
     let mut jobs = Vec::new();
-    for mechanism in &mechanisms {
-        for matcher in &matchers {
-            for plan_kind in &plans {
-                for &size in &config.sizes {
-                    for &epsilon in &config.epsilons {
-                        let job_seed = config.seed.wrapping_add(
-                            (jobs.len() as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                        );
-                        jobs.push(DynamicJob {
-                            mechanism: mechanism.clone(),
-                            matcher: matcher.clone(),
-                            plan_kind: plan_kind.clone(),
-                            size,
-                            epsilon,
-                            job_seed,
-                        });
+    // Scenario outermost, exactly as in `build_jobs`: a single-scenario
+    // sweep keeps the pre-scenario job order and seeds.
+    for scenario in &scenarios {
+        for mechanism in &mechanisms {
+            for matcher in &matchers {
+                for plan_kind in &plans {
+                    for &size in &config.sizes {
+                        for &epsilon in &config.epsilons {
+                            let job_seed = config.seed.wrapping_add(
+                                (jobs.len() as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                            );
+                            jobs.push(DynamicJob {
+                                scenario: scenario.clone(),
+                                mechanism: mechanism.clone(),
+                                matcher: matcher.clone(),
+                                plan_kind: plan_kind.clone(),
+                                size,
+                                epsilon,
+                                job_seed,
+                            });
+                        }
                     }
                 }
             }
@@ -1414,6 +1490,7 @@ mod tests {
         SweepConfig {
             mechanisms: vec!["identity".into(), "laplace".into()],
             matchers: vec!["greedy".into(), "offline-opt".into()],
+            scenarios: Vec::new(),
             sizes: vec![12],
             epsilons: vec![0.6],
             repetitions: 2,
@@ -1531,6 +1608,7 @@ mod tests {
         DynamicSweepConfig {
             mechanisms: vec!["identity".into(), "hst".into()],
             matchers: vec!["hst-greedy".into(), "kd-rebuild".into()],
+            scenarios: Vec::new(),
             shift_plans: vec!["always-on".into(), "short".into()],
             sizes: vec![16],
             epsilons: vec![0.6],

@@ -86,7 +86,13 @@ impl CityModel {
 
     /// Samples one location from the mixture with the given background
     /// fraction, rejection-sampled into the region.
-    fn sample<R: Rng + ?Sized>(&self, background: f64, weights: &[f64], rng: &mut R) -> Point {
+    ///
+    /// `weights` are unnormalized per-hotspot demand weights (one per
+    /// [`CityModel::hotspots`] entry); with probability `background` the
+    /// point comes from the uniform background instead. Public so scenario
+    /// generators outside this crate can place points on the city's
+    /// hotspot structure without replaying a whole [`generate_day`].
+    pub fn sample<R: Rng + ?Sized>(&self, background: f64, weights: &[f64], rng: &mut R) -> Point {
         loop {
             let p = if rng.gen::<f64>() < background {
                 Point::new(

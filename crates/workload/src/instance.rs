@@ -5,6 +5,68 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+/// Why an [`Instance`] failed [`Instance::validate`].
+///
+/// Typed so callers can match on the defect instead of parsing a message;
+/// the [`std::fmt::Display`] texts are the exact strings the stringly
+/// predecessor produced, so user-facing errors are unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstanceError {
+    /// A task coordinate is non-finite or outside the region.
+    TaskOutsideRegion {
+        /// Arrival index of the offending task.
+        index: usize,
+        /// Its recorded location.
+        location: Point,
+    },
+    /// A worker coordinate is non-finite or outside the region.
+    WorkerOutsideRegion {
+        /// Index of the offending worker.
+        index: usize,
+        /// Its recorded location.
+        location: Point,
+    },
+    /// `radii` is present but its length differs from the worker count.
+    RadiusCountMismatch {
+        /// Number of radii recorded.
+        radii: usize,
+        /// Number of workers recorded.
+        workers: usize,
+    },
+    /// A reachable radius is non-finite or negative.
+    InvalidRadius {
+        /// Index of the offending radius.
+        index: usize,
+        /// Its recorded value.
+        radius: f64,
+    },
+}
+
+impl std::fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstanceError::TaskOutsideRegion { index, location } => {
+                write!(f, "task {index} at {location} outside region")
+            }
+            InstanceError::WorkerOutsideRegion { index, location } => {
+                write!(f, "worker {index} at {location} outside region")
+            }
+            InstanceError::RadiusCountMismatch { .. } => f.write_str("radius count mismatch"),
+            InstanceError::InvalidRadius { radius, .. } => {
+                write!(f, "invalid radius {radius}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InstanceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        // Validation failures are leaf defects of the instance data itself;
+        // there is no underlying cause to chain.
+        None
+    }
+}
+
 /// One POMBM problem instance: a region, a set of workers known upfront, and
 /// a sequence of tasks in arrival order.
 ///
@@ -95,23 +157,39 @@ impl Instance {
 
     /// Validates that every coordinate is finite and inside the region, and
     /// radii (if any) are positive and one-per-worker.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), InstanceError> {
         for (i, p) in self.tasks.iter().enumerate() {
             if !p.is_finite() || !self.region.contains(p) {
-                return Err(format!("task {i} at {p} outside region"));
+                return Err(InstanceError::TaskOutsideRegion {
+                    index: i,
+                    location: *p,
+                });
             }
         }
         for (i, p) in self.workers.iter().enumerate() {
             if !p.is_finite() || !self.region.contains(p) {
-                return Err(format!("worker {i} at {p} outside region"));
+                return Err(InstanceError::WorkerOutsideRegion {
+                    index: i,
+                    location: *p,
+                });
             }
         }
         if let Some(r) = &self.radii {
             if r.len() != self.workers.len() {
-                return Err("radius count mismatch".into());
+                return Err(InstanceError::RadiusCountMismatch {
+                    radii: r.len(),
+                    workers: self.workers.len(),
+                });
             }
-            if let Some(bad) = r.iter().find(|x| !x.is_finite() || **x < 0.0) {
-                return Err(format!("invalid radius {bad}"));
+            if let Some((i, bad)) = r
+                .iter()
+                .enumerate()
+                .find(|(_, x)| !x.is_finite() || **x < 0.0)
+            {
+                return Err(InstanceError::InvalidRadius {
+                    index: i,
+                    radius: *bad,
+                });
             }
         }
         Ok(())
@@ -171,6 +249,52 @@ mod tests {
     fn validate_catches_out_of_region() {
         let i = Instance::new(Rect::square(1.0), vec![Point::new(5.0, 5.0)], vec![]);
         assert!(i.validate().is_err());
+    }
+
+    #[test]
+    fn validate_errors_are_typed_with_legacy_messages() {
+        let task = Instance::new(Rect::square(1.0), vec![Point::new(5.0, 5.0)], vec![]);
+        let err = task.validate().unwrap_err();
+        assert_eq!(
+            err,
+            InstanceError::TaskOutsideRegion {
+                index: 0,
+                location: Point::new(5.0, 5.0),
+            }
+        );
+        assert!(err.to_string().contains("task 0 at"));
+        assert!(err.to_string().ends_with("outside region"));
+        assert!(std::error::Error::source(&err).is_none());
+
+        let worker = Instance::new(Rect::square(1.0), vec![], vec![Point::new(-3.0, 0.5)]);
+        assert!(matches!(
+            worker.validate().unwrap_err(),
+            InstanceError::WorkerOutsideRegion { index: 0, .. }
+        ));
+
+        let mut mismatch = small();
+        mismatch.radii = Some(vec![1.0, 2.0]);
+        let err = mismatch.validate().unwrap_err();
+        assert_eq!(
+            err,
+            InstanceError::RadiusCountMismatch {
+                radii: 2,
+                workers: 1,
+            }
+        );
+        assert_eq!(err.to_string(), "radius count mismatch");
+
+        let mut bad = small();
+        bad.radii = Some(vec![-1.0]);
+        let err = bad.validate().unwrap_err();
+        assert_eq!(
+            err,
+            InstanceError::InvalidRadius {
+                index: 0,
+                radius: -1.0,
+            }
+        );
+        assert_eq!(err.to_string(), "invalid radius -1");
     }
 
     #[test]

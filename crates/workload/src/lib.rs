@@ -24,5 +24,5 @@ pub mod params;
 pub mod shifts;
 pub mod synthetic;
 
-pub use instance::Instance;
+pub use instance::{Instance, InstanceError};
 pub use params::{RealParams, SyntheticParams};

@@ -174,6 +174,7 @@ fn sweep_json_is_identical_across_in_cell_thread_counts() {
     let config = |threads: usize| SweepConfig {
         mechanisms: vec!["identity".into(), "laplace".into(), "hst".into()],
         matchers: vec!["offline-opt".into(), "greedy".into()],
+        scenarios: Vec::new(),
         sizes: vec![16],
         epsilons: vec![0.6],
         repetitions: 2,
@@ -198,6 +199,7 @@ fn timings_add_wall_ms_without_perturbing_the_deterministic_json() {
     let config = |timings: bool| SweepConfig {
         mechanisms: vec!["identity".into()],
         matchers: vec!["offline-opt".into(), "greedy".into()],
+        scenarios: Vec::new(),
         sizes: vec![10],
         epsilons: vec![0.6],
         repetitions: 2,

@@ -161,6 +161,7 @@ proptest! {
         let config = |shards: usize| DynamicSweepConfig {
             mechanisms: vec!["identity".into(), "hst".into()],
             matchers: vec!["hst-greedy".into(), "random".into()],
+            scenarios: Vec::new(),
             shift_plans: vec!["always-on".into(), "short".into()],
             sizes: vec![10, 14],
             epsilons: vec![0.5],
@@ -186,6 +187,7 @@ fn full_dynamic_registry_product_sweep_completes() {
     let config = DynamicSweepConfig {
         mechanisms: Vec::new(),  // all 5
         matchers: Vec::new(),    // all 3
+        scenarios: Vec::new(),   // just uniform
         shift_plans: Vec::new(), // all 3
         sizes: vec![12],
         epsilons: vec![0.6],
@@ -248,6 +250,7 @@ fn dynamic_sweep_json_fields_are_pinned() {
     let config = DynamicSweepConfig {
         mechanisms: vec!["identity".into()],
         matchers: vec!["hst-greedy".into()],
+        scenarios: Vec::new(),
         shift_plans: vec!["always-on".into()],
         sizes: vec![8],
         epsilons: vec![0.6],

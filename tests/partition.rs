@@ -29,6 +29,7 @@ fn static_config(seed: u64) -> SweepConfig {
     SweepConfig {
         mechanisms: vec!["identity".into(), "laplace".into()],
         matchers: vec!["greedy".into(), "offline-opt".into()],
+        scenarios: Vec::new(),
         sizes: vec![6, 8],
         epsilons: vec![0.5],
         repetitions: 1,
@@ -46,6 +47,7 @@ fn dynamic_config(seed: u64) -> DynamicSweepConfig {
     DynamicSweepConfig {
         mechanisms: vec!["identity".into(), "hst".into()],
         matchers: vec!["hst-greedy".into(), "random".into()],
+        scenarios: Vec::new(),
         shift_plans: vec!["always-on".into(), "short".into()],
         sizes: vec![8],
         epsilons: vec![0.6],

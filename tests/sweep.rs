@@ -87,6 +87,7 @@ proptest! {
         let config = |shards: usize| SweepConfig {
             mechanisms: vec!["identity".into(), "laplace".into()],
             matchers: vec!["greedy".into(), "offline-opt".into()],
+            scenarios: Vec::new(),
             sizes: vec![8, 12],
             epsilons: vec![0.5],
             repetitions: 2,
@@ -111,6 +112,7 @@ fn full_registry_product_sweep_completes() {
     let config = SweepConfig {
         mechanisms: Vec::new(), // all 5
         matchers: Vec::new(),   // all 8
+        scenarios: Vec::new(),  // just uniform
         sizes: vec![14],
         epsilons: vec![0.6],
         repetitions: 2,
@@ -200,6 +202,7 @@ fn sweep_report_json_fields_are_pinned() {
     let config = SweepConfig {
         mechanisms: vec!["identity".into()],
         matchers: vec!["offline-opt".into()],
+        scenarios: Vec::new(),
         sizes: vec![8],
         repetitions: 1,
         base: fast_config(1),
@@ -243,6 +246,7 @@ fn golden_three_pairing_sweep_json() {
     let config = SweepConfig {
         mechanisms: vec!["identity".into()],
         matchers: vec!["offline-opt".into(), "greedy".into(), "kd-greedy".into()],
+        scenarios: Vec::new(),
         sizes: vec![6],
         epsilons: vec![0.8],
         repetitions: 2,
