@@ -66,11 +66,20 @@ COMMANDS:
               [--scenario NAME] [--mechanism M] [--matcher X] [--epsilon F]
               [--grid-side N] [--seed N] [--batch-interval F] [--qps F]
               [--requests N] [--threads N] [--timings] [--json]
+              [--fault-plan NAME [--fault-rate F]]
+              [--queue-cap N [--shed-policy P]]
               assignments are a pure function of (seed, plan,
               batch-interval): --qps paces wall-clock delivery and
               --threads parallelizes per-window obfuscation, neither
               changes results; --timings adds latency percentiles
               (excluded from the deterministic JSON contract)
+              --fault-plan injects deterministic chaos (none, flaky-wire,
+              dup-storm, burst; `pombm algorithms` lists them) into the
+              frame script off a dedicated seed stream; --queue-cap bounds
+              the admission queue and --shed-policy picks what gives way
+              (drop-newest, drop-oldest, deadline) with virtual-time retry
+              backoff — faulted reports gain a `faults` block and stay
+              byte-identical across --qps/--threads
   sweep       registry-wide empirical competitive-ratio sweep against the
               exact offline optimum, sharded across cores
               [--mechanisms A,B,..] [--matchers X,Y,..] [--scenarios S,S,..]
@@ -157,6 +166,13 @@ pub fn list_algorithms() -> String {
     );
     for m in reg.dynamic_matchers() {
         let _ = writeln!(out, "  {:<10} {}", m.name(), m.summary());
+    }
+    let _ = writeln!(
+        out,
+        "\nfault plans (use with `pombm serve --fault-plan`): deterministic chaos"
+    );
+    for p in reg.fault_plans() {
+        let _ = writeln!(out, "  {:<10} {}", p.name(), p.summary());
     }
     out
 }
@@ -556,6 +572,10 @@ pub fn serve(args: &Args) -> Result<String, String> {
         "threads",
         "timings",
         "json",
+        "fault-plan",
+        "fault-rate",
+        "queue-cap",
+        "shed-policy",
     ])?;
     if !args.switch("load") {
         return Err(
@@ -570,6 +590,20 @@ pub fn serve(args: &Args) -> Result<String, String> {
         Some(v) => Some(
             v.parse::<usize>()
                 .map_err(|_| format!("flag --requests: cannot parse `{v}`"))?,
+        ),
+        None => None,
+    };
+    let fault_rate = match args.get("fault-rate") {
+        Some(v) => Some(
+            v.parse::<f64>()
+                .map_err(|_| format!("flag --fault-rate: cannot parse `{v}`"))?,
+        ),
+        None => None,
+    };
+    let queue_cap = match args.get("queue-cap") {
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| format!("flag --queue-cap: cannot parse `{v}`"))?,
         ),
         None => None,
     };
@@ -588,6 +622,10 @@ pub fn serve(args: &Args) -> Result<String, String> {
         max_requests,
         threads: args.get_or("threads", 1)?,
         timings: args.switch("timings"),
+        fault_plan: args.get("fault-plan").map(|s| s.to_string()),
+        fault_rate,
+        queue_cap,
+        shed_policy: args.get("shed-policy").map(|s| s.to_string()),
     };
     let outcome = pombm::run_serve(&config).map_err(|e| e.to_string())?;
     let report = outcome.report;
@@ -632,6 +670,31 @@ pub fn serve(args: &Args) -> Result<String, String> {
             "latency ms:       p50 {:.3} p95 {:.3} p99 {:.3} max {:.3}",
             latency.p50_ms, latency.p95_ms, latency.p99_ms, latency.max_ms
         );
+    }
+    if let Some(faults) = &report.faults {
+        if let (Some(plan), Some(rate)) = (&faults.plan, faults.rate) {
+            let _ = writeln!(out, "fault plan:       {plan} @ rate {rate}");
+        }
+        if let Some(cap) = faults.queue_cap {
+            let _ = writeln!(
+                out,
+                "queue cap:        {cap} ({})",
+                faults.shed_policy.as_deref().unwrap_or("drop-newest")
+            );
+        }
+        let _ = writeln!(
+            out,
+            "faults:           injected {} corrupt {} duplicates {}",
+            faults.injected, faults.corrupt, faults.duplicates
+        );
+        let _ = writeln!(
+            out,
+            "overload:         shed {} retried {} expired {} (of {} submitted)",
+            faults.shed, faults.retried, faults.expired, faults.submitted
+        );
+        for (class, count) in &faults.corrupt_classes {
+            let _ = writeln!(out, "  corrupt class:  {count} × {class}");
+        }
     }
     Ok(out)
 }

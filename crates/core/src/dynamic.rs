@@ -27,7 +27,13 @@
 //! cells (`--shards`) instead. The micro-batched service mode
 //! ([`crate::serve`]) replays the *same* timeline (via the shared
 //! builder) under a deliberately different, Δt-windowed RNG schedule —
-//! its own golden fingerprints pin that schedule separately.
+//! its own golden fingerprints pin that schedule separately. Serve adds
+//! one more seedable axis on top of the shared timeline: a
+//! [`crate::fault`] plan may rewrite the encoded frame script (corrupt,
+//! duplicate or time-compress it) off a dedicated RNG stream before
+//! delivery, without ever touching the timeline builder or the workload
+//! streams this driver replays — faulted serve runs are pinned by their
+//! own goldens while every dynamic fingerprint here stays frozen.
 //!
 //! Like the static pipeline, the dynamic pipeline is a free
 //! `mechanism × matcher` product: [`run_dynamic_spec`] drives any

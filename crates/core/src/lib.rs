@@ -44,6 +44,14 @@
 //! enters the sweep's config fingerprint — see the [`scenario`] module
 //! docs.
 //!
+//! How the service *misbehaves* is a fourth: a named [`FaultPlan`]
+//! (`none`, `flaky-wire`, `dup-storm`, `burst`) deterministically rewrites
+//! the serve frame script off its own RNG stream, and a bounded admission
+//! queue sheds overload under a pluggable [`ShedPolicy`] with
+//! virtual-time retry backoff — chaos with the same golden-fingerprint
+//! contract as the clean path. See the [`fault`] and [`serve`] module
+//! docs.
+//!
 //! # Quick start
 //!
 //! ```
@@ -109,6 +117,7 @@ pub mod arrivals;
 pub mod case_study;
 pub mod dynamic;
 pub mod epochs;
+pub mod fault;
 pub mod merge;
 pub mod pipeline;
 pub mod ratio;
@@ -126,6 +135,7 @@ pub use arrivals::{simulate_stream, ArrivalProcess, StreamReport};
 pub use case_study::{run_case_study, CaseStudyAlgorithm, CaseStudyResult};
 pub use dynamic::{run_dynamic, run_dynamic_spec, run_dynamic_with, DynamicConfig, DynamicOutcome};
 pub use epochs::{run_epochs, run_epochs_with, EpochConfig, EpochMetrics, EpochReport};
+pub use fault::{FaultPlan, ShedPolicy};
 pub use merge::{merge_dynamic, merge_static, MergeError};
 pub use pipeline::{
     run, run_spec, run_spec_with_server, run_with_server, Algorithm, CommonConfig, PipelineConfig,
@@ -137,7 +147,10 @@ pub use ratio::{
 };
 pub use registry::{registry, AlgorithmSpec, Registry};
 pub use scenario::{Scenario, DEFAULT_SCENARIO};
-pub use serve::{run_serve, ServeConfig, ServeLatency, ServeOutcome, ServeReport, ServeRequest};
+pub use serve::{
+    run_serve, serve_frames, FaultReport, ServeConfig, ServeLatency, ServeOutcome, ServeReport,
+    ServeRequest,
+};
 pub use server::{Server, TreeConstruction};
 pub use sweep::{
     run_dynamic_sweep, run_dynamic_sweep_partition, run_sweep, run_sweep_partition,

@@ -18,6 +18,7 @@ use crate::algorithm::{
     IdentityMechanism, KdGreedyStrategy, LaplaceMechanism, OfflineOptimalStrategy, PipelineError,
     RandomAssignStrategy, RandomizedGreedyStrategy, ReportMechanism,
 };
+use crate::fault::{Burst, DupStorm, FaultPlan, FlakyWire, NoFault};
 use crate::scenario::{
     AdversarialCellScenario, HotspotScenario, NormalScenario, PoissonDiskScenario, Scenario,
     UniformScenario,
@@ -94,6 +95,7 @@ pub struct Registry {
     matchers: Vec<Arc<dyn AssignStrategy>>,
     dynamic_matchers: Vec<Arc<dyn DynamicAssignStrategy>>,
     scenarios: Vec<Arc<dyn Scenario>>,
+    fault_plans: Vec<Arc<dyn FaultPlan>>,
     specs: Vec<AlgorithmSpec>,
     spec_aliases: Vec<(&'static str, &'static str)>,
 }
@@ -188,6 +190,35 @@ impl Registry {
                     .scenarios
                     .iter()
                     .map(|s| s.name().to_string())
+                    .collect(),
+            })
+    }
+
+    /// All registered serve fault plans (the deterministic-chaos axis of
+    /// [`crate::fault`]).
+    pub fn fault_plans(&self) -> &[Arc<dyn FaultPlan>] {
+        &self.fault_plans
+    }
+
+    /// Case-insensitive fault-plan lookup.
+    pub fn fault_plan(&self, name: &str) -> Option<Arc<dyn FaultPlan>> {
+        let wanted = normalize(name);
+        self.fault_plans
+            .iter()
+            .find(|p| p.name() == wanted)
+            .cloned()
+    }
+
+    /// Fault-plan lookup returning a listing-rich error for CLI surfaces.
+    pub fn require_fault_plan(&self, name: &str) -> Result<Arc<dyn FaultPlan>, PipelineError> {
+        self.fault_plan(name)
+            .ok_or_else(|| PipelineError::UnknownName {
+                kind: "fault plan",
+                name: name.to_string(),
+                known: self
+                    .fault_plans
+                    .iter()
+                    .map(|p| p.name().to_string())
                     .collect(),
             })
     }
@@ -298,6 +329,12 @@ fn build() -> Registry {
             Arc::new(HotspotScenario),
             Arc::new(PoissonDiskScenario),
             Arc::new(AdversarialCellScenario),
+        ],
+        fault_plans: vec![
+            Arc::new(NoFault),
+            Arc::new(FlakyWire),
+            Arc::new(DupStorm),
+            Arc::new(Burst),
         ],
         specs,
         spec_aliases: vec![
@@ -420,6 +457,28 @@ mod tests {
             msg.contains("unknown scenario `bogus`")
                 && msg.contains("poisson-disk")
                 && msg.contains("uniform"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn fault_plans_are_catalogued() {
+        let names: Vec<&str> = registry().fault_plans().iter().map(|p| p.name()).collect();
+        assert_eq!(names, ["none", "flaky-wire", "dup-storm", "burst"]);
+        let flaky = registry()
+            .fault_plan("Flaky-Wire")
+            .expect("case-insensitive");
+        assert_eq!(flaky.name(), "flaky-wire");
+        assert!(registry().fault_plan("bogus").is_none());
+        let err = registry()
+            .require_fault_plan("bogus")
+            .map(|_| ())
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("unknown fault plan `bogus`")
+                && msg.contains("dup-storm")
+                && msg.contains("burst"),
             "{msg}"
         );
     }

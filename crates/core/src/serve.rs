@@ -55,13 +55,41 @@
 //! event-sequential dynamic driver ([`crate::dynamic::run_dynamic_spec`]):
 //! obfuscation draws are grouped per window, so outcomes depend on Δt —
 //! that dependence is part of the artifact's identity, like a seed.
+//!
+//! # Fault injection & degraded mode
+//!
+//! The unhappy paths are held to the same contract. A [`crate::fault`]
+//! plan rewrites the generated frame script *before* delivery starts
+//! (drawing from its own [`crate::fault::FAULT_STREAM`]), so every
+//! injected fault is a pure function of `(seed, plan name, rate)` and is
+//! invariant under QPS pacing and thread counts. The session never aborts
+//! on a bad frame: each decode failure is counted per
+//! [`PipelineError::Transport`] class (a stream that ends without a
+//! shutdown frame counts as [`CHANNEL_CLOSED`]), duplicate deliveries are
+//! absorbed by id, and the session keeps serving.
+//!
+//! With `queue_cap` set, the task backlog becomes a bounded admission
+//! queue: an arriving task that would overflow it is shed per the
+//! configured [`crate::fault::ShedPolicy`]. A shed submission retries
+//! with deterministic *virtual-time* exponential backoff (`Δt·2^attempt`
+//! past its current timestamp — the service-side stand-in for client
+//! retry, which a wall-clock implementation could not keep
+//! replay-identical), re-entering its retry window ahead of that window's
+//! fresh arrivals. The retry budget is [`crate::fault::MAX_RETRIES`]
+//! attempts under the counting policies, or a virtual deadline of
+//! [`crate::fault::DEADLINE_WINDOWS`]`·Δt` past arrival under `deadline`
+//! (exhaustion counts as `shed` / `expired` respectively). All of it
+//! lands in the report's skip-if-`None` `faults` block, so clean-run
+//! golden JSON stays byte-identical while faulted runs get their own
+//! pinned fingerprints.
 
 use crate::algorithm::{
     DynamicAssignStrategy, DynamicWorkerPool, PipelineError, Report, ReportMechanism,
 };
 use crate::dynamic::EventKind;
+use crate::fault::{FaultPlan, ShedPolicy, DEADLINE_WINDOWS, DEFAULT_FAULT_RATE, FAULT_STREAM};
 use crate::registry::registry;
-use crate::scenario::DEFAULT_SCENARIO;
+use crate::scenario::{Scenario, DEFAULT_SCENARIO};
 use crate::server::Server;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use pombm_geom::{seeded_rng, Point};
@@ -70,7 +98,8 @@ use pombm_workload::shifts::ShiftPlan;
 use pombm_workload::Instance;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
-use std::sync::mpsc;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
 /// Configuration of one serve session (service + load generator).
@@ -115,6 +144,24 @@ pub struct ServeConfig {
     /// the percentiles are machine-dependent and are skipped — absent, not
     /// `null` — from the JSON so byte comparisons stay exact.
     pub timings: bool,
+    /// Fault plan injected between the load generator and the engine
+    /// ([`crate::fault`] registry lookup); `None` means no injection and
+    /// keeps the field absent from serialized configs, so pre-fault JSON
+    /// round-trips unchanged (the scenario-field precedent).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub fault_plan: Option<String>,
+    /// Fault firing probability in `[0, 1]`; requires `fault_plan` and
+    /// defaults to [`DEFAULT_FAULT_RATE`] when a plan is set.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub fault_rate: Option<f64>,
+    /// Bound on the task admission queue; `None` keeps the legacy
+    /// unbounded backlog.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub queue_cap: Option<usize>,
+    /// Shedding policy for a bounded queue (`drop-newest`, `drop-oldest`,
+    /// `deadline`); requires `queue_cap` and defaults to `drop-newest`.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub shed_policy: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -134,6 +181,10 @@ impl Default for ServeConfig {
             max_requests: None,
             threads: 1,
             timings: false,
+            fault_plan: None,
+            fault_rate: None,
+            queue_cap: None,
+            shed_policy: None,
         }
     }
 }
@@ -170,9 +221,48 @@ pub struct ServeLatency {
     pub max_ms: f64,
 }
 
+/// The degraded-operation ledger of one serve session: what the fault
+/// plan injected, what the transport rejected, and what the bounded
+/// admission queue shed. Every counter is virtual-time-deterministic —
+/// the block gets the same golden treatment as the clean fields.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// Fault plan injected; absent when faults arose without one (e.g. a
+    /// hand-built corrupt script or a bare `queue_cap`).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub plan: Option<String>,
+    /// Firing probability the plan ran at; absent without a plan.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub rate: Option<f64>,
+    /// Admission-queue bound; absent for the legacy unbounded backlog.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub queue_cap: Option<usize>,
+    /// Shedding policy in force; absent without a `queue_cap`.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub shed_policy: Option<String>,
+    /// Frames the fault plan touched (corrupted, duplicated, time-warped).
+    pub injected: usize,
+    /// Frames the transport rejected (sum of `corrupt_classes`).
+    pub corrupt: usize,
+    /// Rejected frames bucketed by [`PipelineError::Transport`] class.
+    pub corrupt_classes: BTreeMap<String, usize>,
+    /// Duplicate check-ins/tasks absorbed by the admission dedup.
+    pub duplicates: usize,
+    /// Distinct tasks submitted. Invariant, per policy:
+    /// `submitted == assigned + dropped + shed + expired`.
+    pub submitted: usize,
+    /// Tasks terminally shed after exhausting their retry budget.
+    pub shed: usize,
+    /// Retry re-admissions performed (one task may retry several times).
+    pub retried: usize,
+    /// Tasks expired at their virtual deadline (`deadline` policy only).
+    pub expired: usize,
+}
+
 /// Serializable outcome of one serve session. Every field except
-/// `latency` is a pure function of `(seed, plan, batch_interval)` — QPS,
-/// thread count and wall-clock never reach them.
+/// `latency` is a pure function of `(seed, plan, batch_interval)` — and,
+/// when chaos is configured, of the fault plan, rate, queue cap and shed
+/// policy — QPS, thread count and wall-clock never reach them.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServeReport {
     /// Workload scenario replayed; absent — not `null` — for the legacy
@@ -222,6 +312,12 @@ pub struct ServeReport {
     /// sweep's `wall_ms`).
     #[serde(skip_serializing_if = "Option::is_none")]
     pub latency: Option<ServeLatency>,
+    /// Fault-and-shedding ledger; present only when chaos was configured
+    /// or an anomaly actually occurred (and absent — not `null` — from
+    /// the JSON otherwise), so every pre-fault golden byte-compares
+    /// exactly.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub faults: Option<FaultReport>,
 }
 
 /// A completed serve session: the report plus the raw assignment sequence
@@ -233,6 +329,20 @@ pub struct ServeOutcome {
     /// `(task, Some(worker) | None)` in drain order — what the
     /// fingerprint digests.
     pub assignments: Vec<(u64, Option<u64>)>,
+}
+
+/// The Transport class recorded when the request stream disconnects
+/// before a shutdown frame (sender dropped, channel closed).
+pub const CHANNEL_CLOSED: &str = "channel closed";
+
+/// The typed error for a request channel that disconnects mid-session.
+/// The serve loop absorbs it as a counted [`FaultReport`] anomaly rather
+/// than aborting, so a truncated frame stream still yields a well-formed
+/// [`ServeReport`].
+pub fn channel_closed() -> PipelineError {
+    PipelineError::Transport {
+        why: CHANNEL_CLOSED,
+    }
 }
 
 const OP_CHECK_IN: u8 = 0x01;
@@ -380,10 +490,16 @@ pub fn assignment_fingerprint(assignments: &[(u64, Option<u64>)]) -> String {
     format!("{hash:016x}")
 }
 
-/// A task buffered in the current window.
+/// A task buffered in the current window (or parked for a retry window).
 struct PendingTask {
     id: u64,
     location: Point,
+    /// Virtual timestamp; a retry moves it forward by the backoff.
+    at: f64,
+    /// Virtual-time expiry under the `deadline` policy.
+    deadline: f64,
+    /// How many times this task has been shed and rescheduled.
+    attempt: u32,
     /// Frame-ingest instant; `Some` only with `timings`.
     ingested: Option<std::time::Instant>,
 }
@@ -401,14 +517,31 @@ struct Engine<'a> {
     mech_rng: StdRng,
     tie_rng: StdRng,
     window: Option<u64>,
+    queue_cap: Option<usize>,
+    shed_policy: ShedPolicy,
     pending_checkins: Vec<(u64, Point)>,
     pending_checkouts: Vec<u64>,
     pending_tasks: Vec<PendingTask>,
+    /// Shed tasks parked for a later window, sorted by `(at, id)`.
+    retry_queue: Vec<PendingTask>,
+    /// Worker/task ids already accepted — the at-least-once dedup layer.
+    seen_workers: BTreeSet<u64>,
+    seen_tasks: BTreeSet<u64>,
+    /// True check-in locations by worker id, for the distance tally (the
+    /// frame carries the exact f64 bits the workload generated).
+    worker_locations: BTreeMap<u64, Point>,
     assignments: Vec<(u64, Option<u64>)>,
     requests: usize,
     batches: usize,
     peak_queue: usize,
     queue_sum: usize,
+    total_distance: f64,
+    corrupt_classes: BTreeMap<String, usize>,
+    duplicates: usize,
+    submitted: usize,
+    shed: usize,
+    retried: usize,
+    expired: usize,
     latencies_ms: Vec<f64>,
 }
 
@@ -419,6 +552,13 @@ struct SessionStats {
     batches: usize,
     peak_queue: usize,
     queue_sum: usize,
+    total_distance: f64,
+    corrupt_classes: BTreeMap<String, usize>,
+    duplicates: usize,
+    submitted: usize,
+    shed: usize,
+    retried: usize,
+    expired: usize,
     latencies_ms: Vec<f64>,
 }
 
@@ -443,46 +583,183 @@ impl<'a> Engine<'a> {
             mech_rng: seeded_rng(config.seed, 0xD1CE_0001),
             tie_rng: seeded_rng(config.seed, 0xD1CE_0002),
             window: None,
+            queue_cap: config.queue_cap,
+            shed_policy: match config.shed_policy.as_deref() {
+                Some(name) => ShedPolicy::parse(name)?,
+                None => ShedPolicy::DropNewest,
+            },
             pending_checkins: Vec::new(),
             pending_checkouts: Vec::new(),
             pending_tasks: Vec::new(),
+            retry_queue: Vec::new(),
+            seen_workers: BTreeSet::new(),
+            seen_tasks: BTreeSet::new(),
+            worker_locations: BTreeMap::new(),
             assignments: Vec::new(),
             requests: 0,
             batches: 0,
             peak_queue: 0,
             queue_sum: 0,
+            total_distance: 0.0,
+            corrupt_classes: BTreeMap::new(),
+            duplicates: 0,
+            submitted: 0,
+            shed: 0,
+            retried: 0,
+            expired: 0,
             latencies_ms: Vec::new(),
         })
+    }
+
+    /// Δt window index of a virtual timestamp.
+    fn window_of(&self, at: f64) -> u64 {
+        (at / self.batch_interval).floor() as u64
+    }
+
+    /// Counts a Transport-class anomaly; the session keeps serving.
+    fn note_corrupt(&mut self, why: &str) {
+        *self.corrupt_classes.entry(why.to_string()).or_insert(0) += 1;
+    }
+
+    /// Earliest window holding a parked retry, if any (the retry queue is
+    /// sorted by timestamp, so the head decides).
+    fn next_retry_window(&self) -> Option<u64> {
+        self.retry_queue.first().map(|t| self.window_of(t.at))
+    }
+
+    /// Re-admits every parked retry whose window has arrived, oldest
+    /// first — retries enter a window ahead of its fresh frames.
+    fn readmit_due(&mut self, window: u64) {
+        let due = self
+            .retry_queue
+            .partition_point(|t| (t.at / self.batch_interval).floor() as u64 <= window);
+        if due == 0 {
+            return;
+        }
+        let due: Vec<PendingTask> = self.retry_queue.drain(..due).collect();
+        for task in due {
+            self.retried += 1;
+            self.admit(task);
+        }
+    }
+
+    /// Moves the engine to `target`, flushing the current window and
+    /// draining every retry window that falls strictly before it (each as
+    /// its own micro-batch, exactly as if the frames had arrived then).
+    fn advance_to(&mut self, target: u64) -> Result<(), PipelineError> {
+        if self.window == Some(target) {
+            return Ok(());
+        }
+        self.flush()?;
+        while let Some(rw) = self.next_retry_window().filter(|&rw| rw < target) {
+            self.window = Some(rw);
+            self.readmit_due(rw);
+            self.flush()?;
+        }
+        self.window = Some(target);
+        self.readmit_due(target);
+        Ok(())
+    }
+
+    /// Admits a task to the window queue, shedding per policy when the
+    /// bounded queue is full — the queue never exceeds the cap.
+    fn admit(&mut self, task: PendingTask) {
+        match self.queue_cap {
+            Some(cap) if self.pending_tasks.len() >= cap => match self.shed_policy {
+                ShedPolicy::DropOldest => {
+                    let oldest = self.pending_tasks.remove(0);
+                    self.shed_task(oldest);
+                    self.pending_tasks.push(task);
+                }
+                ShedPolicy::DropNewest | ShedPolicy::Deadline => self.shed_task(task),
+            },
+            _ => self.pending_tasks.push(task),
+        }
+        self.peak_queue = self.peak_queue.max(self.pending_tasks.len());
+    }
+
+    /// Parks a shed task for retry at `at + Δt·2^attempt` of *virtual*
+    /// time — the deterministic service-side stand-in for client backoff —
+    /// or records it as terminally shed/expired once its budget is gone.
+    fn shed_task(&mut self, mut task: PendingTask) {
+        let backoff = self.batch_interval * (1u64 << task.attempt.min(62)) as f64;
+        let next_at = task.at + backoff;
+        let terminal = match self.shed_policy {
+            ShedPolicy::Deadline => next_at > task.deadline,
+            ShedPolicy::DropNewest | ShedPolicy::DropOldest => {
+                task.attempt >= crate::fault::MAX_RETRIES
+            }
+        };
+        if terminal {
+            if self.shed_policy == ShedPolicy::Deadline {
+                self.expired += 1;
+            } else {
+                self.shed += 1;
+            }
+            return;
+        }
+        task.attempt += 1;
+        task.at = next_at;
+        let pos = self
+            .retry_queue
+            .partition_point(|t| t.at < task.at || (t.at == task.at && t.id <= task.id));
+        self.retry_queue.insert(pos, task);
+    }
+
+    /// Drains the current window and every outstanding retry window — the
+    /// shutdown/hangup path. Terminates because every parked task's
+    /// budget (attempt count or deadline) is finite.
+    fn end_session(&mut self) -> Result<(), PipelineError> {
+        self.flush()?;
+        while let Some(rw) = self.next_retry_window() {
+            self.window = Some(rw);
+            self.readmit_due(rw);
+            self.flush()?;
+        }
+        Ok(())
     }
 
     /// Buffers one request, flushing first when it opens a new window.
     /// Returns `false` when the session should end (shutdown received).
     fn ingest(&mut self, request: ServeRequest) -> Result<bool, PipelineError> {
         if request == ServeRequest::Shutdown {
-            self.flush()?;
+            self.end_session()?;
             return Ok(false);
         }
         self.requests += 1;
-        let window = (request.timestamp() / self.batch_interval).floor() as u64;
-        if self.window != Some(window) {
-            self.flush()?;
-            self.window = Some(window);
-        }
+        let window = self.window_of(request.timestamp());
+        self.advance_to(window)?;
         match request {
             ServeRequest::CheckIn { worker, x, y, .. } => {
-                self.pending_checkins.push((worker, Point::new(x, y)));
+                if self.seen_workers.insert(worker) {
+                    let location = Point::new(x, y);
+                    self.worker_locations.insert(worker, location);
+                    self.pending_checkins.push((worker, location));
+                } else {
+                    // At-least-once delivery: replays of a known check-in
+                    // are absorbed, never double-inserted into the pool.
+                    self.duplicates += 1;
+                }
             }
             ServeRequest::CheckOut { worker, .. } => self.pending_checkouts.push(worker),
-            ServeRequest::Task { task, x, y, .. } => {
-                // lint: allow(DET-TIME) — timings-gated latency sampling
-                // only; the wall_ms precedent. Never reaches assignments
-                // or the deterministic report fields.
-                let ingested = self.timings.then(std::time::Instant::now);
-                self.pending_tasks.push(PendingTask {
-                    id: task,
-                    location: Point::new(x, y),
-                    ingested,
-                });
+            ServeRequest::Task { task, at, x, y } => {
+                if self.seen_tasks.insert(task) {
+                    self.submitted += 1;
+                    // lint: allow(DET-TIME) — timings-gated latency sampling
+                    // only; the wall_ms precedent. Never reaches assignments
+                    // or the deterministic report fields.
+                    let ingested = self.timings.then(std::time::Instant::now);
+                    self.admit(PendingTask {
+                        id: task,
+                        location: Point::new(x, y),
+                        at,
+                        deadline: at + DEADLINE_WINDOWS * self.batch_interval,
+                        attempt: 0,
+                        ingested,
+                    });
+                } else {
+                    self.duplicates += 1;
+                }
             }
             ServeRequest::Shutdown => unreachable!("handled above"),
         }
@@ -520,9 +797,9 @@ impl<'a> Engine<'a> {
         for id in self.pending_checkouts.drain(..) {
             let _ = self.pool.withdraw(id);
         }
-        // Phase 3: record queue depth, then drain the task queue.
+        // Phase 3: record queue depth, then drain the task queue. (Peak
+        // depth is tracked at admission, where a bounded queue binds.)
         let depth = self.pending_tasks.len();
-        self.peak_queue = self.peak_queue.max(depth);
         self.queue_sum += depth;
         if depth > 0 {
             let points: Vec<Point> = self.pending_tasks.iter().map(|t| t.location).collect();
@@ -540,6 +817,13 @@ impl<'a> Engine<'a> {
             let drained = self.timings.then(std::time::Instant::now);
             for (task, &slot) in tasks.iter().zip(&slots) {
                 self.assignments.push((task.id, slot));
+                if let Some(worker) = slot {
+                    // True-location travel distance, from the exact f64
+                    // bits the frames carried (bit-identical to summing
+                    // over the instance arrays in assignment order).
+                    let worker_location = self.worker_locations[&worker];
+                    self.total_distance += task.location.dist(&worker_location);
+                }
                 if let (Some(end), Some(start)) = (drained, task.ingested) {
                     self.latencies_ms
                         .push(end.duration_since(start).as_secs_f64() * 1e3);
@@ -556,36 +840,60 @@ impl<'a> Engine<'a> {
             batches: self.batches,
             peak_queue: self.peak_queue,
             queue_sum: self.queue_sum,
+            total_distance: self.total_distance,
+            corrupt_classes: self.corrupt_classes,
+            duplicates: self.duplicates,
+            submitted: self.submitted,
+            shed: self.shed,
+            retried: self.retried,
+            expired: self.expired,
             latencies_ms: self.latencies_ms,
         }
     }
 }
 
-/// The resident serve loop: decodes frames off the transport and drives
-/// the engine until shutdown (or until the sender hangs up, which drains
-/// the buffered tail — a generator truncated by `max_requests` must not
-/// lose requests).
-fn serve_session(
-    rx: mpsc::Receiver<Bytes>,
+/// The resident serve loop: decodes frames off any ingress and drives the
+/// engine until shutdown. A frame the transport rejects is counted per
+/// class and the session keeps serving; a stream that ends without a
+/// shutdown frame (the sender hung up — see [`channel_closed`]) is
+/// absorbed the same way before the buffered tail drains, so the session
+/// always hands back well-formed stats.
+fn serve_stream<I>(
+    frames: I,
     mechanism: &dyn ReportMechanism,
     matcher: &dyn DynamicAssignStrategy,
     server: &Server,
     config: &ServeConfig,
-) -> Result<SessionStats, PipelineError> {
+) -> Result<SessionStats, PipelineError>
+where
+    I: IntoIterator<Item = Bytes>,
+{
     let mut engine = Engine::new(mechanism, matcher, server, config)?;
-    while let Ok(mut frame) = rx.recv() {
-        if !engine.ingest(ServeRequest::decode(&mut frame)?)? {
-            return Ok(engine.finish());
+    for mut frame in frames {
+        match ServeRequest::decode(&mut frame) {
+            Ok(request) => {
+                if !engine.ingest(request)? {
+                    return Ok(engine.finish());
+                }
+            }
+            // Degraded mode: corrupt frames are counted, never fatal.
+            Err(PipelineError::Transport { why }) => engine.note_corrupt(why),
+            Err(other) => return Err(other),
         }
     }
-    engine.flush()?;
+    let PipelineError::Transport { why } = channel_closed() else {
+        unreachable!("channel_closed is a Transport error by construction")
+    };
+    engine.note_corrupt(why);
+    engine.end_session()?;
     Ok(engine.finish())
 }
 
 /// Encodes the seed-derived workload timeline as transport frames — the
 /// load generator's replay script. Pure in `(instance, plan, task_times)`;
-/// `max_requests` truncates the tail (the shutdown frame is appended
-/// after the cut and does not count).
+/// `max_requests` truncates the tail. The shutdown frame is *not*
+/// included: the caller appends it after fault injection, so chaos may
+/// mangle the workload but never the session's ability to end cleanly.
 fn timeline_frames(
     instance: &Instance,
     plan: &ShiftPlan,
@@ -620,7 +928,6 @@ fn timeline_frames(
     if let Some(cap) = max_requests {
         frames.truncate(cap);
     }
-    frames.push(ServeRequest::Shutdown.encode());
     frames
 }
 
@@ -629,16 +936,19 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     sorted_ms[idx]
 }
 
-/// Runs one complete serve session: spawns the resident service on a
-/// scoped thread, replays the seed-derived request timeline through the
-/// built-in load generator at [`ServeConfig::qps`], and joins cleanly
-/// before returning — no thread outlives this call.
-///
-/// The returned assignments are a pure function of
-/// `(seed, plan, batch_interval)` (see the module docs); QPS and
-/// `threads` trade wall-clock for delivery pacing and cores, never
-/// results.
-pub fn run_serve(config: &ServeConfig) -> Result<ServeOutcome, PipelineError> {
+/// Everything a session resolves by name, plus the validated chaos knobs.
+struct Resolved {
+    mechanism: Arc<dyn ReportMechanism>,
+    matcher: Arc<dyn DynamicAssignStrategy>,
+    scenario: Arc<dyn Scenario>,
+    fault_plan: Option<Arc<dyn FaultPlan>>,
+    fault_rate: f64,
+    shed_policy: ShedPolicy,
+}
+
+/// Validates the config and resolves every registry name — all typed
+/// errors surface here, before any thread spawns.
+fn resolve(config: &ServeConfig) -> Result<Resolved, PipelineError> {
     if !(config.batch_interval.is_finite() && config.batch_interval > 0.0) {
         return Err(PipelineError::InvalidConfig {
             field: "batch-interval",
@@ -651,6 +961,35 @@ pub fn run_serve(config: &ServeConfig) -> Result<ServeOutcome, PipelineError> {
             why: "must be 0 (unthrottled) or a positive, finite rate",
         });
     }
+    if config.fault_rate.is_some() && config.fault_plan.is_none() {
+        return Err(PipelineError::InvalidConfig {
+            field: "fault-rate",
+            why: "needs --fault-plan: a rate without a plan injects nothing",
+        });
+    }
+    let fault_rate = config.fault_rate.unwrap_or(DEFAULT_FAULT_RATE);
+    if !(fault_rate.is_finite() && (0.0..=1.0).contains(&fault_rate)) {
+        return Err(PipelineError::InvalidConfig {
+            field: "fault-rate",
+            why: "must be a probability in [0, 1]",
+        });
+    }
+    if config.queue_cap == Some(0) {
+        return Err(PipelineError::InvalidConfig {
+            field: "queue-cap",
+            why: "a bounded queue must admit at least one task",
+        });
+    }
+    if config.shed_policy.is_some() && config.queue_cap.is_none() {
+        return Err(PipelineError::InvalidConfig {
+            field: "shed-policy",
+            why: "needs --queue-cap: shedding only applies to a bounded queue",
+        });
+    }
+    let shed_policy = match config.shed_policy.as_deref() {
+        Some(name) => ShedPolicy::parse(name)?,
+        None => ShedPolicy::DropNewest,
+    };
     let mechanism =
         registry()
             .mechanism(&config.mechanism)
@@ -666,45 +1005,28 @@ pub fn run_serve(config: &ServeConfig) -> Result<ServeOutcome, PipelineError> {
     let matcher = registry().require_dynamic_matcher(&config.matcher)?;
     let scenario =
         registry().require_scenario(config.scenario.as_deref().unwrap_or(DEFAULT_SCENARIO))?;
-
-    // The same workload derivation as `pombm dynamic`: instance, arrival
-    // times and shift plan are all pure functions of the seed (and, for
-    // the `uniform` default, the exact pre-scenario streams).
-    let instance = scenario.timeline_instance(config.seed, config.num_tasks, config.num_workers);
-    let task_times = scenario.task_times(config.seed, config.num_tasks);
-    let plan = scenario.shift_plan(&config.plan, config.num_workers, config.seed)?;
-    let frames = timeline_frames(&instance, &plan, &task_times, config.max_requests);
-
-    let server = Server::new(instance.region, config.grid_side, config.seed ^ 0xD1CE);
-    let (tx, rx) = mpsc::channel::<Bytes>();
-    let pause = (config.qps > 0.0).then(|| Duration::from_secs_f64(1.0 / config.qps));
-    let result: parking_lot::Mutex<Option<Result<SessionStats, PipelineError>>> =
-        parking_lot::Mutex::new(None);
-    crossbeam::thread::scope(|scope| {
-        let slot = &result;
-        let server = &server;
-        let mechanism = mechanism.as_ref();
-        let matcher = matcher.as_ref();
-        scope.spawn(move |_| {
-            *slot.lock() = Some(serve_session(rx, mechanism, matcher, server, config));
-        });
-        for frame in frames {
-            if tx.send(frame).is_err() {
-                break; // The service ended early (error path): stop pacing.
-            }
-            if let Some(pause) = pause {
-                std::thread::sleep(pause);
-            }
-        }
-        drop(tx); // Hang up; the service drains its buffers and exits.
+    let fault_plan = match config.fault_plan.as_deref() {
+        Some(name) => Some(registry().require_fault_plan(name)?),
+        None => None,
+    };
+    Ok(Resolved {
+        mechanism,
+        matcher,
+        scenario,
+        fault_plan,
+        fault_rate,
+        shed_policy,
     })
-    .expect("serve threads do not panic");
-    // The scope joined the service thread above, so the session is over
-    // and the slot is filled: clean shutdown is structural.
-    let stats = result
-        .into_inner()
-        .expect("the serve loop always reports")?;
+}
 
+/// Assembles the report from session stats — shared by the paced driver
+/// and the raw-script ingress, so both speak the identical artifact.
+fn build_outcome(
+    config: &ServeConfig,
+    resolved: &Resolved,
+    stats: SessionStats,
+    injected: usize,
+) -> ServeOutcome {
     let assigned = stats
         .assignments
         .iter()
@@ -712,15 +1034,6 @@ pub fn run_serve(config: &ServeConfig) -> Result<ServeOutcome, PipelineError> {
         .count();
     let dropped = stats.assignments.len() - assigned;
     let arrived = stats.assignments.len();
-    let total_distance = stats
-        .assignments
-        .iter()
-        .filter_map(|&(task, slot)| {
-            slot.map(|worker| {
-                instance.tasks[task as usize].dist(&instance.workers[worker as usize])
-            })
-        })
-        .sum();
     let latency = if config.timings && !stats.latencies_ms.is_empty() {
         let mut sorted = stats.latencies_ms.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
@@ -733,8 +1046,35 @@ pub fn run_serve(config: &ServeConfig) -> Result<ServeOutcome, PipelineError> {
     } else {
         None
     };
+    let corrupt: usize = stats.corrupt_classes.values().sum();
+    let anomalies =
+        injected + corrupt + stats.duplicates + stats.shed + stats.retried + stats.expired;
+    // The block appears when chaos was *configured* (even if nothing
+    // fired — zeros are informative there) or when an anomaly actually
+    // occurred; otherwise it is skipped so pre-fault goldens hold.
+    let faults =
+        (config.fault_plan.is_some() || config.queue_cap.is_some() || anomalies > 0).then(|| {
+            FaultReport {
+                plan: resolved.fault_plan.as_ref().map(|p| p.name().to_string()),
+                rate: resolved.fault_plan.is_some().then_some(resolved.fault_rate),
+                queue_cap: config.queue_cap,
+                shed_policy: config
+                    .queue_cap
+                    .is_some()
+                    .then(|| resolved.shed_policy.name().to_string()),
+                injected,
+                corrupt,
+                corrupt_classes: stats.corrupt_classes.clone(),
+                duplicates: stats.duplicates,
+                submitted: stats.submitted,
+                shed: stats.shed,
+                retried: stats.retried,
+                expired: stats.expired,
+            }
+        });
     let report = ServeReport {
-        scenario: (scenario.name() != DEFAULT_SCENARIO).then(|| scenario.name().to_string()),
+        scenario: (resolved.scenario.name() != DEFAULT_SCENARIO)
+            .then(|| resolved.scenario.name().to_string()),
         mechanism: config.mechanism.clone(),
         matcher: config.matcher.clone(),
         plan: config.plan.clone(),
@@ -757,7 +1097,7 @@ pub fn run_serve(config: &ServeConfig) -> Result<ServeOutcome, PipelineError> {
         } else {
             dropped as f64 / arrived as f64
         },
-        total_distance,
+        total_distance: stats.total_distance,
         peak_queue_depth: stats.peak_queue,
         mean_queue_depth: if stats.batches == 0 {
             0.0
@@ -766,9 +1106,110 @@ pub fn run_serve(config: &ServeConfig) -> Result<ServeOutcome, PipelineError> {
         },
         assignment_fingerprint: assignment_fingerprint(&stats.assignments),
         latency,
+        faults,
     };
-    Ok(ServeOutcome {
+    ServeOutcome {
         report,
         assignments: stats.assignments,
+    }
+}
+
+/// Runs one complete serve session: spawns the resident service on a
+/// scoped thread, replays the seed-derived request timeline — rewritten
+/// by the configured fault plan, if any — through the built-in load
+/// generator at [`ServeConfig::qps`], and joins cleanly before returning;
+/// no thread outlives this call.
+///
+/// The returned assignments are a pure function of
+/// `(seed, plan, batch_interval)` plus the chaos knobs (see the module
+/// docs); QPS and `threads` trade wall-clock for delivery pacing and
+/// cores, never results.
+pub fn run_serve(config: &ServeConfig) -> Result<ServeOutcome, PipelineError> {
+    let resolved = resolve(config)?;
+
+    // The same workload derivation as `pombm dynamic`: instance, arrival
+    // times and shift plan are all pure functions of the seed (and, for
+    // the `uniform` default, the exact pre-scenario streams).
+    let scenario = &resolved.scenario;
+    let instance = scenario.timeline_instance(config.seed, config.num_tasks, config.num_workers);
+    let task_times = scenario.task_times(config.seed, config.num_tasks);
+    let plan = scenario.shift_plan(&config.plan, config.num_workers, config.seed)?;
+    let mut frames = timeline_frames(&instance, &plan, &task_times, config.max_requests);
+    let injected = match resolved.fault_plan.as_deref() {
+        Some(fault_plan) => {
+            // Injection rewrites the script *before* delivery starts, off
+            // its own stream: faults are invariant under pacing/threads
+            // and never perturb the workload or obfuscation draws.
+            let mut fault_rng = seeded_rng(config.seed, FAULT_STREAM);
+            let (mutated, injected) = fault_plan.inject(
+                std::mem::take(&mut frames),
+                resolved.fault_rate,
+                &mut fault_rng,
+            );
+            frames = mutated;
+            injected
+        }
+        None => 0,
+    };
+    // Appended after injection: chaos may mangle the workload, never the
+    // session's ability to end cleanly.
+    frames.push(ServeRequest::Shutdown.encode());
+
+    let server = Server::new(instance.region, config.grid_side, config.seed ^ 0xD1CE);
+    let (tx, rx) = mpsc::channel::<Bytes>();
+    let pause = (config.qps > 0.0).then(|| Duration::from_secs_f64(1.0 / config.qps));
+    let result: parking_lot::Mutex<Option<Result<SessionStats, PipelineError>>> =
+        parking_lot::Mutex::new(None);
+    crossbeam::thread::scope(|scope| {
+        let slot = &result;
+        let server = &server;
+        let mechanism = resolved.mechanism.as_ref();
+        let matcher = resolved.matcher.as_ref();
+        scope.spawn(move |_| {
+            *slot.lock() = Some(serve_stream(rx, mechanism, matcher, server, config));
+        });
+        for frame in frames {
+            if tx.send(frame).is_err() {
+                break; // The service ended early (error path): stop pacing.
+            }
+            if let Some(pause) = pause {
+                std::thread::sleep(pause);
+            }
+        }
+        drop(tx); // Hang up; the service drains its buffers and exits.
     })
+    .expect("serve threads do not panic");
+    // The scope joined the service thread above, so the session is over
+    // and the slot is filled: clean shutdown is structural.
+    let stats = result
+        .into_inner()
+        .expect("the serve loop always reports")?;
+    Ok(build_outcome(config, &resolved, stats, injected))
+}
+
+/// Drives one session over a raw frame script on the calling thread — no
+/// load generator, no pacing, no fault injection: the replay-and-test
+/// ingress. The server grid is derived from the configured scenario
+/// exactly as in [`run_serve`], so a script captured from the generator
+/// replays against the same published artifacts. A script that ends
+/// without a shutdown frame is drained and counted as a
+/// [`CHANNEL_CLOSED`] anomaly; the report is well-formed either way.
+pub fn serve_frames(
+    config: &ServeConfig,
+    frames: Vec<Bytes>,
+) -> Result<ServeOutcome, PipelineError> {
+    let resolved = resolve(config)?;
+    let instance =
+        resolved
+            .scenario
+            .timeline_instance(config.seed, config.num_tasks, config.num_workers);
+    let server = Server::new(instance.region, config.grid_side, config.seed ^ 0xD1CE);
+    let stats = serve_stream(
+        frames,
+        resolved.mechanism.as_ref(),
+        resolved.matcher.as_ref(),
+        &server,
+        config,
+    )?;
+    Ok(build_outcome(config, &resolved, stats, 0))
 }

@@ -11,7 +11,7 @@
 
 pub use serde_derive::{Deserialize, Serialize};
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::time::Duration;
 
 /// A self-describing tree value; the interchange point between
@@ -420,6 +420,31 @@ impl<K: Serialize + ToString, V: Serialize> Serialize for HashMap<K, V> {
             .collect();
         pairs.sort_by(|a, b| a.0.cmp(&b.0));
         Value::Object(pairs)
+    }
+}
+
+impl<K: Serialize + ToString + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    /// Ordered maps serialize as objects in key order — already canonical,
+    /// which is why deterministic call sites prefer them over `HashMap`.
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let mut map = BTreeMap::new();
+        for (k, v) in as_object(v)? {
+            map.insert(
+                k.clone(),
+                V::from_value(v).map_err(|e| Error::msg(format!("key `{k}`: {e}")))?,
+            );
+        }
+        Ok(map)
     }
 }
 

@@ -18,7 +18,9 @@
 
 use bytes::{Buf, Bytes};
 use pombm::serve::assignment_fingerprint;
-use pombm::{registry, run_serve, PipelineError, Report, ServeConfig, ServeRequest, Server};
+use pombm::{
+    registry, run_serve, serve_frames, PipelineError, Report, ServeConfig, ServeRequest, Server,
+};
 use pombm_geom::seeded_rng;
 use pombm_workload::{synthetic, SyntheticParams};
 use proptest::prelude::*;
@@ -323,6 +325,11 @@ fn report_field_names_are_pinned() {
         !json.contains("latency"),
         "latency must be absent — not null — without --timings"
     );
+    assert!(
+        !json.contains("faults"),
+        "clean runs must omit the faults block entirely, keeping \
+         pre-chaos goldens byte-identical"
+    );
 }
 
 /// `--timings` adds wall-clock percentiles without perturbing any
@@ -345,6 +352,201 @@ fn timings_add_latency_without_perturbing_the_artifact() {
         timed.report.assignment_fingerprint,
         untimed.report.assignment_fingerprint
     );
+}
+
+// --- degraded mode (fault injection & overload) ------------------------
+
+/// Golden fingerprints for *faulted* sessions — chaos is part of the
+/// artifact's identity: every corruption, duplicate, warp, shed and
+/// retry is a pure function of `(seed, plan, rate)`, so these pins hold
+/// across QPS pacing and thread counts exactly like the clean goldens.
+/// Recorded from the first build of the fault layer. Note `dup-storm`
+/// pins the *clean* `hst+hst-greedy` fingerprint: admission dedup must
+/// absorb at-least-once delivery without a trace in the assignments.
+#[test]
+fn golden_faulted_fingerprints() {
+    struct FaultedGolden {
+        plan: &'static str,
+        rate: f64,
+        batch_interval: f64,
+        queue_cap: Option<usize>,
+        shed_policy: Option<&'static str>,
+        expected: &'static str,
+    }
+    const GOLDEN: &[FaultedGolden] = &[
+        FaultedGolden {
+            plan: "flaky-wire",
+            rate: 0.3,
+            batch_interval: 50.0,
+            queue_cap: Some(2),
+            shed_policy: Some("drop-oldest"),
+            expected: "af1e7809bc6e4a72",
+        },
+        FaultedGolden {
+            plan: "burst",
+            rate: 0.9,
+            batch_interval: 5.0,
+            queue_cap: Some(3),
+            shed_policy: Some("deadline"),
+            expected: "4e624ea36521cb28",
+        },
+        FaultedGolden {
+            plan: "dup-storm",
+            rate: 0.5,
+            batch_interval: 5.0,
+            queue_cap: None,
+            shed_policy: None,
+            expected: "0d19dffdf87154b3",
+        },
+    ];
+    for golden in GOLDEN {
+        let make = |qps: f64, threads: usize| {
+            run_serve(&ServeConfig {
+                batch_interval: golden.batch_interval,
+                fault_plan: Some(golden.plan.into()),
+                fault_rate: Some(golden.rate),
+                queue_cap: golden.queue_cap,
+                shed_policy: golden.shed_policy.map(Into::into),
+                qps,
+                threads,
+                ..config(7)
+            })
+            .unwrap()
+        };
+        let outcome = make(0.0, 1);
+        assert_eq!(
+            outcome.report.assignment_fingerprint, golden.expected,
+            "{} rate={} Δt={}",
+            golden.plan, golden.rate, golden.batch_interval
+        );
+        // Chaos must survive pacing and parallelism byte-for-byte.
+        let paced = make(4000.0, 0);
+        assert_eq!(
+            serde_json::to_string(&outcome.report).unwrap(),
+            serde_json::to_string(&paced.report).unwrap(),
+            "{}: faulted report drifted across qps/threads",
+            golden.plan
+        );
+    }
+}
+
+/// The faults block's JSON field names are a public contract — CI's
+/// chaos-smoke golden byte-compares against them.
+#[test]
+fn faulted_report_field_names_are_pinned() {
+    let outcome = run_serve(&ServeConfig {
+        batch_interval: 50.0,
+        fault_plan: Some("flaky-wire".into()),
+        fault_rate: Some(0.3),
+        queue_cap: Some(2),
+        shed_policy: Some("drop-oldest".into()),
+        ..config(7)
+    })
+    .unwrap();
+    let json = serde_json::to_string(&outcome.report).unwrap();
+    let expected_keys = [
+        "faults",
+        "plan",
+        "rate",
+        "queue_cap",
+        "shed_policy",
+        "injected",
+        "corrupt",
+        "corrupt_classes",
+        "duplicates",
+        "submitted",
+        "shed",
+        "retried",
+        "expired",
+    ];
+    for key in expected_keys {
+        assert!(json.contains(&format!("\"{key}\":")), "missing {key}");
+    }
+    let faults = outcome.report.faults.expect("chaos is configured");
+    assert!(faults.corrupt > 0, "rate 0.3 must corrupt something");
+    assert!(faults.shed > 0, "cap 2 at Δt=50 must shed something");
+}
+
+/// A frame script that dies mid-session — truncated frame followed by
+/// hangup, never a Shutdown — still yields a well-formed report: the
+/// corruption and the hangup are each counted under their Transport
+/// class and every buffered window is drained.
+#[test]
+fn truncated_stream_still_yields_a_well_formed_report() {
+    let mut frames = vec![
+        ServeRequest::CheckIn {
+            worker: 1,
+            at: 0.5,
+            x: 10.0,
+            y: 10.0,
+        }
+        .encode(),
+        ServeRequest::CheckIn {
+            worker: 2,
+            at: 0.7,
+            x: 900.0,
+            y: 900.0,
+        }
+        .encode(),
+        ServeRequest::Task {
+            task: 100,
+            at: 1.0,
+            x: 11.0,
+            y: 11.0,
+        }
+        .encode(),
+    ];
+    // A frame cut off mid-payload, then the stream simply ends: no
+    // Shutdown ever arrives.
+    let truncated = ServeRequest::Task {
+        task: 101,
+        at: 1.5,
+        x: 12.0,
+        y: 12.0,
+    }
+    .encode();
+    frames.push(truncated.slice(0..10));
+
+    let outcome = serve_frames(&config(7), frames).unwrap();
+    let report = &outcome.report;
+    assert_eq!(report.assigned, 1, "the intact task must still be served");
+    assert_eq!(report.requests, 3, "three frames decoded");
+    let faults = report
+        .faults
+        .as_ref()
+        .expect("transport damage forces the block");
+    assert_eq!(faults.corrupt, 2, "one truncation + one hangup");
+    assert!(
+        faults
+            .corrupt_classes
+            .keys()
+            .any(|class| class.contains("shorter than its length prefix")),
+        "truncation class recorded: {:?}",
+        faults.corrupt_classes
+    );
+    assert_eq!(
+        faults.corrupt_classes.get(pombm::serve::CHANNEL_CLOSED),
+        Some(&1),
+        "hangup without Shutdown is the typed channel-closed Transport class"
+    );
+    // The report is still serializable and internally consistent.
+    let json = serde_json::to_string(report).unwrap();
+    assert!(json.contains("\"faults\":"));
+    assert_eq!(report.assigned + report.dropped, outcome.assignments.len());
+}
+
+/// The hangup error itself is a typed `Transport` variant with a stable
+/// message prefix, so transport failures are matchable, not stringly.
+#[test]
+fn channel_closed_is_a_typed_transport_error() {
+    let error = pombm::serve::channel_closed();
+    assert!(matches!(
+        error,
+        PipelineError::Transport {
+            why: pombm::serve::CHANNEL_CLOSED
+        }
+    ));
+    assert_eq!(error.to_string(), "serve transport: channel closed");
 }
 
 // --- batched pools (satellite: insert_batch ≡ single inserts) ----------
