@@ -1,12 +1,13 @@
 //! Benchmarks for the dynamic-fleet pipeline: each registered dynamic
-//! matcher on the same shift/task timeline, and the sharded dynamic sweep's
-//! scaling from one shard to all cores.
+//! matcher on the same shift/task timeline, the clairvoyant oracle pricing
+//! that timeline, and the sharded dynamic sweep's scaling from one shard
+//! to all cores.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pombm::sweep::{
     dynamic_shift_plan, dynamic_task_times, run_dynamic_sweep, sweep_instance, DynamicSweepConfig,
 };
-use pombm::{registry, run_dynamic_spec, DynamicConfig};
+use pombm::{dynamic_offline_optimum_with_threads, registry, run_dynamic_spec, DynamicConfig};
 use std::hint::black_box;
 
 /// One dynamic simulation per registered matcher: 256 tasks streaming
@@ -44,6 +45,36 @@ fn bench_dynamic_matchers(c: &mut Criterion) {
     group.finish();
 }
 
+/// The clairvoyant oracle (`dynamic-opt`) pricing the same churning
+/// timelines the matcher bench replays: the padded Hungarian solve at one
+/// thread and at auto thread count. Pairs are bit-identical across thread
+/// counts (pinned by tests); only wall-clock differs.
+fn bench_clairvoyant_oracle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clairvoyant_oracle");
+    group.sample_size(10);
+    for size in [128usize, 256] {
+        let instance = sweep_instance(3, size);
+        let times = dynamic_task_times(3, size);
+        let plan = dynamic_shift_plan("short", size, 3).expect("named plan");
+        for threads in [1usize, 0] {
+            let label = if threads == 1 {
+                "threads_1"
+            } else {
+                "threads_auto"
+            };
+            group.bench_with_input(BenchmarkId::new(label, size), &instance, |b, inst| {
+                b.iter(|| {
+                    black_box(
+                        dynamic_offline_optimum_with_threads(inst, &times, &plan, threads)
+                            .expect("feasible timeline"),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 /// Whole dynamic-sweep scaling: one shard versus all available cores on
 /// the same job list (output is bit-identical; only wall-clock changes).
 fn bench_dynamic_sweep_sharding(c: &mut Criterion) {
@@ -61,6 +92,7 @@ fn bench_dynamic_sweep_sharding(c: &mut Criterion) {
         epsilons: vec![0.6],
         shards,
         timings: false,
+        ratio: false,
         grid_side: 16,
         seed: 0,
     };
@@ -75,6 +107,7 @@ fn bench_dynamic_sweep_sharding(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_dynamic_matchers,
+    bench_clairvoyant_oracle,
     bench_dynamic_sweep_sharding
 );
 criterion_main!(benches);

@@ -7,11 +7,11 @@
 use crate::args::Args;
 use pombm::sweep::{DYNAMIC_FLAVOR, STATIC_FLAVOR};
 use pombm::{
-    merge_dynamic, merge_static, registry, run_dynamic_spec, run_dynamic_sweep,
-    run_dynamic_sweep_partition, run_spec, run_sweep, run_sweep_partition, AlgorithmSpec,
-    DynamicConfig, DynamicMeasurement, DynamicPartialSweepReport, DynamicSweepConfig,
-    DynamicSweepReport, EpochConfig, PartialRunStats, PartialSweepReport, PartitionPlan,
-    PartitionRun, PipelineConfig, SweepConfig, SweepReport, DEFAULT_SCENARIO,
+    dynamic_competitive_ratio, merge_dynamic, merge_static, registry, run_dynamic_spec,
+    run_dynamic_sweep, run_dynamic_sweep_partition, run_spec, run_sweep, run_sweep_partition,
+    AlgorithmSpec, DynamicConfig, DynamicMeasurement, DynamicPartialSweepReport,
+    DynamicSweepConfig, DynamicSweepReport, EpochConfig, PartialRunStats, PartialSweepReport,
+    PartitionPlan, PartitionRun, PipelineConfig, Role, SweepConfig, SweepReport, DEFAULT_SCENARIO,
 };
 use pombm_geom::{seeded_rng, Point};
 use pombm_hst::wire;
@@ -36,17 +36,24 @@ COMMANDS:
               [--epsilon F] [--grid-side N] [--capacity N] [--seed N]
               [--threads N] [--json]
               --scenario generates the instance from a registered workload
-              scenario (`pombm scenarios`) instead of reading a file
+              scenario (`pombm list scenarios`) instead of reading a file
               --threads parallelizes batched obfuscation and the Hungarian
               offline-opt matcher (0 = auto); results are bit-identical
               for every thread count
-              `pombm algorithms` lists every name; --algo accepts registered
-              pairings (tbf, lap-gr, exp-chain, ...) while --mechanism and
-              --matcher compose any mechanism x matcher product freely
-  algorithms  list registered algorithms, mechanisms and matchers
-              (also available as `pombm run --list-algorithms`)
-  scenarios   list registered workload scenarios (use with --scenario /
-              --scenarios): named spatial+temporal workload models
+              `pombm list algorithms` lists every name; --algo accepts
+              registered pairings (tbf, lap-gr, exp-chain, ...) while
+              --mechanism and --matcher compose any mechanism x matcher
+              product freely
+  list        list the registry catalogs
+              [algorithms|fault-plans|scenarios|all]   (default: all)
+              algorithms covers --algo pairings, mechanisms, matchers and
+              dynamic matchers (the `dynamic-opt` clairvoyant oracle is
+              shown with its [oracle-only] role); scenarios are the named
+              spatial+temporal workload models (use with --scenario /
+              --scenarios)
+  algorithms  deprecated alias for `pombm list algorithms` (plus fault
+              plans; also available as `pombm run --list-algorithms`)
+  scenarios   deprecated alias for `pombm list scenarios`
   obfuscate   demo the TBF mechanism on one location
               --x F --y F [--epsilon F] [--grid-side N] [--samples N] [--seed N]
   publish     build an HST over a grid and write the wire format
@@ -59,7 +66,11 @@ COMMANDS:
               mechanism x dynamic-matcher pairing on one timeline
               [--tasks N] [--workers N] [--plan always-on|short|long]
               [--scenario NAME] [--mechanism M] [--matcher X] [--epsilon F]
-              [--grid-side N] [--seed N] [--json]
+              [--grid-side N] [--seed N] [--ratio [--reps N]] [--json]
+              --ratio also solves the clairvoyant offline optimum
+              (`dynamic-opt`) on the same timeline and reports the
+              empirical competitive ratio over N repetitions (default 3);
+              `--matcher dynamic-opt` is then legal and reports exactly 1.0
   serve       resident micro-batched matching service fed by a built-in
               deterministic load generator (in-process framed transport)
               --load [--tasks N] [--workers N] [--plan always-on|short|long]
@@ -74,11 +85,12 @@ COMMANDS:
               changes results; --timings adds latency percentiles
               (excluded from the deterministic JSON contract)
               --fault-plan injects deterministic chaos (none, flaky-wire,
-              dup-storm, burst; `pombm algorithms` lists them) into the
-              frame script off a dedicated seed stream; --queue-cap bounds
-              the admission queue and --shed-policy picks what gives way
-              (drop-newest, drop-oldest, deadline) with virtual-time retry
-              backoff — faulted reports gain a `faults` block and stay
+              dup-storm, burst; `pombm list fault-plans` lists them) into
+              the frame script off a dedicated seed stream; --queue-cap
+              bounds the admission queue and --shed-policy picks what
+              gives way (drop-newest, drop-oldest, deadline) with
+              virtual-time retry backoff — faulted reports gain a
+              `faults` block and stay
               byte-identical across --qps/--threads
   sweep       registry-wide empirical competitive-ratio sweep against the
               exact offline optimum, sharded across cores
@@ -99,6 +111,12 @@ COMMANDS:
               with --dynamic: sweep the dynamic-fleet product instead
               (--matchers then names dynamic matchers; extra axis
               [--shift-plans always-on,short,long]; no --reps)
+              --dynamic --ratio adds per-cell competitive-ratio and
+              drop-latency percentile columns against the clairvoyant
+              `dynamic-opt` oracle (which then joins the matcher axis and
+              reports ratio exactly 1.0); the oracle enters the config
+              fingerprint, so partitioned/checkpointed/merged ratio
+              sweeps reassemble byte-identically
               --partition i/N (1-based) computes one contiguous slice of
               the job space into a self-describing partial report for
               `pombm merge`; --checkpoint DIR appends finished cells to a
@@ -115,15 +133,23 @@ COMMANDS:
 
 /// Dispatches a parsed command line.
 pub fn dispatch(args: &Args) -> Result<String, String> {
-    if args.command.as_deref() != Some("merge") {
-        // Only `merge` takes positional arguments (the partial files).
+    if !matches!(args.command.as_deref(), Some("merge") | Some("list")) {
+        // Only `merge` (the partial files) and `list` (the topic) take
+        // positional arguments.
         args.check_no_positionals()?;
     }
     match args.command.as_deref() {
         Some("gen") => gen(args),
         Some("run") => run_cmd(args),
-        Some("algorithms") => Ok(list_algorithms()),
-        Some("scenarios") => Ok(list_scenarios()),
+        Some("list") => list_cmd(args),
+        Some("algorithms") => {
+            eprintln!("note: `pombm algorithms` is deprecated; use `pombm list algorithms`");
+            Ok(list_algorithms())
+        }
+        Some("scenarios") => {
+            eprintln!("note: `pombm scenarios` is deprecated; use `pombm list scenarios`");
+            Ok(list_scenarios())
+        }
         Some("obfuscate") => obfuscate(args),
         Some("publish") => publish(args),
         Some("inspect") => inspect(args),
@@ -137,8 +163,44 @@ pub fn dispatch(args: &Args) -> Result<String, String> {
     }
 }
 
-/// `pombm algorithms` (and `pombm run --list-algorithms`): the registry.
-pub fn list_algorithms() -> String {
+/// The topics `pombm list` accepts, in the order `all` prints them.
+const LIST_TOPICS: &str = "algorithms fault-plans scenarios all";
+
+/// `pombm list [algorithms|fault-plans|scenarios|all]`: the one
+/// catalog-driven listing surface. `pombm algorithms` and
+/// `pombm scenarios` survive as deprecated aliases over the same
+/// section renderers, so every name printed anywhere comes from the
+/// registry catalogs.
+pub fn list_cmd(args: &Args) -> Result<String, String> {
+    args.check_known(&[])?;
+    let topic = match args.positionals() {
+        [] => "all",
+        [one] => one.as_str(),
+        more => {
+            return Err(format!(
+                "list takes at most one topic, got {} (expected one of: {LIST_TOPICS})",
+                more.len()
+            ))
+        }
+    };
+    match topic {
+        "algorithms" => Ok(algorithms_section()),
+        "fault-plans" => Ok(fault_plans_section()),
+        "scenarios" => Ok(scenarios_section()),
+        "all" => Ok(format!(
+            "{}\n{}\n{}",
+            algorithms_section(),
+            fault_plans_section(),
+            scenarios_section()
+        )),
+        other => Err(format!(
+            "unknown list topic `{other}`; expected one of: {LIST_TOPICS}"
+        )),
+    }
+}
+
+/// The algorithm/mechanism/matcher sections of the catalog listing.
+fn algorithms_section() -> String {
     let reg = registry();
     let mut out = String::new();
     let _ = writeln!(out, "registered algorithms (use with --algo):");
@@ -164,12 +226,26 @@ pub fn list_algorithms() -> String {
         out,
         "\ndynamic matchers (use with `pombm dynamic --matcher` / `pombm sweep --dynamic`):"
     );
-    for m in reg.dynamic_matchers() {
-        let _ = writeln!(out, "  {:<10} {}", m.name(), m.summary());
+    for (m, role) in reg.dynamic_matcher_catalog().entries() {
+        match role {
+            Role::Pairing => {
+                let _ = writeln!(out, "  {:<10} {}", m.name(), m.summary());
+            }
+            Role::OracleOnly => {
+                let _ = writeln!(out, "  {:<10} [{}] {}", m.name(), role.label(), m.summary());
+            }
+        }
     }
+    out
+}
+
+/// The fault-plan section of the catalog listing.
+fn fault_plans_section() -> String {
+    let reg = registry();
+    let mut out = String::new();
     let _ = writeln!(
         out,
-        "\nfault plans (use with `pombm serve --fault-plan`): deterministic chaos"
+        "fault plans (use with `pombm serve --fault-plan`): deterministic chaos"
     );
     for p in reg.fault_plans() {
         let _ = writeln!(out, "  {:<10} {}", p.name(), p.summary());
@@ -177,9 +253,8 @@ pub fn list_algorithms() -> String {
     out
 }
 
-/// `pombm scenarios`: the workload-scenario catalogue, formatted like
-/// [`list_algorithms`].
-pub fn list_scenarios() -> String {
+/// The workload-scenario section of the catalog listing.
+fn scenarios_section() -> String {
     let reg = registry();
     let mut out = String::new();
     let _ = writeln!(
@@ -196,6 +271,18 @@ pub fn list_scenarios() -> String {
          bit-for-bit"
     );
     out
+}
+
+/// `pombm algorithms` (deprecated alias; also `pombm run
+/// --list-algorithms`): the legacy one-page dump, byte-identical to its
+/// pre-`list` output — algorithms plus fault plans.
+pub fn list_algorithms() -> String {
+    format!("{}\n{}", algorithms_section(), fault_plans_section())
+}
+
+/// `pombm scenarios` (deprecated alias): the scenario catalogue.
+pub fn list_scenarios() -> String {
+    scenarios_section()
 }
 
 /// `pombm gen`: write a synthetic or Chengdu-like instance to JSON.
@@ -316,7 +403,7 @@ fn parse_spec(args: &Args) -> Result<AlgorithmSpec, String> {
     let mechanism = args.get("mechanism");
     let matcher = args.get("matcher");
     match (algo, mechanism, matcher) {
-        (Some(name), None, None) => parse_algorithm(name).cloned(),
+        (Some(name), None, None) => parse_algorithm(name),
         (None, Some(mech), Some(strat)) => {
             registry().compose(mech, strat).map_err(|e| e.to_string())
         }
@@ -326,7 +413,7 @@ fn parse_spec(args: &Args) -> Result<AlgorithmSpec, String> {
         (Some(_), _, _) => Err("give either --algo or --mechanism/--matcher, not both".to_string()),
         (None, None, None) => Err(
             "missing algorithm: use --algo NAME or --mechanism M --matcher S \
-             (see `pombm algorithms`)"
+             (see `pombm list algorithms`)"
                 .to_string(),
         ),
     }
@@ -472,8 +559,16 @@ pub fn dynamic(args: &Args) -> Result<String, String> {
         "epsilon",
         "grid-side",
         "seed",
+        "ratio",
+        "reps",
         "json",
     ])?;
+    let ratio = args.switch("ratio");
+    if args.switch("reps") && !ratio {
+        return Err("--reps only applies with --ratio \
+                    (plain `pombm dynamic` replays one deterministic timeline)"
+            .to_string());
+    }
     let num_tasks: usize = args.get_or("tasks", 200)?;
     let num_workers: usize = args.get_or("workers", 100)?;
     let plan_kind: String = args.get_or("plan", "short".to_string())?;
@@ -500,9 +595,18 @@ pub fn dynamic(args: &Args) -> Result<String, String> {
     };
     let matcher = {
         let name: String = args.get_or("matcher", "hst-greedy".to_string())?;
-        registry()
-            .require_dynamic_matcher(&name)
-            .map_err(|e| e.to_string())?
+        // Under --ratio the oracle itself is a legal matcher (its cell
+        // reports ratio exactly 1.0); without it, only pairing matchers
+        // can drive the fleet.
+        if ratio {
+            registry()
+                .dynamic_matcher_any(&name)
+                .map_err(|e| e.to_string())?
+        } else {
+            registry()
+                .require_dynamic_matcher(&name)
+                .map_err(|e| e.to_string())?
+        }
     };
     let instance = scenario.timeline_instance(seed, num_tasks, num_workers);
     let times = scenario.task_times(seed, num_tasks);
@@ -514,6 +618,47 @@ pub fn dynamic(args: &Args) -> Result<String, String> {
         grid_side: args.get_or("grid-side", 32)?,
         seed,
     };
+    if ratio {
+        let reps: u64 = args.get_or("reps", 3)?;
+        let report = dynamic_competitive_ratio(
+            &instance,
+            &times,
+            &plan,
+            &config,
+            mechanism.as_ref(),
+            matcher.as_ref(),
+            reps,
+        )
+        .map_err(|e| e.to_string())?;
+        if args.switch("json") {
+            return serde_json::to_string_pretty(&report).map_err(|e| e.to_string());
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "mechanism:        {}", report.mechanism);
+        let _ = writeln!(out, "matcher:          {}", report.matcher);
+        let _ = writeln!(out, "oracle:           {}", report.oracle);
+        if scenario.name() != DEFAULT_SCENARIO {
+            let _ = writeln!(out, "scenario:         {}", scenario.name());
+        }
+        let _ = writeln!(out, "shift plan:       {plan_kind}");
+        let _ = writeln!(
+            out,
+            "tasks:            {num_tasks} (oracle assigns {}, drops {})",
+            report.opt_assigned, report.opt_dropped
+        );
+        let _ = writeln!(out, "opt distance:     {:.3}", report.opt_distance);
+        let _ = writeln!(
+            out,
+            "mean distance:    {:.3} over {} reps",
+            report.mean_distance, report.repetitions
+        );
+        let _ = writeln!(
+            out,
+            "ratio:            {:.4} (min {:.4}, max {:.4})",
+            report.ratio, report.min_ratio, report.max_ratio
+        );
+        return Ok(out);
+    }
     let outcome = run_dynamic_spec(
         &instance,
         &times,
@@ -722,6 +867,7 @@ pub fn sweep(args: &Args) -> Result<String, String> {
         "json",
         "dynamic",
         "shift-plans",
+        "ratio",
         "partition",
         "checkpoint",
         "max-cells",
@@ -745,6 +891,11 @@ pub fn sweep(args: &Args) -> Result<String, String> {
     }
     if args.switch("shift-plans") {
         return Err("--shift-plans only applies to `sweep --dynamic`".to_string());
+    }
+    if args.switch("ratio") {
+        return Err("--ratio only applies to `sweep --dynamic` \
+                    (the static sweep always reports competitive ratios)"
+            .to_string());
     }
     let defaults = SweepConfig::default();
     let config = SweepConfig {
@@ -817,6 +968,7 @@ fn dynamic_sweep(
         epsilons: parse_number_list(args, "epsilons", defaults.epsilons)?,
         shards,
         timings,
+        ratio: args.switch("ratio"),
         grid_side: args.get_or("grid-side", 32)?,
         seed: args.get_or("seed", 0)?,
     };
@@ -997,15 +1149,24 @@ fn dynamic_cell_table(cells: &[pombm::DynamicSweepCell]) -> String {
     // Conditional column, as in [`static_cell_table`]: absent on
     // all-default-scenario sweeps so the legacy table survives unchanged.
     let scenarios = cells.iter().any(|c| c.scenario.is_some());
+    // Ratio and drop-latency columns appear iff the sweep ran with
+    // --ratio, so plain dynamic tables stay byte-identical.
+    let ratios = cells.iter().any(|c| c.competitive_ratio.is_some());
     let mut out = String::new();
     let scenario_header = if scenarios {
         format!("{:<16} ", "scenario")
     } else {
         String::new()
     };
+    let ratio_header = if ratios {
+        format!(" {:>8} {:>9} {:>9}", "ratio", "drop_p50", "drop_p95")
+    } else {
+        String::new()
+    };
     let _ = writeln!(
         out,
-        "{scenario_header}{:<10} {:<11} {:<10} {:>6} {:>5} {:>8} {:>8} {:>8} {:>12} {:>6}{}",
+        "{scenario_header}{:<10} {:<11} {:<10} {:>6} {:>5} {:>8} {:>8} {:>8} {:>12} {:>6}\
+         {ratio_header}{}",
         "mechanism",
         "matcher",
         "plan",
@@ -1031,12 +1192,28 @@ fn dynamic_cell_table(cells: &[pombm::DynamicSweepCell]) -> String {
         } else {
             String::new()
         };
+        let ratio_cols = if ratios {
+            let fmt = |v: Option<f64>, width: usize| match v {
+                Some(v) => format!(" {v:>width$.4}"),
+                // A ratio cell whose latency percentile is undefined
+                // (nothing dropped, or drops with no later shift).
+                None => format!(" {:>width$}", "-"),
+            };
+            format!(
+                "{}{}{}",
+                fmt(cell.competitive_ratio, 8),
+                fmt(cell.drop_latency_p50, 9),
+                fmt(cell.drop_latency_p95, 9)
+            )
+        } else {
+            String::new()
+        };
         match (&cell.measurement, &cell.error) {
             (Some(m), _) => {
                 let _ = writeln!(
                     out,
                     "{scenario}{:<10} {:<11} {:<10} {:>6} {:>5.2} {:>8.4} {:>8} {:>8} \
-                     {:>12.2} {:>6}{wall}",
+                     {:>12.2} {:>6}{ratio_cols}{wall}",
                     cell.mechanism,
                     cell.matcher,
                     cell.plan,
@@ -1230,7 +1407,7 @@ fn parse_number_list<T: std::str::FromStr>(
 
 /// Registry-driven, case-insensitive algorithm lookup with an error that
 /// lists every valid name.
-fn parse_algorithm(name: &str) -> Result<&'static AlgorithmSpec, String> {
+fn parse_algorithm(name: &str) -> Result<AlgorithmSpec, String> {
     registry().require_spec(name).map_err(|e| e.to_string())
 }
 
@@ -1416,6 +1593,45 @@ mod tests {
     }
 
     #[test]
+    fn list_command_covers_every_catalog() {
+        let all = dispatch(&args("list")).unwrap();
+        assert_eq!(all, dispatch(&args("list all")).unwrap());
+        let algorithms = dispatch(&args("list algorithms")).unwrap();
+        let plans = dispatch(&args("list fault-plans")).unwrap();
+        let scenarios = dispatch(&args("list scenarios")).unwrap();
+        // `all` is exactly the topics in order, blank-line separated.
+        assert_eq!(all, format!("{algorithms}\n{plans}\n{scenarios}"));
+        assert!(
+            algorithms.contains("dynamic-opt") && algorithms.contains("[oracle-only]"),
+            "the clairvoyant oracle must be listed with its role:\n{algorithms}"
+        );
+        assert!(plans.contains("flaky-wire"), "{plans}");
+        assert!(scenarios.contains("uniform"), "{scenarios}");
+        let err = dispatch(&args("list nope")).unwrap_err();
+        assert!(
+            err.contains("nope") && err.contains("fault-plans"),
+            "error should list valid topics: {err}"
+        );
+        let err = dispatch(&args("list algorithms scenarios")).unwrap_err();
+        assert!(err.contains("at most one topic"), "{err}");
+    }
+
+    #[test]
+    fn deprecated_aliases_render_from_the_same_catalogs() {
+        let algorithms = dispatch(&args("algorithms")).unwrap();
+        let expected = format!(
+            "{}\n{}",
+            dispatch(&args("list algorithms")).unwrap(),
+            dispatch(&args("list fault-plans")).unwrap()
+        );
+        assert_eq!(algorithms, expected);
+        assert_eq!(
+            dispatch(&args("scenarios")).unwrap(),
+            dispatch(&args("list scenarios")).unwrap()
+        );
+    }
+
+    #[test]
     fn free_mechanism_matcher_pairing_runs() {
         let path = tmp("pairing.json");
         gen(&args(&format!(
@@ -1448,7 +1664,7 @@ mod tests {
         let err = run_cmd(&args("run --input x.json --mechanism exp")).unwrap_err();
         assert!(err.contains("together"));
         let err = run_cmd(&args("run --input x.json")).unwrap_err();
-        assert!(err.contains("pombm algorithms"));
+        assert!(err.contains("pombm list algorithms"));
     }
 
     #[test]

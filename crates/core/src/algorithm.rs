@@ -94,14 +94,28 @@ pub enum PipelineError {
         /// Why the value is rejected.
         why: &'static str,
     },
-    /// Registry lookup failed.
-    UnknownName {
-        /// The kind of entity looked up (`algorithm`, `mechanism`, ...).
+    /// A registry catalog lookup failed: no entry under that name on the
+    /// named axis.
+    UnknownEntry {
+        /// The catalog axis looked up (`algorithm`, `mechanism`, ...).
         kind: &'static str,
         /// The name that failed to resolve.
         name: String,
-        /// The valid names, for the error message.
+        /// The valid names (sorted), for the error message.
         known: Vec<String>,
+    },
+    /// A registry catalog entry exists but holds the wrong
+    /// [`crate::registry::Role`] for the requesting position (e.g. the
+    /// oracle-only `dynamic-opt` asked to pair like an online matcher).
+    RoleMismatch {
+        /// The catalog axis involved.
+        kind: &'static str,
+        /// The (canonical) entry name.
+        name: String,
+        /// The role the entry is registered with.
+        role: &'static str,
+        /// The role the requesting position needs.
+        wanted: &'static str,
     },
     /// A serve-transport frame could not be decoded
     /// ([`crate::serve::ServeRequest::decode`]).
@@ -143,11 +157,22 @@ impl std::fmt::Display for PipelineError {
             PipelineError::InvalidConfig { field, why } => {
                 write!(f, "invalid config `{field}`: {why}")
             }
-            PipelineError::UnknownName { kind, name, known } => {
+            PipelineError::UnknownEntry { kind, name, known } => {
                 write!(
                     f,
                     "unknown {kind} `{name}`; expected one of: {}",
                     known.join(" ")
+                )
+            }
+            PipelineError::RoleMismatch {
+                kind,
+                name,
+                role,
+                wanted,
+            } => {
+                write!(
+                    f,
+                    "{kind} `{name}` is registered as `{role}`; this position requires `{wanted}`"
                 )
             }
             PipelineError::Transport { why } => {
@@ -1286,6 +1311,43 @@ impl DynamicAssignStrategy for DynamicRandomStrategy {
     }
 }
 
+/// The clairvoyant offline optimum over the revealed shift/task timeline
+/// ([`pombm_matching::ClairvoyantOptimal`]): the ratio-under-churn
+/// denominator of [`crate::ratio::dynamic_competitive_ratio`].
+///
+/// Registered [`crate::registry::Role::OracleOnly`]: it is not an online
+/// rule — it sees the whole schedule at once — so the event-sequential
+/// [`DynamicWorkerPool`] position is a typed
+/// [`PipelineError::RoleMismatch`], enforced both at registry resolution
+/// and here as defense in depth.
+pub struct DynamicOptStrategy;
+
+impl DynamicAssignStrategy for DynamicOptStrategy {
+    fn name(&self) -> &'static str {
+        "dynamic-opt"
+    }
+
+    fn summary(&self) -> &'static str {
+        "clairvoyant offline optimum over the revealed timeline (ratio denominator)"
+    }
+
+    fn needs_server(&self) -> bool {
+        false
+    }
+
+    fn pool<'a>(
+        &self,
+        _server: Option<&'a Server>,
+    ) -> Result<Box<dyn DynamicWorkerPool + 'a>, PipelineError> {
+        Err(PipelineError::RoleMismatch {
+            kind: "dynamic matcher",
+            name: self.name().to_string(),
+            role: "oracle-only",
+            wanted: "pairing",
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1326,7 +1388,7 @@ mod tests {
 
     #[test]
     fn errors_display_helpfully() {
-        let e = PipelineError::UnknownName {
+        let e = PipelineError::UnknownEntry {
             kind: "algorithm",
             name: "nope".into(),
             known: vec!["tbf".into(), "lap-gr".into()],

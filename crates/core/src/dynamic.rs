@@ -41,6 +41,23 @@
 //! custom) [`DynamicAssignStrategy`] — `hst-greedy`, `kd-rebuild` and
 //! `random` ship in the [`registry`](crate::registry::registry).
 //!
+//! # The clairvoyant benchmark
+//!
+//! Every online matcher above decides under uncertainty: it commits a
+//! worker the moment a task arrives, never knowing what arrives next.
+//! The natural yardstick is the same one Definition 8 uses for the
+//! static model — the exact offline optimum — transplanted to the
+//! timeline: a clairvoyant solver that sees every arrival time and shift
+//! window up front and picks the assignment maximizing matched tasks,
+//! then minimizing total distance. That solver is registered in the same
+//! dynamic-matcher catalog as `dynamic-opt`, but with the
+//! [`Role::OracleOnly`](crate::registry::Role) role: it can never be
+//! asked to drive this event loop (its `pool()` is a typed
+//! `RoleMismatch`), only to price a revealed timeline via
+//! [`crate::ratio::dynamic_offline_optimum`], which is what
+//! [`crate::ratio::dynamic_competitive_ratio`] and the dynamic sweep's
+//! `ratio` columns divide by.
+//!
 //! # Adding a custom dynamic matcher
 //!
 //! Implement one trait; the strategy builds a fresh pool per run:

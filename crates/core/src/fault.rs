@@ -280,7 +280,7 @@ impl ShedPolicy {
             "drop-newest" => Ok(ShedPolicy::DropNewest),
             "drop-oldest" => Ok(ShedPolicy::DropOldest),
             "deadline" => Ok(ShedPolicy::Deadline),
-            _ => Err(PipelineError::UnknownName {
+            _ => Err(PipelineError::UnknownEntry {
                 kind: "shed policy",
                 name: name.to_string(),
                 known: Self::NAMES.iter().map(|n| n.to_string()).collect(),

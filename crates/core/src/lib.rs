@@ -103,6 +103,19 @@
 //! assert_eq!(oracle.ratio, 1.0); // identity × offline-opt reproduces OPT
 //! ```
 //!
+//! The dynamic timeline has the same shape of oracle: `dynamic-opt`
+//! ([`dynamic_offline_optimum`]) is a clairvoyant solver that sees every
+//! arrival time and shift window up front and computes the exact offline
+//! optimum over the time-expanded feasibility graph — Definition 8's
+//! denominator under churn. It is catalogued with the dynamic matchers
+//! but carries the [`Role::OracleOnly`] role (it can price a timeline,
+//! never drive the fleet), [`dynamic_competitive_ratio`] returns a
+//! [`DynamicRatioReport`] whose statistics fields mirror [`RatioReport`]
+//! name-for-name, and the dynamic sweep's `ratio` switch adds per-cell
+//! `competitive_ratio` and drop-latency percentile columns
+//! (`pombm dynamic --ratio` / `pombm sweep --dynamic --ratio` on the
+//! CLI; plain reports stay byte-identical).
+//!
 //! Sweeps also scale past one process: [`sweep::run_sweep_partition`]
 //! computes an `i/N` slice of the job-index space into a self-describing
 //! [`PartialSweepReport`] (optionally checkpointed so an interrupted run
@@ -142,10 +155,11 @@ pub use pipeline::{
     RunMetrics, RunResult,
 };
 pub use ratio::{
-    empirical_competitive_ratio, offline_optimum, scenario_competitive_ratio, RatioError,
-    RatioReport,
+    dynamic_competitive_ratio, dynamic_offline_optimum, dynamic_offline_optimum_with_threads,
+    empirical_competitive_ratio, offline_optimum, scenario_competitive_ratio, DynamicRatioReport,
+    RatioError, RatioReport, RatioStats,
 };
-pub use registry::{registry, AlgorithmSpec, Registry};
+pub use registry::{registry, AlgorithmSpec, Catalog, Registry, Role, DEFAULT_DYNAMIC_ORACLE};
 pub use scenario::{Scenario, DEFAULT_SCENARIO};
 pub use serve::{
     run_serve, serve_frames, FaultReport, ServeConfig, ServeLatency, ServeOutcome, ServeReport,

@@ -1,19 +1,34 @@
 //! Global registry of named mechanisms, matchers and their pairings.
 //!
 //! The paper's seven evaluated algorithms are ordinary entries here; the
-//! registry also exposes the raw mechanism and matcher catalogues so any
+//! registry also exposes the raw mechanism and matcher catalogs so any
 //! `mechanism × matcher` product can be composed by name (the CLI's
 //! `--mechanism X --matcher Y`), including pairings the legacy
 //! [`crate::Algorithm`] enum could not express (e.g. `exp` × `chain`, or
 //! `hst` × `capacity`).
 //!
-//! Lookup is case-insensitive and alias-aware (`lapgr` → `lap-gr`, `TBF` →
-//! `tbf`), so serialized configs and scripts from the enum era keep
-//! resolving.
+//! # One generic [`Catalog`] per axis
+//!
+//! Every named axis — algorithm specs, mechanisms, static matchers,
+//! dynamic matchers, scenarios, fault plans — is one [`Catalog<T>`]
+//! sharing a single lookup implementation: case-insensitive resolution,
+//! alias awareness (`lapgr` → `lap-gr`, `TBF` → `tbf`), and a typed
+//! [`PipelineError::UnknownEntry`] error that names the axis and lists the
+//! sorted candidates. Adding a new axis is a one-line field plus its
+//! registrations — there is no per-axis lookup code left to copy.
+//!
+//! Catalog entries carry a [`Role`] capability. Most entries are
+//! [`Role::Pairing`] — free to combine with anything on the other axis.
+//! [`Role::OracleOnly`] marks measurement denominators: `dynamic-opt`, the
+//! clairvoyant offline optimum over the revealed shift/task timeline, is
+//! registered at oracle position so that pairing it like an online matcher
+//! is a typed [`PipelineError::RoleMismatch`] at resolve time instead of a
+//! runtime panic. Ratio surfaces resolve it through
+//! [`Registry::dynamic_oracle`].
 
 use crate::algorithm::{
     AssignStrategy, BlindMechanism, CapacitatedStrategy, ChainStrategy, DynamicAssignStrategy,
-    DynamicHstGreedyStrategy, DynamicKdRebuildStrategy, DynamicRandomStrategy,
+    DynamicHstGreedyStrategy, DynamicKdRebuildStrategy, DynamicOptStrategy, DynamicRandomStrategy,
     EuclideanGreedyStrategy, ExponentialReportMechanism, HstGreedyStrategy, HstWalkMechanism,
     IdentityMechanism, KdGreedyStrategy, LaplaceMechanism, OfflineOptimalStrategy, PipelineError,
     RandomAssignStrategy, RandomizedGreedyStrategy, ReportMechanism,
@@ -24,6 +39,9 @@ use crate::scenario::{
     UniformScenario,
 };
 use std::sync::{Arc, OnceLock};
+
+/// The registry name of the default dynamic ratio oracle.
+pub const DEFAULT_DYNAMIC_ORACLE: &str = "dynamic-opt";
 
 /// A named `mechanism × matcher` pairing.
 #[derive(Clone)]
@@ -89,178 +107,359 @@ impl std::fmt::Debug for AlgorithmSpec {
     }
 }
 
-/// The catalogue of mechanisms, matchers and named pairings.
-pub struct Registry {
-    mechanisms: Vec<Arc<dyn ReportMechanism>>,
-    matchers: Vec<Arc<dyn AssignStrategy>>,
-    dynamic_matchers: Vec<Arc<dyn DynamicAssignStrategy>>,
-    scenarios: Vec<Arc<dyn Scenario>>,
-    fault_plans: Vec<Arc<dyn FaultPlan>>,
-    specs: Vec<AlgorithmSpec>,
-    spec_aliases: Vec<(&'static str, &'static str)>,
+/// What positions a [`Catalog`] entry may occupy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Freely combinable with the other axis (the default).
+    Pairing,
+    /// A measurement denominator: resolvable only through an oracle
+    /// surface (e.g. [`Registry::dynamic_oracle`]), never paired like an
+    /// online component.
+    OracleOnly,
+}
+
+impl Role {
+    /// Stable label used in error messages and listings.
+    pub fn label(self) -> &'static str {
+        match self {
+            Role::Pairing => "pairing",
+            Role::OracleOnly => "oracle-only",
+        }
+    }
+}
+
+/// Anything a [`Catalog`] can index: a value with a canonical (lower-case)
+/// registry name.
+pub trait CatalogItem {
+    /// Canonical registry name.
+    fn catalog_name(&self) -> &str;
+}
+
+impl CatalogItem for Arc<dyn ReportMechanism> {
+    fn catalog_name(&self) -> &str {
+        self.as_ref().name()
+    }
+}
+
+impl CatalogItem for Arc<dyn AssignStrategy> {
+    fn catalog_name(&self) -> &str {
+        self.as_ref().name()
+    }
+}
+
+impl CatalogItem for Arc<dyn DynamicAssignStrategy> {
+    fn catalog_name(&self) -> &str {
+        self.as_ref().name()
+    }
+}
+
+impl CatalogItem for Arc<dyn Scenario> {
+    fn catalog_name(&self) -> &str {
+        self.as_ref().name()
+    }
+}
+
+impl CatalogItem for Arc<dyn FaultPlan> {
+    fn catalog_name(&self) -> &str {
+        self.as_ref().name()
+    }
+}
+
+impl CatalogItem for AlgorithmSpec {
+    fn catalog_name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// One named registry axis: the single, shared lookup implementation
+/// behind every `require_*` surface.
+///
+/// Lookup is case-insensitive and alias-aware; misses produce a typed
+/// [`PipelineError::UnknownEntry`] naming the axis (`kind`) and listing
+/// the sorted candidates.
+pub struct Catalog<T> {
+    kind: &'static str,
+    values: Vec<T>,
+    roles: Vec<Role>,
+    aliases: Vec<(&'static str, &'static str)>,
 }
 
 fn normalize(name: &str) -> String {
     name.to_ascii_lowercase()
 }
 
+impl<T: CatalogItem + Clone> Catalog<T> {
+    fn new(kind: &'static str) -> Self {
+        Catalog {
+            kind,
+            values: Vec::new(),
+            roles: Vec::new(),
+            aliases: Vec::new(),
+        }
+    }
+
+    /// Registers a [`Role::Pairing`] entry.
+    fn register(&mut self, value: T) {
+        self.register_as(Role::Pairing, value);
+    }
+
+    /// Registers an entry with an explicit role.
+    fn register_as(&mut self, role: Role, value: T) {
+        debug_assert!(
+            self.index_of(value.catalog_name()).is_none(),
+            "duplicate {} `{}`",
+            self.kind,
+            value.catalog_name()
+        );
+        self.values.push(value);
+        self.roles.push(role);
+    }
+
+    /// Registers a legacy alias resolving to `target`.
+    fn alias(&mut self, from: &'static str, to: &'static str) {
+        self.aliases.push((from, to));
+    }
+
+    /// The axis name this catalog reports in errors (`mechanism`,
+    /// `scenario`, ...).
+    pub fn kind(&self) -> &'static str {
+        self.kind
+    }
+
+    /// Number of registered entries, every role included.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Every entry in registration order, every role included.
+    pub fn all(&self) -> &[T] {
+        &self.values
+    }
+
+    /// `(entry, role)` pairs in registration order.
+    pub fn entries(&self) -> impl Iterator<Item = (&T, Role)> {
+        self.values.iter().zip(self.roles.iter().copied())
+    }
+
+    /// Entries holding `role`, in registration order.
+    pub fn with_role(&self, role: Role) -> Vec<T> {
+        self.entries()
+            .filter(|&(_, r)| r == role)
+            .map(|(v, _)| v.clone())
+            .collect()
+    }
+
+    fn canonical(&self, name: &str) -> String {
+        let wanted = normalize(name);
+        self.aliases
+            .iter()
+            .find(|(alias, _)| *alias == wanted)
+            .map(|&(_, target)| target.to_string())
+            .unwrap_or(wanted)
+    }
+
+    fn index_of(&self, name: &str) -> Option<usize> {
+        let wanted = self.canonical(name);
+        self.values.iter().position(|v| v.catalog_name() == wanted)
+    }
+
+    /// Case-insensitive, alias-aware lookup across every role.
+    pub fn get(&self, name: &str) -> Option<&T> {
+        self.index_of(name).map(|i| &self.values[i])
+    }
+
+    /// The role of `name`, if registered.
+    pub fn role_of(&self, name: &str) -> Option<Role> {
+        self.index_of(name).map(|i| self.roles[i])
+    }
+
+    /// Every registered name, sorted — the candidate listing of
+    /// [`PipelineError::UnknownEntry`].
+    pub fn sorted_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .values
+            .iter()
+            .map(|v| v.catalog_name().to_string())
+            .collect();
+        names.sort_unstable();
+        names
+    }
+
+    fn unknown(&self, name: &str) -> PipelineError {
+        PipelineError::UnknownEntry {
+            kind: self.kind,
+            name: name.to_string(),
+            known: self.sorted_names(),
+        }
+    }
+
+    /// Lookup across every role, with the typed listing-rich error.
+    pub fn resolve(&self, name: &str) -> Result<T, PipelineError> {
+        self.get(name).cloned().ok_or_else(|| self.unknown(name))
+    }
+
+    /// Lookup restricted to entries holding `wanted`: a registered name
+    /// with a different role is a typed [`PipelineError::RoleMismatch`],
+    /// not an unknown entry.
+    pub fn resolve_role(&self, name: &str, wanted: Role) -> Result<T, PipelineError> {
+        let i = self.index_of(name).ok_or_else(|| self.unknown(name))?;
+        if self.roles[i] != wanted {
+            return Err(PipelineError::RoleMismatch {
+                kind: self.kind,
+                name: self.values[i].catalog_name().to_string(),
+                role: self.roles[i].label(),
+                wanted: wanted.label(),
+            });
+        }
+        Ok(self.values[i].clone())
+    }
+}
+
+/// The catalogue of mechanisms, matchers and named pairings.
+pub struct Registry {
+    specs: Catalog<AlgorithmSpec>,
+    mechanisms: Catalog<Arc<dyn ReportMechanism>>,
+    matchers: Catalog<Arc<dyn AssignStrategy>>,
+    dynamic_matchers: Catalog<Arc<dyn DynamicAssignStrategy>>,
+    scenarios: Catalog<Arc<dyn Scenario>>,
+    fault_plans: Catalog<Arc<dyn FaultPlan>>,
+}
+
 impl Registry {
     /// All named specs, in presentation order (paper algorithms first).
     pub fn specs(&self) -> &[AlgorithmSpec] {
-        &self.specs
+        self.specs.all()
     }
 
     /// All registered mechanisms.
     pub fn mechanisms(&self) -> &[Arc<dyn ReportMechanism>] {
-        &self.mechanisms
+        self.mechanisms.all()
     }
 
     /// All registered matchers.
     pub fn matchers(&self) -> &[Arc<dyn AssignStrategy>] {
-        &self.matchers
+        self.matchers.all()
     }
 
-    /// All registered dynamic matchers (stage 2 of the shifting-fleet
-    /// pipeline, [`crate::dynamic::run_dynamic_spec`]).
-    pub fn dynamic_matchers(&self) -> &[Arc<dyn DynamicAssignStrategy>] {
+    /// All pairing dynamic matchers (stage 2 of the shifting-fleet
+    /// pipeline, [`crate::dynamic::run_dynamic_spec`]); the oracle-only
+    /// `dynamic-opt` entry is excluded — see
+    /// [`Registry::dynamic_matcher_catalog`] for the full axis.
+    pub fn dynamic_matchers(&self) -> Vec<Arc<dyn DynamicAssignStrategy>> {
+        self.dynamic_matchers.with_role(Role::Pairing)
+    }
+
+    /// The full dynamic-matcher catalog, roles included.
+    pub fn dynamic_matcher_catalog(&self) -> &Catalog<Arc<dyn DynamicAssignStrategy>> {
         &self.dynamic_matchers
     }
 
     /// Case-insensitive, alias-aware spec lookup.
     pub fn spec(&self, name: &str) -> Option<&AlgorithmSpec> {
-        let wanted = normalize(name);
-        let wanted = self
-            .spec_aliases
-            .iter()
-            .find(|(alias, _)| *alias == wanted)
-            .map(|&(_, target)| target.to_string())
-            .unwrap_or(wanted);
-        self.specs.iter().find(|s| s.name == wanted)
+        self.specs.get(name)
     }
 
     /// Spec lookup returning a listing-rich error for CLI surfaces.
-    pub fn require_spec(&self, name: &str) -> Result<&AlgorithmSpec, PipelineError> {
-        self.spec(name).ok_or_else(|| PipelineError::UnknownName {
-            kind: "algorithm",
-            name: name.to_string(),
-            known: self.specs.iter().map(|s| s.name.clone()).collect(),
-        })
+    pub fn require_spec(&self, name: &str) -> Result<AlgorithmSpec, PipelineError> {
+        self.specs.resolve(name)
     }
 
     /// Case-insensitive mechanism lookup.
     pub fn mechanism(&self, name: &str) -> Option<Arc<dyn ReportMechanism>> {
-        let wanted = normalize(name);
-        self.mechanisms.iter().find(|m| m.name() == wanted).cloned()
+        self.mechanisms.get(name).cloned()
+    }
+
+    /// Mechanism lookup returning a listing-rich error for CLI surfaces.
+    pub fn require_mechanism(&self, name: &str) -> Result<Arc<dyn ReportMechanism>, PipelineError> {
+        self.mechanisms.resolve(name)
     }
 
     /// Case-insensitive matcher lookup.
     pub fn matcher(&self, name: &str) -> Option<Arc<dyn AssignStrategy>> {
-        let wanted = normalize(name);
-        self.matchers.iter().find(|m| m.name() == wanted).cloned()
+        self.matchers.get(name).cloned()
     }
 
-    /// Case-insensitive dynamic matcher lookup.
+    /// Matcher lookup returning a listing-rich error for CLI surfaces.
+    pub fn require_matcher(&self, name: &str) -> Result<Arc<dyn AssignStrategy>, PipelineError> {
+        self.matchers.resolve(name)
+    }
+
+    /// Case-insensitive dynamic matcher lookup, every role included.
     pub fn dynamic_matcher(&self, name: &str) -> Option<Arc<dyn DynamicAssignStrategy>> {
-        let wanted = normalize(name);
-        self.dynamic_matchers
-            .iter()
-            .find(|m| m.name() == wanted)
-            .cloned()
+        self.dynamic_matchers.get(name).cloned()
     }
 
     /// All registered workload scenarios (the spatial+temporal axis of
     /// [`crate::scenario`]).
     pub fn scenarios(&self) -> &[Arc<dyn Scenario>] {
-        &self.scenarios
+        self.scenarios.all()
     }
 
     /// Case-insensitive scenario lookup.
     pub fn scenario(&self, name: &str) -> Option<Arc<dyn Scenario>> {
-        let wanted = normalize(name);
-        self.scenarios.iter().find(|s| s.name() == wanted).cloned()
+        self.scenarios.get(name).cloned()
     }
 
     /// Scenario lookup returning a listing-rich error for CLI surfaces.
     pub fn require_scenario(&self, name: &str) -> Result<Arc<dyn Scenario>, PipelineError> {
-        self.scenario(name)
-            .ok_or_else(|| PipelineError::UnknownName {
-                kind: "scenario",
-                name: name.to_string(),
-                known: self
-                    .scenarios
-                    .iter()
-                    .map(|s| s.name().to_string())
-                    .collect(),
-            })
+        self.scenarios.resolve(name)
     }
 
     /// All registered serve fault plans (the deterministic-chaos axis of
     /// [`crate::fault`]).
     pub fn fault_plans(&self) -> &[Arc<dyn FaultPlan>] {
-        &self.fault_plans
+        self.fault_plans.all()
     }
 
     /// Case-insensitive fault-plan lookup.
     pub fn fault_plan(&self, name: &str) -> Option<Arc<dyn FaultPlan>> {
-        let wanted = normalize(name);
-        self.fault_plans
-            .iter()
-            .find(|p| p.name() == wanted)
-            .cloned()
+        self.fault_plans.get(name).cloned()
     }
 
     /// Fault-plan lookup returning a listing-rich error for CLI surfaces.
     pub fn require_fault_plan(&self, name: &str) -> Result<Arc<dyn FaultPlan>, PipelineError> {
-        self.fault_plan(name)
-            .ok_or_else(|| PipelineError::UnknownName {
-                kind: "fault plan",
-                name: name.to_string(),
-                known: self
-                    .fault_plans
-                    .iter()
-                    .map(|p| p.name().to_string())
-                    .collect(),
-            })
+        self.fault_plans.resolve(name)
     }
 
-    /// Dynamic matcher lookup returning a listing-rich error for CLI
-    /// surfaces.
+    /// Dynamic matcher lookup restricted to pairing entries: asking for
+    /// the oracle here is a typed [`PipelineError::RoleMismatch`].
     pub fn require_dynamic_matcher(
         &self,
         name: &str,
     ) -> Result<Arc<dyn DynamicAssignStrategy>, PipelineError> {
-        self.dynamic_matcher(name)
-            .ok_or_else(|| PipelineError::UnknownName {
-                kind: "dynamic matcher",
-                name: name.to_string(),
-                known: self
-                    .dynamic_matchers
-                    .iter()
-                    .map(|m| m.name().to_string())
-                    .collect(),
-            })
+        self.dynamic_matchers.resolve_role(name, Role::Pairing)
+    }
+
+    /// Dynamic matcher lookup across every role — the ratio surfaces,
+    /// where the oracle may legitimately sit in matcher position (its cell
+    /// measures the denominator against itself, ratio exactly 1).
+    pub fn dynamic_matcher_any(
+        &self,
+        name: &str,
+    ) -> Result<Arc<dyn DynamicAssignStrategy>, PipelineError> {
+        self.dynamic_matchers.resolve(name)
+    }
+
+    /// Resolves a dynamic ratio oracle by name ([`DEFAULT_DYNAMIC_ORACLE`]
+    /// unless configured otherwise): only [`Role::OracleOnly`] entries
+    /// qualify, so a pairing matcher in oracle position is a typed
+    /// [`PipelineError::RoleMismatch`].
+    pub fn dynamic_oracle(
+        &self,
+        name: &str,
+    ) -> Result<Arc<dyn DynamicAssignStrategy>, PipelineError> {
+        self.dynamic_matchers.resolve_role(name, Role::OracleOnly)
     }
 
     /// Composes a free `mechanism × matcher` pairing by name.
     pub fn compose(&self, mechanism: &str, matcher: &str) -> Result<AlgorithmSpec, PipelineError> {
-        let mech = self
-            .mechanism(mechanism)
-            .ok_or_else(|| PipelineError::UnknownName {
-                kind: "mechanism",
-                name: mechanism.to_string(),
-                known: self
-                    .mechanisms
-                    .iter()
-                    .map(|m| m.name().to_string())
-                    .collect(),
-            })?;
-        let strat = self
-            .matcher(matcher)
-            .ok_or_else(|| PipelineError::UnknownName {
-                kind: "matcher",
-                name: matcher.to_string(),
-                known: self.matchers.iter().map(|m| m.name().to_string()).collect(),
-            })?;
+        let mech = self.mechanisms.resolve(mechanism)?;
+        let strat = self.matchers.resolve(matcher)?;
         Ok(AlgorithmSpec::compose(mech, strat))
     }
 }
@@ -287,11 +486,8 @@ fn build() -> Registry {
     let random: Arc<dyn AssignStrategy> = Arc::new(RandomAssignStrategy);
     let offline_opt: Arc<dyn AssignStrategy> = Arc::new(OfflineOptimalStrategy);
 
-    let dyn_hst: Arc<dyn DynamicAssignStrategy> = Arc::new(DynamicHstGreedyStrategy);
-    let dyn_kd: Arc<dyn DynamicAssignStrategy> = Arc::new(DynamicKdRebuildStrategy);
-    let dyn_random: Arc<dyn DynamicAssignStrategy> = Arc::new(DynamicRandomStrategy);
-
-    let specs = vec![
+    let mut specs = Catalog::new("algorithm");
+    for spec in [
         // The paper's compared algorithms (Sec. IV-A)...
         AlgorithmSpec::new("lap-gr", "Lap-GR", laplace.clone(), greedy.clone()),
         AlgorithmSpec::new("lap-hg", "Lap-HG", laplace.clone(), hst_greedy.clone()),
@@ -308,46 +504,70 @@ fn build() -> Registry {
         // The exact offline optimum on true locations: the competitive-ratio
         // denominator as a runnable pairing (ratio = 1.0 by construction).
         AlgorithmSpec::new("opt", "OPT", identity.clone(), offline_opt.clone()),
-    ];
+    ] {
+        specs.register(spec);
+    }
+    for (from, to) in [
+        ("lapgr", "lap-gr"),
+        ("laphg", "lap-hg"),
+        ("exphg", "exp-hg"),
+        ("tbfrand", "tbf-rand"),
+        ("tbfchain", "tbf-chain"),
+        ("expchain", "exp-chain"),
+        ("tbfcap", "tbf-cap"),
+        ("lapkd", "lap-kd"),
+        ("random-floor", "random"),
+    ] {
+        specs.alias(from, to);
+    }
+
+    let mut mechanisms = Catalog::new("mechanism");
+    for m in [laplace, hst, exp, identity, blind] {
+        mechanisms.register(m);
+    }
+
+    let mut matchers = Catalog::new("matcher");
+    for m in [
+        greedy,
+        kd,
+        hst_greedy,
+        hst_rand,
+        chain,
+        capacity,
+        random,
+        offline_opt,
+    ] {
+        matchers.register(m);
+    }
+
+    let mut dynamic_matchers = Catalog::new("dynamic matcher");
+    dynamic_matchers.register(Arc::new(DynamicHstGreedyStrategy) as Arc<dyn DynamicAssignStrategy>);
+    dynamic_matchers.register(Arc::new(DynamicKdRebuildStrategy));
+    dynamic_matchers.register(Arc::new(DynamicRandomStrategy));
+    // The clairvoyant offline optimum: the ratio-under-churn denominator,
+    // resolvable only through `dynamic_oracle` / the ratio surfaces.
+    dynamic_matchers.register_as(Role::OracleOnly, Arc::new(DynamicOptStrategy));
+
+    let mut scenarios = Catalog::new("scenario");
+    scenarios.register(Arc::new(UniformScenario) as Arc<dyn Scenario>);
+    scenarios.register(Arc::new(NormalScenario));
+    scenarios.register(Arc::new(HotspotScenario));
+    scenarios.register(Arc::new(PoissonDiskScenario));
+    scenarios.register(Arc::new(AdversarialCellScenario));
+
+    let mut fault_plans = Catalog::new("fault plan");
+    fault_plans.register(Arc::new(NoFault) as Arc<dyn FaultPlan>);
+    fault_plans.register(Arc::new(FlakyWire));
+    fault_plans.register(Arc::new(DupStorm));
+    fault_plans.register(Arc::new(Burst));
 
     Registry {
-        mechanisms: vec![laplace, hst, exp, identity, blind],
-        matchers: vec![
-            greedy,
-            kd,
-            hst_greedy,
-            hst_rand,
-            chain,
-            capacity,
-            random,
-            offline_opt,
-        ],
-        dynamic_matchers: vec![dyn_hst, dyn_kd, dyn_random],
-        scenarios: vec![
-            Arc::new(UniformScenario),
-            Arc::new(NormalScenario),
-            Arc::new(HotspotScenario),
-            Arc::new(PoissonDiskScenario),
-            Arc::new(AdversarialCellScenario),
-        ],
-        fault_plans: vec![
-            Arc::new(NoFault),
-            Arc::new(FlakyWire),
-            Arc::new(DupStorm),
-            Arc::new(Burst),
-        ],
         specs,
-        spec_aliases: vec![
-            ("lapgr", "lap-gr"),
-            ("laphg", "lap-hg"),
-            ("exphg", "exp-hg"),
-            ("tbfrand", "tbf-rand"),
-            ("tbfchain", "tbf-chain"),
-            ("expchain", "exp-chain"),
-            ("tbfcap", "tbf-cap"),
-            ("lapkd", "lap-kd"),
-            ("random-floor", "random"),
-        ],
+        mechanisms,
+        matchers,
+        dynamic_matchers,
+        scenarios,
+        fault_plans,
     }
 }
 
@@ -411,11 +631,8 @@ mod tests {
 
     #[test]
     fn dynamic_matchers_are_catalogued() {
-        let names: Vec<&str> = registry()
-            .dynamic_matchers()
-            .iter()
-            .map(|m| m.name())
-            .collect();
+        let matchers = registry().dynamic_matchers();
+        let names: Vec<&str> = matchers.iter().map(|m| m.name()).collect();
         assert_eq!(names, ["hst-greedy", "kd-rebuild", "random"]);
         let hst = registry().dynamic_matcher("HST-Greedy").expect("resolves");
         assert!(hst.needs_server());
@@ -430,6 +647,62 @@ mod tests {
             .unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("bogus") && msg.contains("kd-rebuild"), "{msg}");
+    }
+
+    #[test]
+    fn the_oracle_is_catalogued_but_not_pairable() {
+        // Visible in the full catalog with its role...
+        let catalog = registry().dynamic_matcher_catalog();
+        assert_eq!(catalog.kind(), "dynamic matcher");
+        assert_eq!(catalog.len(), 4);
+        assert_eq!(
+            catalog.role_of(DEFAULT_DYNAMIC_ORACLE),
+            Some(Role::OracleOnly)
+        );
+        assert_eq!(catalog.role_of("hst-greedy"), Some(Role::Pairing));
+        // ...resolvable as an oracle (case-insensitively)...
+        let oracle = registry().dynamic_oracle("Dynamic-OPT").expect("resolves");
+        assert_eq!(oracle.name(), "dynamic-opt");
+        assert!(!oracle.needs_server());
+        // ...but a typed role error in pairing position, and vice versa.
+        let err = registry()
+            .require_dynamic_matcher(DEFAULT_DYNAMIC_ORACLE)
+            .map(|m| m.name())
+            .unwrap_err();
+        assert!(
+            matches!(err, PipelineError::RoleMismatch { .. }),
+            "got {err}"
+        );
+        assert!(err.to_string().contains("oracle-only"), "{err}");
+        let err = registry()
+            .dynamic_oracle("hst-greedy")
+            .map(|m| m.name())
+            .unwrap_err();
+        assert!(
+            matches!(err, PipelineError::RoleMismatch { .. }),
+            "got {err}"
+        );
+        // Unknown names still report the axis with sorted candidates.
+        let err = registry().dynamic_oracle("bogus").map(|_| ()).unwrap_err();
+        assert!(
+            matches!(err, PipelineError::UnknownEntry { .. }),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn unknown_entry_candidates_are_sorted() {
+        let err = registry()
+            .require_scenario("bogus")
+            .map(|_| ())
+            .unwrap_err();
+        let PipelineError::UnknownEntry { kind, known, .. } = &err else {
+            panic!("expected UnknownEntry, got {err}");
+        };
+        assert_eq!(*kind, "scenario");
+        let mut sorted = known.clone();
+        sorted.sort();
+        assert_eq!(*known, sorted, "candidates must be sorted");
     }
 
     #[test]

@@ -993,7 +993,7 @@ fn resolve(config: &ServeConfig) -> Result<Resolved, PipelineError> {
     let mechanism =
         registry()
             .mechanism(&config.mechanism)
-            .ok_or_else(|| PipelineError::UnknownName {
+            .ok_or_else(|| PipelineError::UnknownEntry {
                 kind: "mechanism",
                 name: config.mechanism.clone(),
                 known: registry()

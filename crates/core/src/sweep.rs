@@ -71,8 +71,8 @@
 use crate::algorithm::{AssignStrategy, DynamicAssignStrategy, PipelineError, ReportMechanism};
 use crate::dynamic::{run_dynamic_spec, DynamicConfig, DynamicOutcome};
 use crate::pipeline::PipelineConfig;
-use crate::ratio::{empirical_competitive_ratio, RatioReport};
-use crate::registry::{registry, AlgorithmSpec};
+use crate::ratio::{dynamic_offline_optimum, empirical_competitive_ratio, RatioReport};
+use crate::registry::{registry, AlgorithmSpec, Role, DEFAULT_DYNAMIC_ORACLE};
 use crate::scenario::{Scenario, DEFAULT_SCENARIO};
 use parking_lot::Mutex;
 use pombm_geom::seeded_rng;
@@ -252,7 +252,7 @@ fn resolve_mechanisms(names: &[String]) -> Result<Vec<Arc<dyn ReportMechanism>>,
         .map(|n| {
             registry()
                 .mechanism(n)
-                .ok_or_else(|| PipelineError::UnknownName {
+                .ok_or_else(|| PipelineError::UnknownEntry {
                     kind: "mechanism",
                     name: n.clone(),
                     known: registry()
@@ -274,7 +274,7 @@ fn resolve_matchers(names: &[String]) -> Result<Vec<Arc<dyn AssignStrategy>>, Pi
         .map(|n| {
             registry()
                 .matcher(n)
-                .ok_or_else(|| PipelineError::UnknownName {
+                .ok_or_else(|| PipelineError::UnknownEntry {
                     kind: "matcher",
                     name: n.clone(),
                     known: registry()
@@ -585,10 +585,10 @@ pub fn sweep_fingerprint(config: &SweepConfig) -> Result<String, PipelineError> 
 /// content; the dynamic counterpart of [`sweep_fingerprint`].
 pub fn dynamic_sweep_fingerprint(config: &DynamicSweepConfig) -> Result<String, PipelineError> {
     let mechanisms = resolve_mechanisms(&config.mechanisms)?;
-    let matchers = resolve_dynamic_matchers(&config.matchers)?;
+    let matchers = resolve_dynamic_matchers(&config.matchers, config.ratio)?;
     let plans = resolve_plan_kinds(config)?;
     let scenarios = resolve_scenarios(&config.scenarios)?;
-    let parts = vec![
+    let mut parts = vec![
         DYNAMIC_FLAVOR.to_string(),
         // Resolved names, like the static flavour above.
         scenarios
@@ -618,6 +618,12 @@ pub fn dynamic_sweep_fingerprint(config: &DynamicSweepConfig) -> Result<String, 
         format!("seed={}", config.seed),
         format!("horizon={:016x}", DYNAMIC_SWEEP_HORIZON.to_bits()),
     ];
+    if config.ratio {
+        // The resolved oracle name: ratio cells carry extra columns, so a
+        // ratio sweep must never share checkpoints or merge inputs with a
+        // plain sweep of the same grid.
+        parts.push(format!("oracle={DEFAULT_DYNAMIC_ORACLE}"));
+    }
     Ok(fingerprint_of(&parts))
 }
 
@@ -1086,7 +1092,7 @@ pub fn dynamic_shift_plan(
             0.8 * h,
             &mut seeded_rng(stream, 0xD1CE_0004),
         )),
-        other => Err(PipelineError::UnknownName {
+        other => Err(PipelineError::UnknownEntry {
             kind: "shift plan",
             name: other.to_string(),
             known: SHIFT_PLAN_KINDS.iter().map(|s| s.to_string()).collect(),
@@ -1120,6 +1126,15 @@ pub struct DynamicSweepConfig {
     /// Record per-cell wall-clock into [`DynamicSweepCell::wall_ms`]; same
     /// golden-exclusion semantics as [`SweepConfig::timings`].
     pub timings: bool,
+    /// Measure each cell against the clairvoyant `dynamic-opt` oracle:
+    /// populates [`DynamicSweepCell::competitive_ratio`] and the
+    /// drop-latency percentile columns, admits the oracle itself in
+    /// matcher position (its cell reports ratio exactly 1.0), and enters
+    /// the resolved oracle name into the config fingerprint — so
+    /// partitioned/checkpointed/merged ratio sweeps can never mix with
+    /// plain ones. Off (the default), cells serialize byte-identically to
+    /// pre-ratio sweeps.
+    pub ratio: bool,
     /// Predefined-point grid side of each cell's server.
     pub grid_side: usize,
     /// Root seed every derived stream (instances, times, plans, noise)
@@ -1138,6 +1153,7 @@ impl Default for DynamicSweepConfig {
             epsilons: vec![0.6],
             shards: 1,
             timings: false,
+            ratio: false,
             grid_side: 32,
             seed: 0,
         }
@@ -1195,6 +1211,20 @@ pub struct DynamicSweepCell {
     pub epsilon: f64,
     /// The measured outcome, when the pairing is measurable.
     pub measurement: Option<DynamicMeasurement>,
+    /// This cell's total distance over the clairvoyant optimum's; present
+    /// only under [`DynamicSweepConfig::ratio`]. Exactly 1.0 for the
+    /// oracle's own cell.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub competitive_ratio: Option<f64>,
+    /// Median time a dropped task would have waited for the next shift
+    /// start (nearest-rank); present under [`DynamicSweepConfig::ratio`]
+    /// when at least one dropped task has a future shift start.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub drop_latency_p50: Option<f64>,
+    /// 95th-percentile drop latency (nearest-rank), same presence rule as
+    /// [`DynamicSweepCell::drop_latency_p50`].
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub drop_latency_p95: Option<f64>,
     /// The typed error's message, when it is not (e.g. blind reports into
     /// a location-aware pool).
     pub error: Option<String>,
@@ -1242,16 +1272,120 @@ struct DynamicJob {
     job_seed: u64,
 }
 
+/// Resolves the dynamic-matcher filter. Ratio sweeps admit the
+/// [`Role::OracleOnly`](crate::registry::Role) `dynamic-opt` entry — and
+/// include it by default, so the denominator shows up as its own
+/// ratio-1.0 row — while plain sweeps stay pairing-only, making oracle
+/// misuse a typed [`PipelineError::RoleMismatch`].
 fn resolve_dynamic_matchers(
     names: &[String],
+    ratio: bool,
 ) -> Result<Vec<Arc<dyn DynamicAssignStrategy>>, PipelineError> {
     if names.is_empty() {
-        return Ok(registry().dynamic_matchers().to_vec());
+        if ratio {
+            return Ok(registry().dynamic_matcher_catalog().all().to_vec());
+        }
+        return Ok(registry().dynamic_matchers());
     }
     names
         .iter()
-        .map(|n| registry().require_dynamic_matcher(n))
+        .map(|n| {
+            if ratio {
+                registry().dynamic_matcher_any(n)
+            } else {
+                registry().require_dynamic_matcher(n)
+            }
+        })
         .collect()
+}
+
+/// Nearest-rank (p50, p95) of how long each dropped task would have waited
+/// for the next shift start after its arrival; dropped tasks with no
+/// future shift start are excluded, and both are `None` when nothing
+/// qualifies.
+fn drop_latency_percentiles(
+    dropped: impl Iterator<Item = usize>,
+    times: &[f64],
+    plan: &ShiftPlan,
+) -> (Option<f64>, Option<f64>) {
+    let mut starts: Vec<f64> = plan.shifts.iter().map(|s| s.start).collect();
+    starts.sort_by(|a, b| a.partial_cmp(b).expect("finite shift starts"));
+    let mut latencies: Vec<f64> = dropped
+        .filter_map(|t| {
+            let at = times[t];
+            starts
+                .iter()
+                .find(|&&start| start > at)
+                .map(|start| start - at)
+        })
+        .collect();
+    if latencies.is_empty() {
+        return (None, None);
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let rank = |p: f64| {
+        let n = latencies.len();
+        let idx = ((p * n as f64).ceil() as usize).clamp(1, n) - 1;
+        latencies[idx]
+    };
+    (Some(rank(0.50)), Some(rank(0.95)))
+}
+
+/// The oracle's "run" for its own sweep cell: the clairvoyant solution
+/// presented as a [`DynamicMeasurement`]. `peak_available` replays the
+/// timeline with the oracle's consumption schedule (a worker leaves the
+/// pool when its assigned task arrives), mirroring how the online driver
+/// samples the peak after each registration.
+fn oracle_measurement(
+    opt: &pombm_matching::ClairvoyantAssignment,
+    times: &[f64],
+    plan: &ShiftPlan,
+) -> DynamicMeasurement {
+    let num_tasks = times.len();
+    let num_workers = plan.shifts.len();
+    let mut worker_of = vec![None; num_tasks];
+    for &(t, w) in &opt.pairs {
+        worker_of[t] = Some(w);
+    }
+    let mut present = vec![false; num_workers];
+    let mut consumed = vec![false; num_workers];
+    let mut available = 0usize;
+    let mut peak = 0usize;
+    for &(_, _, _, kind) in &crate::dynamic::build_timeline(plan, times) {
+        match kind {
+            crate::dynamic::EventKind::ShiftStart(w) => {
+                present[w] = true;
+                available += 1;
+                peak = peak.max(available);
+            }
+            crate::dynamic::EventKind::ShiftEnd(w) => {
+                if present[w] && !consumed[w] {
+                    present[w] = false;
+                    available -= 1;
+                }
+            }
+            crate::dynamic::EventKind::Task(t) => {
+                if let Some(w) = worker_of[t] {
+                    consumed[w] = true;
+                    present[w] = false;
+                    available -= 1;
+                }
+            }
+        }
+    }
+    let assigned = opt.size();
+    let dropped = opt.dropped.len();
+    DynamicMeasurement {
+        assigned,
+        dropped,
+        assignment_rate: if assigned + dropped == 0 {
+            1.0
+        } else {
+            assigned as f64 / (assigned + dropped) as f64
+        },
+        total_distance: opt.total_cost,
+        peak_available: peak,
+    }
 }
 
 fn run_dynamic_job(
@@ -1259,6 +1393,7 @@ fn run_dynamic_job(
     grid_side: usize,
     seed: u64,
     timings: bool,
+    ratio: bool,
 ) -> DynamicSweepCell {
     // lint: allow(DET-TIME) — the timings-gated wall_ms path itself; the
     // merge strips wall_ms before fingerprinting.
@@ -1274,17 +1409,76 @@ fn run_dynamic_job(
         grid_side,
         seed: job.job_seed,
     };
-    let (measurement, error) = match run_dynamic_spec(
-        &instance,
-        &times,
-        &plan,
-        &config,
-        job.mechanism.as_ref(),
-        job.matcher.as_ref(),
-    ) {
-        Ok(out) => (Some(DynamicMeasurement::from_outcome(&out)), None),
-        Err(e) => (None, Some(e.to_string())),
+    // The oracle denominator is shared by every repetition of this cell's
+    // timeline; solved at threads=1 so cells stay shard-invariant (the
+    // clairvoyant engine is bit-identical at every thread count anyway).
+    let oracle = ratio.then(|| dynamic_offline_optimum(&instance, &times, &plan));
+    let is_oracle_cell = registry()
+        .dynamic_matcher_catalog()
+        .role_of(job.matcher.name())
+        == Some(Role::OracleOnly);
+
+    type OnlineRun = (f64, std::collections::BTreeSet<usize>);
+    let outcome: Result<(DynamicMeasurement, Option<OnlineRun>), String> = if is_oracle_cell {
+        match &oracle {
+            Some(Ok(opt)) => Ok((oracle_measurement(opt, &times, &plan), None)),
+            Some(Err(e)) => Err(e.to_string()),
+            // resolve_dynamic_matchers only admits the oracle under
+            // --ratio, so a ratio-less oracle cell cannot be built by the
+            // sweep; report the role error defensively anyway.
+            None => Err(PipelineError::RoleMismatch {
+                kind: "dynamic matcher",
+                name: job.matcher.name().to_string(),
+                role: "oracle-only",
+                wanted: "pairing",
+            }
+            .to_string()),
+        }
+    } else {
+        match run_dynamic_spec(
+            &instance,
+            &times,
+            &plan,
+            &config,
+            job.mechanism.as_ref(),
+            job.matcher.as_ref(),
+        ) {
+            Ok(out) => {
+                let assigned: std::collections::BTreeSet<usize> =
+                    out.pairs.iter().map(|&(t, _)| t).collect();
+                Ok((
+                    DynamicMeasurement::from_outcome(&out),
+                    Some((out.total_distance, assigned)),
+                ))
+            }
+            Err(e) => Err(e.to_string()),
+        }
     };
+
+    let (measurement, competitive_ratio, drop_p50, drop_p95, error) = match outcome {
+        Err(e) => (None, None, None, None, Some(e)),
+        Ok((m, online)) => match (&oracle, online) {
+            // Ratio off: the pre-ratio cell, bit for bit.
+            (None, _) => (Some(m), None, None, None, None),
+            (Some(Err(e)), _) => (None, None, None, None, Some(e.to_string())),
+            (Some(Ok(opt)), online) => {
+                let (numerator, dropped): (f64, Vec<usize>) = match online {
+                    Some((total, assigned)) => (
+                        total,
+                        (0..instance.num_tasks())
+                            .filter(|t| !assigned.contains(t))
+                            .collect(),
+                    ),
+                    // The oracle's own cell: numerator = denominator, so
+                    // the ratio divides to exactly 1.0.
+                    None => (opt.total_cost, opt.dropped.clone()),
+                };
+                let (p50, p95) = drop_latency_percentiles(dropped.into_iter(), &times, &plan);
+                (Some(m), Some(numerator / opt.total_cost), p50, p95, None)
+            }
+        },
+    };
+
     DynamicSweepCell {
         scenario: cell_scenario(job.scenario.as_ref()),
         mechanism: job.mechanism.name().to_string(),
@@ -1294,6 +1488,9 @@ fn run_dynamic_job(
         num_workers: instance.num_workers(),
         epsilon: job.epsilon,
         measurement,
+        competitive_ratio,
+        drop_latency_p50: drop_p50,
+        drop_latency_p95: drop_p95,
         error,
         wall_ms: started.map(|s| s.elapsed().as_secs_f64() * 1e3),
     }
@@ -1337,7 +1534,7 @@ fn build_dynamic_jobs(config: &DynamicSweepConfig) -> Result<Vec<DynamicJob>, Pi
         });
     }
     let mechanisms = resolve_mechanisms(&config.mechanisms)?;
-    let matchers = resolve_dynamic_matchers(&config.matchers)?;
+    let matchers = resolve_dynamic_matchers(&config.matchers, config.ratio)?;
     let plans = resolve_plan_kinds(config)?;
     let scenarios = resolve_scenarios(&config.scenarios)?;
 
@@ -1388,7 +1585,13 @@ pub fn run_dynamic_sweep(config: &DynamicSweepConfig) -> Result<DynamicSweepRepo
     let jobs = build_dynamic_jobs(config)?;
     let range = 0..jobs.len();
     let cells = execute(&jobs, range, config.shards, None, |job| {
-        run_dynamic_job(job, config.grid_side, config.seed, config.timings)
+        run_dynamic_job(
+            job,
+            config.grid_side,
+            config.seed,
+            config.timings,
+            config.ratio,
+        )
     })?;
     Ok(DynamicSweepReport {
         seed: config.seed,
@@ -1424,7 +1627,13 @@ fn run_dynamic_slice(
         )
         .transpose()?;
     let mut cells = execute(&jobs, range.clone(), config.shards, ckpt.as_ref(), |job| {
-        run_dynamic_job(job, config.grid_side, config.seed, config.timings)
+        run_dynamic_job(
+            job,
+            config.grid_side,
+            config.seed,
+            config.timings,
+            config.ratio,
+        )
     })?;
     if !config.timings {
         // Resumed cells may carry `wall_ms` from a `--timings` run of the
@@ -1530,7 +1739,7 @@ mod tests {
         config.mechanisms = vec!["bogus".into()];
         assert!(matches!(
             run_sweep(&config),
-            Err(PipelineError::UnknownName {
+            Err(PipelineError::UnknownEntry {
                 kind: "mechanism",
                 ..
             })
@@ -1539,7 +1748,7 @@ mod tests {
         config.matchers = vec!["bogus".into()];
         assert!(matches!(
             run_sweep(&config),
-            Err(PipelineError::UnknownName {
+            Err(PipelineError::UnknownEntry {
                 kind: "matcher",
                 ..
             })
@@ -1614,6 +1823,7 @@ mod tests {
             epsilons: vec![0.6],
             shards: 1,
             timings: false,
+            ratio: false,
             grid_side: 16,
             seed: 0,
         }
@@ -1683,7 +1893,7 @@ mod tests {
         config.matchers = vec!["bogus".into()];
         assert!(matches!(
             run_dynamic_sweep(&config),
-            Err(PipelineError::UnknownName {
+            Err(PipelineError::UnknownEntry {
                 kind: "dynamic matcher",
                 ..
             })
@@ -1692,7 +1902,7 @@ mod tests {
         config.shift_plans = vec!["bogus".into()];
         assert!(matches!(
             run_dynamic_sweep(&config),
-            Err(PipelineError::UnknownName {
+            Err(PipelineError::UnknownEntry {
                 kind: "shift plan",
                 ..
             })
@@ -1761,5 +1971,81 @@ mod tests {
             .all(|&t| (0.0..DYNAMIC_SWEEP_HORIZON).contains(&t)));
         assert_eq!(times, dynamic_task_times(5, 64), "deterministic in seed");
         assert_ne!(times, dynamic_task_times(6, 64), "seed matters");
+    }
+
+    #[test]
+    fn ratio_resolution_admits_the_oracle_only_under_ratio() {
+        // Empty filter: pairing-only without --ratio, the full catalog
+        // (oracle row included) with it.
+        let plain = resolve_dynamic_matchers(&[], false).unwrap();
+        let with_ratio = resolve_dynamic_matchers(&[], true).unwrap();
+        assert_eq!(plain.len() + 1, with_ratio.len());
+        assert!(with_ratio
+            .iter()
+            .any(|m| m.name() == DEFAULT_DYNAMIC_ORACLE));
+        assert!(plain.iter().all(|m| m.name() != DEFAULT_DYNAMIC_ORACLE));
+        // Naming the oracle outside a ratio sweep is a typed role error;
+        // under --ratio the same name resolves.
+        assert!(resolve_dynamic_matchers(&["dynamic-opt".into()], false).is_err());
+        let named = resolve_dynamic_matchers(&["dynamic-opt".into()], true).unwrap();
+        assert_eq!(named.len(), 1);
+        assert_eq!(named[0].name(), DEFAULT_DYNAMIC_ORACLE);
+    }
+
+    #[test]
+    fn drop_latency_percentiles_use_the_next_shift_start() {
+        use pombm_workload::shifts::Shift;
+        let plan = ShiftPlan {
+            horizon: 100.0,
+            shifts: vec![
+                Shift {
+                    worker: 0,
+                    start: 10.0,
+                    end: 20.0,
+                },
+                Shift {
+                    worker: 1,
+                    start: 50.0,
+                    end: 60.0,
+                },
+            ],
+        };
+        let times = [0.0, 30.0, 70.0, 5.0];
+        // Tasks 0 and 3 wait for the start at 10 (latencies 10 and 5),
+        // task 1 for the start at 50 (latency 20); task 2 arrives after
+        // every start and is excluded. Sorted latencies [5, 10, 20]:
+        // nearest-rank p50 is 10, p95 is 20.
+        let (p50, p95) = drop_latency_percentiles([0usize, 1, 2, 3].into_iter(), &times, &plan);
+        assert_eq!(p50, Some(10.0));
+        assert_eq!(p95, Some(20.0));
+        let (p50, p95) = drop_latency_percentiles(std::iter::empty(), &times, &plan);
+        assert_eq!((p50, p95), (None, None));
+        // Drops with no later shift to wait for leave both undefined.
+        let (p50, p95) = drop_latency_percentiles([2usize].into_iter(), &times, &plan);
+        assert_eq!((p50, p95), (None, None));
+    }
+
+    #[test]
+    fn ratio_enters_the_fingerprint_and_nothing_else_new() {
+        let plain = small_dynamic_config();
+        let with_ratio = DynamicSweepConfig {
+            ratio: true,
+            ..small_dynamic_config()
+        };
+        assert_ne!(
+            dynamic_sweep_fingerprint(&plain).unwrap(),
+            dynamic_sweep_fingerprint(&with_ratio).unwrap(),
+            "ratio sweeps must not share checkpoints with plain sweeps"
+        );
+        // Parallelism stays outside the fingerprint either way.
+        let sharded = DynamicSweepConfig {
+            shards: 7,
+            ratio: true,
+            ..small_dynamic_config()
+        };
+        assert_eq!(
+            dynamic_sweep_fingerprint(&with_ratio).unwrap(),
+            dynamic_sweep_fingerprint(&sharded).unwrap()
+        );
     }
 }

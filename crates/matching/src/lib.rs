@@ -15,6 +15,11 @@
 //! * [`offline::OfflineOptimal`] — an exact min-cost offline matcher
 //!   (successive shortest augmenting paths with potentials), used to measure
 //!   empirical competitive ratios against `OPT`.
+//! * [`clairvoyant::ClairvoyantOptimal`] — the dynamic analogue: the
+//!   max-cardinality min-cost matching over a time-expanded feasibility
+//!   graph (a task may only use a worker whose shift covers its arrival),
+//!   solved by padding into the dense engine above; the denominator of the
+//!   ratio-under-churn measurement.
 //! * [`reachable::ProbMatcher`] / [`reachable::TbfReachMatcher`] — the case
 //!   study (Sec. IV-C): maximize matching size when workers have bounded
 //!   reachable radii.
@@ -55,6 +60,7 @@
 
 pub mod capacity;
 pub mod chain;
+pub mod clairvoyant;
 pub mod dynamic;
 pub mod euclidean;
 pub mod hst_greedy;
@@ -66,6 +72,7 @@ pub mod reachable;
 
 pub use capacity::CapacitatedGreedy;
 pub use chain::{ChainMatcher, ChainOutcome};
+pub use clairvoyant::{ClairvoyantAssignment, ClairvoyantOptimal};
 pub use dynamic::{DynamicHstGreedy, DynamicKdRebuild, DynamicRandomPool};
 pub use euclidean::EuclideanGreedy;
 pub use hst_greedy::{HstGreedy, HstGreedyEngine};

@@ -12,9 +12,13 @@
 //!    contract cannot drift silently.
 
 use pombm::sweep::{run_dynamic_sweep, DynamicSweepConfig};
-use pombm::{registry, run_dynamic_spec, run_dynamic_with, ArrivalProcess, DynamicConfig};
-use pombm_geom::seeded_rng;
-use pombm_workload::shifts::ShiftPlan;
+use pombm::{
+    dynamic_competitive_ratio, dynamic_offline_optimum, dynamic_offline_optimum_with_threads,
+    registry, run_dynamic_spec, run_dynamic_with, ArrivalProcess, DynamicConfig, RatioError,
+    DEFAULT_DYNAMIC_ORACLE,
+};
+use pombm_geom::{seeded_rng, Point, Rect};
+use pombm_workload::shifts::{Shift, ShiftPlan};
 use pombm_workload::{synthetic, Instance, SyntheticParams};
 use proptest::prelude::*;
 
@@ -167,6 +171,7 @@ proptest! {
             epsilons: vec![0.5],
             shards,
             timings: false,
+            ratio: false,
             grid_side: 16,
             seed,
         };
@@ -193,6 +198,7 @@ fn full_dynamic_registry_product_sweep_completes() {
         epsilons: vec![0.6],
         shards: 4,
         timings: false,
+        ratio: false,
         grid_side: 16,
         seed: 33,
     };
@@ -256,6 +262,7 @@ fn dynamic_sweep_json_fields_are_pinned() {
         epsilons: vec![0.6],
         shards: 1,
         timings: false,
+        ratio: false,
         grid_side: 16,
         seed: 1,
     };
@@ -305,4 +312,263 @@ fn dynamic_sweep_json_fields_are_pinned() {
         ],
         "DynamicMeasurement JSON contract drifted"
     );
+}
+
+/// Exhaustive optimum over the time-expanded feasibility graph: every task
+/// in arrival order tries every feasible unused worker or a drop;
+/// maximum cardinality wins, ties broken by minimum total distance —
+/// Definition 8's clairvoyant benchmark, spelled out.
+fn brute_force_optimum(instance: &Instance, times: &[f64], plan: &ShiftPlan) -> (usize, f64) {
+    #[allow(clippy::too_many_arguments)] // explicit search state, as in the solver's own oracle
+    fn go(
+        t: usize,
+        used: &mut [bool],
+        instance: &Instance,
+        times: &[f64],
+        plan: &ShiftPlan,
+        cost: f64,
+        size: usize,
+        best: &mut (usize, f64),
+    ) {
+        if t == times.len() {
+            if size > best.0 || (size == best.0 && cost < best.1) {
+                *best = (size, cost);
+            }
+            return;
+        }
+        go(t + 1, used, instance, times, plan, cost, size, best); // drop task t
+        for w in 0..instance.num_workers() {
+            let s = &plan.shifts[w];
+            if !used[w] && s.start <= times[t] && times[t] < s.end {
+                used[w] = true;
+                let c = cost + instance.tasks[t].dist(&instance.workers[w]);
+                go(t + 1, used, instance, times, plan, c, size + 1, best);
+                used[w] = false;
+            }
+        }
+    }
+    let mut best = (0, f64::INFINITY);
+    let mut used = vec![false; instance.num_workers()];
+    go(0, &mut used, instance, times, plan, 0.0, 0, &mut best);
+    best
+}
+
+/// Checks `dynamic_offline_optimum` against [`brute_force_optimum`] on one
+/// timeline, including the typed infeasibility error and bit-identity
+/// across thread counts 2 and 7.
+fn check_against_brute_force(instance: &Instance, times: &[f64], plan: &ShiftPlan, label: &str) {
+    let (size, cost) = brute_force_optimum(instance, times, plan);
+    match dynamic_offline_optimum(instance, times, plan) {
+        Ok(opt) => {
+            assert_eq!(opt.size(), size, "{label}: cardinality");
+            assert!(
+                (opt.total_cost - cost).abs() < 1e-9,
+                "{label}: cost {} vs brute force {cost}",
+                opt.total_cost
+            );
+            for threads in [2, 7] {
+                let sharded =
+                    dynamic_offline_optimum_with_threads(instance, times, plan, threads).unwrap();
+                assert_eq!(sharded.pairs, opt.pairs, "{label}: threads {threads}");
+                assert_eq!(sharded.dropped, opt.dropped, "{label}: threads {threads}");
+                assert_eq!(
+                    sharded.total_cost.to_bits(),
+                    opt.total_cost.to_bits(),
+                    "{label}: threads {threads}"
+                );
+            }
+        }
+        Err(RatioError::InfeasibleTimeline { dropped }) => {
+            assert_eq!(
+                size, 0,
+                "{label}: solver claims infeasible, brute force assigns"
+            );
+            assert_eq!(dropped, times.len(), "{label}");
+        }
+        Err(e) => panic!("{label}: unexpected error {e}"),
+    }
+}
+
+/// Every realizable 3×3 shift-window pattern — all integer windows over
+/// the arrival grid, plus a window overlapping no arrival at all — agrees
+/// with the exhaustive brute force on a tie-heavy integer geometry
+/// (aligned rows one unit apart, so distances repeat across pairs).
+#[test]
+fn clairvoyant_optimum_matches_brute_force_on_every_window_pattern() {
+    let instance = Instance::new(
+        Rect::square(4.0),
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+        ],
+        vec![
+            Point::new(0.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 1.0),
+        ],
+    );
+    let times = [0.5, 1.5, 2.5];
+    // All integer windows in [0, 3] plus one of zero overlap with every
+    // arrival (shifts must be non-empty, so it sits past the last task).
+    let mut windows = vec![(3.0, 4.0)];
+    for a in 0..3u32 {
+        for b in (a + 1)..=3 {
+            windows.push((f64::from(a), f64::from(b)));
+        }
+    }
+    for &(a0, b0) in &windows {
+        for &(a1, b1) in &windows {
+            for &(a2, b2) in &windows {
+                let plan = ShiftPlan {
+                    horizon: 4.0,
+                    shifts: vec![
+                        Shift {
+                            worker: 0,
+                            start: a0,
+                            end: b0,
+                        },
+                        Shift {
+                            worker: 1,
+                            start: a1,
+                            end: b1,
+                        },
+                        Shift {
+                            worker: 2,
+                            start: a2,
+                            end: b2,
+                        },
+                    ],
+                };
+                let label = format!("windows [{a0},{b0}) [{a1},{b1}) [{a2},{b2})");
+                check_against_brute_force(&instance, &times, &plan, &label);
+            }
+        }
+    }
+}
+
+/// 6×6 timelines with arithmetic (deterministic, tie-heavy integer-grid)
+/// geometries and windows, including per-worker zero-coverage shifts,
+/// agree with the exhaustive brute force — the largest size where full
+/// enumeration is still cheap.
+#[test]
+fn clairvoyant_optimum_matches_brute_force_at_six_by_six() {
+    for seed in 0..25u64 {
+        let tasks: Vec<Point> = (0..6)
+            .map(|i| Point::new(((seed + 2 * i) % 5) as f64, ((seed / 3 + i) % 4) as f64))
+            .collect();
+        let workers: Vec<Point> = (0..6)
+            .map(|w| Point::new(((3 * seed + w) % 5) as f64, ((seed + 2 * w) % 4) as f64))
+            .collect();
+        let instance = Instance::new(Rect::square(6.0), tasks, workers);
+        let times: Vec<f64> = (0..6).map(|t| t as f64 + 0.5).collect();
+        let shifts = (0..6u64)
+            .map(|w| {
+                if (seed + w) % 7 == 0 {
+                    // Zero coverage: on shift only after the last arrival.
+                    Shift {
+                        worker: w as usize,
+                        start: 6.0,
+                        end: 7.0,
+                    }
+                } else {
+                    let start = ((seed + 3 * w) % 4) as f64;
+                    let len = 1.0 + ((seed / 2 + w) % 3) as f64;
+                    Shift {
+                        worker: w as usize,
+                        start,
+                        end: start + len,
+                    }
+                }
+            })
+            .collect();
+        let plan = ShiftPlan {
+            horizon: 7.0,
+            shifts,
+        };
+        check_against_brute_force(&instance, &times, &plan, &format!("seed {seed}"));
+    }
+}
+
+proptest! {
+    /// With every worker on shift for the whole horizon and more workers
+    /// than tasks, every registered pairing matcher reaches the oracle's
+    /// cardinality, so its total distance is bounded below by the
+    /// clairvoyant optimum: the empirical competitive ratio is ≥ 1 on
+    /// every repetition.
+    #[test]
+    fn every_dynamic_matcher_is_at_least_the_oracle_under_full_coverage(
+        seed in 0u64..2_000,
+    ) {
+        let inst = instance(24, 30, seed);
+        let times = ArrivalProcess::Uniform { window_secs: 200.0 }
+            .timestamps(24, &mut seeded_rng(seed, 99));
+        let plan = ShiftPlan::always_on(30, 200.0);
+        let config = DynamicConfig { epsilon: 0.6, grid_side: 16, seed };
+        let mechanism = registry().mechanism("identity").unwrap();
+        for matcher in registry().dynamic_matchers() {
+            let report = dynamic_competitive_ratio(
+                &inst, &times, &plan, &config, mechanism.as_ref(), matcher.as_ref(), 2,
+            ).map_err(|e| TestCaseError::fail(format!("{}: {e}", matcher.name())))?;
+            prop_assert!(
+                report.min_ratio >= 1.0 - 1e-9,
+                "{}: ratio {} beat the clairvoyant optimum",
+                matcher.name(), report.min_ratio
+            );
+        }
+    }
+}
+
+/// A ratio-enabled dynamic sweep over the full matcher catalog (the
+/// `dynamic-opt` oracle included) is bit-identical across shard counts
+/// `{1, 2, 7}`, every oracle cell reports a ratio of exactly 1.0, and
+/// every measured cell carries a ratio.
+#[test]
+fn ratio_sweep_is_shard_invariant_and_pins_the_oracle_row() {
+    let config = |shards: usize| DynamicSweepConfig {
+        mechanisms: vec!["identity".into(), "hst".into()],
+        matchers: Vec::new(), // full catalog: the oracle joins the axis
+        scenarios: Vec::new(),
+        shift_plans: vec!["always-on".into(), "short".into()],
+        sizes: vec![12],
+        epsilons: vec![0.6],
+        shards,
+        timings: false,
+        ratio: true,
+        grid_side: 16,
+        seed: 5,
+    };
+    let baseline = run_dynamic_sweep(&config(1)).unwrap();
+    let json = serde_json::to_string(&baseline).unwrap();
+    for shards in [2usize, 7] {
+        let sharded = serde_json::to_string(&run_dynamic_sweep(&config(shards)).unwrap()).unwrap();
+        assert_eq!(json, sharded, "shards = {shards} changed the ratio sweep");
+    }
+    let oracle_cells: Vec<_> = baseline
+        .cells
+        .iter()
+        .filter(|c| c.matcher == DEFAULT_DYNAMIC_ORACLE)
+        .collect();
+    assert!(
+        !oracle_cells.is_empty(),
+        "the oracle must join the matcher axis"
+    );
+    for cell in &oracle_cells {
+        assert_eq!(
+            cell.competitive_ratio,
+            Some(1.0),
+            "{}+{}: the oracle against itself must be exactly 1.0",
+            cell.mechanism,
+            cell.plan
+        );
+    }
+    for cell in baseline.cells.iter().filter(|c| c.measurement.is_some()) {
+        assert!(
+            cell.competitive_ratio.is_some(),
+            "{}+{}+{}: measured ratio cell without a ratio",
+            cell.mechanism,
+            cell.matcher,
+            cell.plan
+        );
+    }
 }

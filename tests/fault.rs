@@ -285,7 +285,7 @@ fn chaos_misconfigurations_are_typed_errors() {
             fault_plan: Some("bogus".into()),
             ..chaos(0)
         }),
-        Err(PipelineError::UnknownName {
+        Err(PipelineError::UnknownEntry {
             kind: "fault plan",
             ..
         })
@@ -296,7 +296,7 @@ fn chaos_misconfigurations_are_typed_errors() {
             shed_policy: Some("bogus".into()),
             ..chaos(0)
         }),
-        Err(PipelineError::UnknownName {
+        Err(PipelineError::UnknownEntry {
             kind: "shed policy",
             ..
         })

@@ -53,6 +53,7 @@ fn dynamic_config(seed: u64) -> DynamicSweepConfig {
         epsilons: vec![0.6],
         shards: 2,
         timings: false,
+        ratio: false,
         grid_side: 16,
         seed,
     }
@@ -215,6 +216,65 @@ fn partition_plan_parses_and_validates() {
             "`{bad}` should be rejected"
         );
     }
+}
+
+/// A ratio-enabled dynamic sweep — the full matcher catalog including
+/// the `dynamic-opt` oracle — partitions and merges byte-exactly: the
+/// `competitive_ratio` and drop-latency columns are part of the
+/// fingerprinted deterministic contract, for balanced and ragged cuts
+/// alike.
+#[test]
+fn ratio_partitions_merge_byte_exactly() {
+    let mut config = dynamic_config(7);
+    config.ratio = true;
+    config.matchers = Vec::new(); // full catalog: the oracle joins the axis
+    let report = run_dynamic_sweep(&config).unwrap();
+    assert!(
+        report
+            .cells
+            .iter()
+            .any(|c| c.matcher == pombm::DEFAULT_DYNAMIC_ORACLE),
+        "a ratio sweep with no matcher filter must include the oracle row"
+    );
+    assert!(
+        report
+            .cells
+            .iter()
+            .all(|c| c.measurement.is_none() || c.competitive_ratio.is_some()),
+        "every measured ratio cell carries a ratio"
+    );
+    let full = serde_json::to_string(&report).unwrap();
+    for n in [2usize, 3, 5] {
+        let partials: Vec<_> = (1..=n)
+            .map(|i| {
+                let run = PartitionRun {
+                    plan: PartitionPlan::new(i, n).unwrap(),
+                    ..PartitionRun::default()
+                };
+                run_dynamic_sweep_partition(&config, &run).unwrap().0
+            })
+            .collect();
+        let merged = serde_json::to_string(&merge_dynamic(&partials).unwrap()).unwrap();
+        assert_eq!(full, merged, "n = {n}");
+    }
+    let total = dynamic_sweep_job_count(&config).unwrap();
+    let cuts = ragged_cuts(total, 99);
+    let mut partials: Vec<_> = cuts
+        .windows(2)
+        .map(|w| run_dynamic_sweep_range(&config, w[0]..w[1]).unwrap())
+        .collect();
+    partials.reverse();
+    let merged = serde_json::to_string(&merge_dynamic(&partials).unwrap()).unwrap();
+    assert_eq!(full, merged, "cuts = {cuts:?}");
+
+    // Ratio on/off changes the fingerprint (the oracle name enters it),
+    // so mixed ratio/plain partials can never silently merge.
+    let mut plain = config.clone();
+    plain.ratio = false;
+    assert_ne!(
+        dynamic_sweep_fingerprint(&config).unwrap(),
+        dynamic_sweep_fingerprint(&plain).unwrap()
+    );
 }
 
 /// The partial-report JSON field names are a public contract (CI

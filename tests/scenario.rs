@@ -53,6 +53,7 @@ fn dynamic_config(scenarios: Vec<String>, seed: u64) -> DynamicSweepConfig {
         epsilons: vec![0.6],
         shards: 1,
         timings: false,
+        ratio: false,
         grid_side: 16,
         seed,
     }

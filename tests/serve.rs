@@ -279,14 +279,14 @@ fn degenerate_configs_are_rejected() {
             mechanism: "bogus".into(),
             ..config(0)
         }),
-        Err(PipelineError::UnknownName { .. })
+        Err(PipelineError::UnknownEntry { .. })
     ));
     assert!(matches!(
         run_serve(&ServeConfig {
             matcher: "bogus".into(),
             ..config(0)
         }),
-        Err(PipelineError::UnknownName { .. })
+        Err(PipelineError::UnknownEntry { .. })
     ));
 }
 
